@@ -1,0 +1,42 @@
+//! Ablation benchmark: the cost of disabling each pruning-rule family, plus
+//! the Quick baseline, on a small planted dataset (serial miner).
+//!
+//! This supports the paper's claims that (a) the k-core/size-threshold rule is
+//! the dominating factor in scaling beyond small graphs (topic T1) and (b) the
+//! bound-based rules carry most of the remaining pruning power.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcm_core::{quick_mine, MiningParams, PruneConfig, SerialMiner};
+use qcm_gen::PlantedGraphSpec;
+
+fn bench_ablation(c: &mut Criterion) {
+    let spec = PlantedGraphSpec {
+        num_vertices: 1_200,
+        background_avg_degree: 8.0,
+        background_beta: 2.5,
+        background_max_degree: 90.0,
+        community_sizes: vec![14, 12, 11, 10],
+        community_density: 0.9,
+        seed: 4242,
+    };
+    let (graph, _) = qcm_gen::plant_quasi_cliques(&spec);
+    let params = MiningParams::new(0.8, 10);
+
+    let mut group = c.benchmark_group("ablation_pruning_rules");
+    group.sample_size(10);
+
+    group.bench_function("all_rules", |b| {
+        b.iter(|| SerialMiner::new(params).mine(&graph))
+    });
+    for rule in PruneConfig::rule_names() {
+        let config = PruneConfig::all_enabled().without(rule);
+        group.bench_with_input(BenchmarkId::new("without", rule), &config, |b, config| {
+            b.iter(|| SerialMiner::with_config(params, *config).mine(&graph))
+        });
+    }
+    group.bench_function("quick_baseline", |b| b.iter(|| quick_mine(&graph, params)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the building blocks: k-core peeling, two-hop
+//! neighborhood extraction, degree bookkeeping, the iterative bounding loop
+//! and cover-vertex selection. These are the inner loops whose cost the
+//! algorithm-level design decisions (T1–T6 of the paper) trade against each
+//! other.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qcm_core::cover::find_cover_vertex;
+use qcm_core::degrees::compute_degrees;
+use qcm_core::{iterative_bounding, two_hop_local, MiningContext, MiningParams, QuasiCliqueSet};
+use qcm_graph::{kcore, LocalGraph, VertexId};
+
+fn fixture() -> (qcm_graph::Graph, LocalGraph) {
+    let spec = qcm_gen::PlantedGraphSpec {
+        num_vertices: 3_000,
+        background_avg_degree: 8.0,
+        background_beta: 2.4,
+        background_max_degree: 150.0,
+        community_sizes: vec![20, 18, 15],
+        community_density: 0.9,
+        seed: 99,
+    };
+    let (graph, _) = qcm_gen::plant_quasi_cliques(&spec);
+    let all: Vec<VertexId> = graph.vertices().collect();
+    let local = LocalGraph::from_induced(&graph, &all);
+    (graph, local)
+}
+
+fn bench_micro_kernels(c: &mut Criterion) {
+    let (graph, local) = fixture();
+    let params = MiningParams::new(0.8, 10);
+    let hub = graph
+        .vertices()
+        .max_by_key(|&v| graph.degree(v))
+        .expect("non-empty graph");
+
+    let mut group = c.benchmark_group("micro_kernels");
+    group.sample_size(20);
+
+    group.bench_function("kcore_peeling", |b| {
+        b.iter(|| kcore::core_numbers(black_box(&graph)))
+    });
+
+    group.bench_function("two_hop_neighborhood_hub", |b| {
+        b.iter(|| two_hop_local(black_box(&local), black_box(hub.raw())))
+    });
+
+    let hub_ext: Vec<u32> = two_hop_local(&local, hub.raw())
+        .into_iter()
+        .filter(|&u| u > hub.raw())
+        .collect();
+    let s = vec![hub.raw()];
+
+    group.bench_function("degree_bookkeeping", |b| {
+        b.iter(|| compute_degrees(black_box(&local), black_box(&s), black_box(&hub_ext)))
+    });
+
+    group.bench_function("cover_vertex_selection", |b| {
+        b.iter(|| find_cover_vertex(black_box(&local), &s, &hub_ext, &params))
+    });
+
+    group.bench_function("iterative_bounding_hub_candidate", |b| {
+        b.iter(|| {
+            let mut sink = QuasiCliqueSet::new();
+            let mut ctx = MiningContext::new(&local, params, &mut sink);
+            let mut s = s.clone();
+            let mut ext = hub_ext.clone();
+            iterative_bounding(&mut ctx, &mut s, &mut ext)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro_kernels);
+criterion_main!(benches);

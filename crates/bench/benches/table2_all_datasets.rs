@@ -1,0 +1,22 @@
+//! Table 2 (Criterion version): end-to-end parallel mining of every dataset
+//! stand-in at benchmark scale, using each dataset's own (γ, τ_size, τ_split,
+//! τ_time) parameters from the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcm_bench::runner::{run_dataset, RunOptions};
+use qcm_bench::scaled;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_all_datasets");
+    group.sample_size(10);
+    for spec in qcm_gen::datasets::all_datasets() {
+        let spec = scaled::bench_scale(&spec);
+        group.bench_function(spec.name, |b| {
+            b.iter(|| run_dataset(&spec, &RunOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Tables 3 and 4 (Criterion version): the effect of the decomposition
+//! hyperparameters (τ_time, τ_split) on running time, on the CX_GSE10158 and
+//! Hyves stand-ins at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcm_bench::runner::{run_dataset, RunOptions};
+use qcm_bench::scaled;
+use std::time::Duration;
+
+fn bench_hyperparams(c: &mut Criterion) {
+    for (table, dataset) in [
+        ("table3_gse10158", qcm_gen::datasets::cx_gse10158()),
+        ("table4_hyves", qcm_gen::datasets::hyves()),
+    ] {
+        let spec = scaled::bench_scale(&dataset);
+        let mut group = c.benchmark_group(table);
+        group.sample_size(10);
+        for tau_time_ms in [20u64, 1, 0] {
+            for tau_split in [500usize, 50] {
+                let options = RunOptions {
+                    tau_time: Some(Duration::from_millis(tau_time_ms)),
+                    tau_split: Some(tau_split),
+                    ..Default::default()
+                };
+                let id = BenchmarkId::new(
+                    format!("tau_time_{tau_time_ms}ms"),
+                    format!("tau_split_{tau_split}"),
+                );
+                group.bench_with_input(id, &options, |b, options| {
+                    b.iter(|| run_dataset(&spec, options))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_hyperparams);
+criterion_main!(benches);

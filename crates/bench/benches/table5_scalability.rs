@@ -1,0 +1,44 @@
+//! Table 5 (Criterion version): vertical scalability (threads per machine)
+//! and horizontal scalability (number of simulated machines) on the Enron
+//! stand-in at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcm_bench::runner::{run_dataset, RunOptions};
+use qcm_bench::scaled;
+
+fn bench_scalability(c: &mut Criterion) {
+    let spec = scaled::bench_scale(&qcm_gen::datasets::enron());
+
+    let mut group = c.benchmark_group("table5a_vertical");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let options = RunOptions {
+            machines: 1,
+            threads_per_machine: threads,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &options, |b, options| {
+            b.iter(|| run_dataset(&spec, options))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table5b_horizontal");
+    group.sample_size(10);
+    for machines in [1usize, 2, 4, 8] {
+        let options = RunOptions {
+            machines,
+            threads_per_machine: 2,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(machines),
+            &options,
+            |b, options| b.iter(|| run_dataset(&spec, options)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

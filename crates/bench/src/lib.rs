@@ -1,0 +1,21 @@
+//! # qcm-bench — experiment harness for the paper's tables and figures
+//!
+//! This crate contains the shared machinery used by
+//!
+//! * the `experiments` binary (`cargo run --release -p qcm-bench --bin
+//!   experiments -- <experiment>`), which regenerates every table and figure
+//!   of the paper's Section 7 at the stand-in-dataset scale, and
+//! * the Criterion benchmarks (`cargo bench -p qcm-bench`), which run the same
+//!   experiments on further-scaled-down inputs so that `cargo bench` finishes
+//!   in minutes.
+//!
+//! The mapping from experiment to paper artefact is documented in DESIGN.md
+//! (per-experiment index) and the observed numbers are recorded in
+//! EXPERIMENTS.md.
+
+pub mod report;
+pub mod runner;
+pub mod scaled;
+
+pub use report::Table;
+pub use runner::{run_dataset, DatasetRun, RunOptions};

@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The harness prints rows in the same layout as the paper's tables so the
+//! output can be compared side-by-side with the PDF; nothing here is specific
+//! to quasi-cliques.
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are converted to strings by the caller).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>width$}  ", width = width));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        let total_width: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total_width.max(4)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision (the paper's time
+/// columns are in seconds).
+pub fn seconds(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a byte count as mebibytes with two decimals (the paper's RAM/Disk
+/// columns are in GB; at our scale MiB is the readable unit).
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["Data", "Time (sec)", "#"]);
+        t.add_row(vec!["YouTube".into(), "11226.48".into(), "1320".into()]);
+        t.add_row(vec!["Hyves".into(), "130.16".into(), "3850".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("YouTube"));
+        assert!(rendered.lines().count() >= 5);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(seconds(Duration::from_millis(1500)), "1.500");
+        assert_eq!(mib(1024 * 1024), "1.00");
+        assert_eq!(mib(0), "0.00");
+    }
+
+    #[test]
+    fn ragged_rows_do_not_panic() {
+        let mut t = Table::new("Ragged", &["a", "b"]);
+        t.add_row(vec!["1".into()]);
+        t.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Ragged"));
+    }
+}

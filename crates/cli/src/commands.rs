@@ -1,0 +1,292 @@
+//! CLI subcommand implementations and a small flag parser.
+
+use qcm_core::{mine_serial, MiningParams, QuasiCliqueSet};
+use qcm_engine::EngineConfig;
+use qcm_graph::{io, Graph, GraphStats};
+use qcm_parallel::ParallelMiner;
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+qcm — maximal quasi-clique miner (algorithm-system codesign reproduction)
+
+USAGE:
+    qcm mine <edge_list> --gamma <0..1> --min-size <n> [options]
+    qcm generate --dataset <name> --output <file> [--seed <n>]
+    qcm stats <edge_list>
+    qcm datasets
+    qcm help
+
+MINE OPTIONS:
+    --gamma <f>          minimum degree ratio γ (default 0.9)
+    --min-size <n>       minimum quasi-clique size τ_size (default 10)
+    --threads <n>        mining threads per machine (default: available cores, max 8)
+    --machines <n>       simulated machines (default 1)
+    --tau-split <n>      big-task threshold τ_split (default 100)
+    --tau-time-ms <n>    decomposition timeout τ_time in milliseconds (default 10)
+    --serial             use the single-threaded reference miner
+    --output <file>      write the result sets to a file (default: print summary only)";
+
+/// Parsed command-line flags: `--key value` pairs plus bare switches.
+struct Flags {
+    positional: Vec<String>,
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                // Switches without values.
+                if name == "serial" {
+                    switches.push(name.to_string());
+                    i += 1;
+                    continue;
+                }
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                values.insert(name.to_string(), value.clone());
+                i += 2;
+            } else {
+                positional.push(arg.clone());
+                i += 1;
+            }
+        }
+        Ok(Flags {
+            positional,
+            values,
+            switches,
+        })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// `qcm mine <edge_list> …`
+pub fn mine(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "mine requires an edge-list path".to_string())?;
+    let graph = io::read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let gamma: f64 = flags.get("gamma", 0.9)?;
+    let min_size: usize = flags.get("min-size", 10)?;
+    let params = MiningParams::new(gamma, min_size);
+    println!(
+        "graph: {} vertices, {} edges; mining γ={gamma}, τ_size={min_size}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let (maximal, elapsed) = if flags.has_switch("serial") {
+        let out = mine_serial(&graph, params);
+        (out.maximal, out.elapsed)
+    } else {
+        let threads: usize = flags.get("threads", default_threads())?;
+        let machines: usize = flags.get("machines", 1usize)?;
+        let tau_split: usize = flags.get("tau-split", 100usize)?;
+        let tau_time_ms: u64 = flags.get("tau-time-ms", 10u64)?;
+        let config = EngineConfig::cluster(machines, threads)
+            .with_decomposition(tau_split, Duration::from_millis(tau_time_ms));
+        let out = ParallelMiner::new(params, config).mine(Arc::new(graph));
+        (out.maximal, out.metrics.elapsed)
+    };
+
+    println!(
+        "found {} maximal quasi-cliques in {:.3} s",
+        maximal.len(),
+        elapsed.as_secs_f64()
+    );
+    match flags.values.get("output") {
+        Some(path) => {
+            write_results(&maximal, path)?;
+            println!("results written to {path}");
+        }
+        None => {
+            for (i, members) in maximal.iter().take(10).enumerate() {
+                let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
+                println!("  #{:<3} |S|={:<3} {{{}}}", i + 1, members.len(), ids.join(", "));
+            }
+            if maximal.len() > 10 {
+                println!("  … ({} more; use --output to save all)", maximal.len() - 10);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `qcm generate --dataset <name> --output <file>`
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let name = flags
+        .values
+        .get("dataset")
+        .ok_or_else(|| "generate requires --dataset <name>".to_string())?;
+    let output = flags
+        .values
+        .get("output")
+        .ok_or_else(|| "generate requires --output <file>".to_string())?;
+    let mut spec = qcm_gen::datasets::all_datasets()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name}; run `qcm datasets` for the list"))?;
+    spec.seed = flags.get("seed", spec.seed)?;
+    let dataset = spec.generate();
+    io::write_edge_list_file(&dataset.graph, output)
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "wrote {} ({} vertices, {} edges, {} planted communities) to {output}",
+        spec.name,
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges(),
+        dataset.planted.len()
+    );
+    println!(
+        "suggested mining parameters: --gamma {} --min-size {} --tau-split {} --tau-time-ms {}",
+        spec.gamma, spec.min_size, spec.tau_split, spec.tau_time_ms
+    );
+    Ok(())
+}
+
+/// `qcm stats <edge_list>`
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "stats requires an edge-list path".to_string())?;
+    let graph = io::read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    print_stats(&graph);
+    Ok(())
+}
+
+/// `qcm datasets`
+pub fn list_datasets() -> Result<(), String> {
+    println!("available synthetic stand-in datasets (see DESIGN.md for the mapping to Table 1):");
+    for spec in qcm_gen::datasets::all_datasets() {
+        println!(
+            "  {:<12} |V|≈{:<7} γ={:<4} τ_size={:<3} τ_split={:<5} τ_time={}ms",
+            spec.name, spec.num_vertices, spec.gamma, spec.min_size, spec.tau_split, spec.tau_time_ms
+        );
+    }
+    Ok(())
+}
+
+fn print_stats(graph: &Graph) {
+    let stats = GraphStats::compute(graph);
+    println!("vertices            : {}", stats.num_vertices);
+    println!("edges               : {}", stats.num_edges);
+    println!("min / avg / max deg : {} / {:.2} / {}", stats.min_degree, stats.avg_degree, stats.max_degree);
+    println!("degeneracy          : {}", stats.degeneracy);
+    println!("connected components: {} (largest {})", stats.num_components, stats.largest_component);
+}
+
+fn write_results(results: &QuasiCliqueSet, path: &str) -> Result<(), String> {
+    let mut file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    for members in results.iter() {
+        let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
+        writeln!(file, "{}", ids.join(" ")).map_err(|e| format!("write error: {e}"))?;
+    }
+    Ok(())
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parser_handles_values_switches_and_positionals() {
+        let args: Vec<String> = ["input.txt", "--gamma", "0.8", "--serial", "--min-size", "12"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = Flags::parse(&args).unwrap();
+        assert_eq!(flags.positional, vec!["input.txt"]);
+        assert_eq!(flags.get::<f64>("gamma", 0.9).unwrap(), 0.8);
+        assert_eq!(flags.get::<usize>("min-size", 10).unwrap(), 12);
+        assert_eq!(flags.get::<usize>("threads", 3).unwrap(), 3);
+        assert!(flags.has_switch("serial"));
+        assert!(!flags.has_switch("quick"));
+    }
+
+    #[test]
+    fn flag_parser_rejects_missing_values_and_bad_numbers() {
+        let args: Vec<String> = ["--gamma"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args).is_err());
+        let args: Vec<String> = ["--gamma", "abc"].iter().map(|s| s.to_string()).collect();
+        let flags = Flags::parse(&args).unwrap();
+        assert!(flags.get::<f64>("gamma", 0.9).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_and_mine() {
+        let dir = std::env::temp_dir().join(format!("qcm_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("tiny.txt");
+        let results_path = dir.join("results.txt");
+
+        // Write a small graph via the library and exercise stats + mine.
+        let dataset = qcm_gen::datasets::tiny_test_dataset(5);
+        io::write_edge_list_file(&dataset.graph, &graph_path).unwrap();
+
+        let args: Vec<String> = vec![graph_path.to_string_lossy().into_owned()];
+        stats(&args).unwrap();
+
+        let args: Vec<String> = vec![
+            graph_path.to_string_lossy().into_owned(),
+            "--gamma".into(),
+            format!("{}", dataset.spec.gamma),
+            "--min-size".into(),
+            dataset.spec.min_size.to_string(),
+            "--threads".into(),
+            "2".into(),
+            "--output".into(),
+            results_path.to_string_lossy().into_owned(),
+        ];
+        mine(&args).unwrap();
+        let written = std::fs::read_to_string(&results_path).unwrap();
+        assert!(!written.trim().is_empty(), "mining the planted graph must find results");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let args: Vec<String> = vec![
+            "--dataset".into(),
+            "NoSuchGraph".into(),
+            "--output".into(),
+            "/tmp/never_written.txt".into(),
+        ];
+        assert!(generate(&args).is_err());
+        assert!(list_datasets().is_ok());
+    }
+}

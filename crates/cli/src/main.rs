@@ -1,0 +1,40 @@
+//! `qcm` — command-line front end for the quasi-clique miner.
+//!
+//! ```text
+//! qcm mine <edge_list> --gamma 0.9 --min-size 10 [--threads 8] [--machines 1]
+//!                      [--tau-split 100] [--tau-time-ms 10] [--serial] [--output results.txt]
+//! qcm generate --dataset <name> --output graph.txt        # synthetic stand-in datasets
+//! qcm stats <edge_list>                                    # graph summary statistics
+//! qcm datasets                                             # list available stand-ins
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "mine" => commands::mine(rest),
+        "generate" => commands::generate(rest),
+        "stats" => commands::stats(rest),
+        "datasets" => commands::list_datasets(),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Degree bookkeeping for a candidate `⟨S, ext(S)⟩`.
+//!
+//! The pruning rules of the paper use four kinds of degrees (topic T2,
+//! Section 4):
+//!
+//! * **SS-degrees** `d_S(v)` for `v ∈ S`;
+//! * **ES-degrees** `d_ext(S)(v)` for `v ∈ S`;
+//! * **SE-degrees** `d_S(u)` for `u ∈ ext(S)`;
+//! * **EE-degrees** `d_ext(S)(u)` for `u ∈ ext(S)`.
+//!
+//! The first three are needed to compute the upper/lower bounds `U_S`, `L_S`;
+//! the EE-degrees are only needed by the Type-I rules and are therefore
+//! computed lazily (see [`compute_ee_degrees`]), exactly as the paper
+//! recommends.
+
+use qcm_graph::LocalGraph;
+
+/// Which side of the candidate a local vertex currently belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Membership {
+    /// Not in `S` nor in `ext(S)`.
+    Neither,
+    /// In the candidate set `S`.
+    InS,
+    /// In the extension set `ext(S)`.
+    InExt,
+}
+
+/// A membership table over the local index space of a task subgraph.
+#[derive(Clone, Debug)]
+pub struct MembershipTable {
+    table: Vec<Membership>,
+}
+
+impl MembershipTable {
+    /// Builds the table for the given `S` and `ext(S)` (local indices).
+    pub fn new(g: &LocalGraph, s: &[u32], ext: &[u32]) -> Self {
+        let mut table = vec![Membership::Neither; g.capacity()];
+        for &v in s {
+            table[v as usize] = Membership::InS;
+        }
+        for &u in ext {
+            debug_assert_ne!(table[u as usize], Membership::InS, "S and ext overlap");
+            table[u as usize] = Membership::InExt;
+        }
+        MembershipTable { table }
+    }
+
+    /// Membership of local vertex `v`.
+    #[inline]
+    pub fn get(&self, v: u32) -> Membership {
+        self.table[v as usize]
+    }
+}
+
+/// The SS/ES/SE degree vectors of a candidate (EE computed separately).
+///
+/// Entries are positionally aligned with the `s` and `ext` slices passed to
+/// [`compute_degrees`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Degrees {
+    /// `d_S(v)` for every `v ∈ S` (aligned with `s`).
+    pub s_in_s: Vec<u32>,
+    /// `d_ext(S)(v)` for every `v ∈ S` (aligned with `s`).
+    pub s_in_ext: Vec<u32>,
+    /// `d_S(u)` for every `u ∈ ext(S)` (aligned with `ext`).
+    pub ext_in_s: Vec<u32>,
+}
+
+impl Degrees {
+    /// `d_min = min_{v∈S} (d_S(v) + d_ext(S)(v))` (Eq. 1 of the paper).
+    /// Returns `None` for an empty `S`.
+    pub fn dmin(&self) -> Option<usize> {
+        self.s_in_s
+            .iter()
+            .zip(&self.s_in_ext)
+            .map(|(&a, &b)| (a + b) as usize)
+            .min()
+    }
+
+    /// `d_min^S = min_{v∈S} d_S(v)` (Eq. 6). `None` for an empty `S`.
+    pub fn dmin_s(&self) -> Option<usize> {
+        self.s_in_s.iter().map(|&a| a as usize).min()
+    }
+
+    /// Sum of SS-degrees `Σ_{v∈S} d_S(v)` (used by Lemma 2).
+    pub fn sum_s_in_s(&self) -> usize {
+        self.s_in_s.iter().map(|&a| a as usize).sum()
+    }
+
+    /// SE-degrees sorted in non-increasing order (the `u_1, u_2, …` ordering
+    /// required by Lemma 2 and Figures 6–7 of the paper).
+    pub fn sorted_ext_in_s_desc(&self) -> Vec<u32> {
+        let mut sorted = self.ext_in_s.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted
+    }
+}
+
+/// Computes SS, ES and SE degrees of the candidate `⟨s, ext⟩` over the task
+/// subgraph `g`. `O(Σ_{x∈S∪ext} d(x))`.
+pub fn compute_degrees(g: &LocalGraph, s: &[u32], ext: &[u32]) -> (Degrees, MembershipTable) {
+    let membership = MembershipTable::new(g, s, ext);
+    let mut s_in_s = vec![0u32; s.len()];
+    let mut s_in_ext = vec![0u32; s.len()];
+    let mut ext_in_s = vec![0u32; ext.len()];
+    for (i, &v) in s.iter().enumerate() {
+        for w in g.neighbors(v) {
+            match membership.get(w) {
+                Membership::InS => s_in_s[i] += 1,
+                Membership::InExt => s_in_ext[i] += 1,
+                Membership::Neither => {}
+            }
+        }
+    }
+    for (j, &u) in ext.iter().enumerate() {
+        for w in g.neighbors(u) {
+            if membership.get(w) == Membership::InS {
+                ext_in_s[j] += 1;
+            }
+        }
+    }
+    (
+        Degrees {
+            s_in_s,
+            s_in_ext,
+            ext_in_s,
+        },
+        membership,
+    )
+}
+
+/// Computes the EE-degrees `d_ext(S)(u)` for every `u ∈ ext(S)` (aligned with
+/// `ext`). Deferred until Type-I rules actually need them.
+pub fn compute_ee_degrees(g: &LocalGraph, ext: &[u32], membership: &MembershipTable) -> Vec<u32> {
+    ext.iter()
+        .map(|&u| {
+            g.neighbors(u)
+                .filter(|&w| membership.get(w) == Membership::InExt)
+                .count() as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcm_graph::{Graph, VertexId};
+
+    fn figure4_local() -> LocalGraph {
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (1, 5),
+            (5, 6),
+            (2, 6),
+            (3, 7),
+            (7, 8),
+            (3, 8),
+        ];
+        let g = Graph::from_edges(9, edges.iter().copied()).unwrap();
+        let all: Vec<VertexId> = g.vertices().collect();
+        LocalGraph::from_induced(&g, &all)
+    }
+
+    #[test]
+    fn degrees_of_figure4_candidate() {
+        let g = figure4_local();
+        // S = {a, b} = {0, 1}; ext = {c, d, e} = {2, 3, 4}.
+        let s = vec![0u32, 1];
+        let ext = vec![2u32, 3, 4];
+        let (deg, membership) = compute_degrees(&g, &s, &ext);
+        // d_S(a) = 1 (b), d_S(b) = 1 (a).
+        assert_eq!(deg.s_in_s, vec![1, 1]);
+        // d_ext(a) = 3 (c, d, e); d_ext(b) = 2 (c, e).
+        assert_eq!(deg.s_in_ext, vec![3, 2]);
+        // d_S(c) = 2 (a, b); d_S(d) = 1 (a); d_S(e) = 2 (a, b).
+        assert_eq!(deg.ext_in_s, vec![2, 1, 2]);
+        // EE: d_ext(c) = 2 (d, e); d_ext(d) = 2 (c, e); d_ext(e) = 2 (c, d).
+        let ee = compute_ee_degrees(&g, &ext, &membership);
+        assert_eq!(ee, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn dmin_and_sums() {
+        let g = figure4_local();
+        let s = vec![0u32, 1];
+        let ext = vec![2u32, 3, 4];
+        let (deg, _) = compute_degrees(&g, &s, &ext);
+        assert_eq!(deg.dmin(), Some(3)); // min(1+3, 1+2) = 3
+        assert_eq!(deg.dmin_s(), Some(1));
+        assert_eq!(deg.sum_s_in_s(), 2);
+        assert_eq!(deg.sorted_ext_in_s_desc(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_candidate_sides() {
+        let g = figure4_local();
+        let (deg, membership) = compute_degrees(&g, &[], &[0, 1, 2]);
+        assert_eq!(deg.dmin(), None);
+        assert_eq!(deg.dmin_s(), None);
+        assert_eq!(deg.sum_s_in_s(), 0);
+        assert_eq!(deg.ext_in_s, vec![0, 0, 0]);
+        let ee = compute_ee_degrees(&g, &[0, 1, 2], &membership);
+        // Within {a,b,c} all three edges exist.
+        assert_eq!(ee, vec![2, 2, 2]);
+
+        let (deg, _) = compute_degrees(&g, &[0, 1], &[]);
+        assert_eq!(deg.dmin(), Some(1));
+        assert!(deg.ext_in_s.is_empty());
+    }
+
+    #[test]
+    fn membership_table_reports_sides() {
+        let g = figure4_local();
+        let (_, membership) = compute_degrees(&g, &[0], &[3, 4]);
+        assert_eq!(membership.get(0), Membership::InS);
+        assert_eq!(membership.get(3), Membership::InExt);
+        assert_eq!(membership.get(7), Membership::Neither);
+    }
+
+    #[test]
+    fn degrees_ignore_vertices_outside_candidate() {
+        let g = figure4_local();
+        // S = {d}; ext = {h}. d is adjacent to a, c, e, h, i but only h counts.
+        let (deg, _) = compute_degrees(&g, &[3], &[7]);
+        assert_eq!(deg.s_in_s, vec![0]);
+        assert_eq!(deg.s_in_ext, vec![1]);
+        assert_eq!(deg.ext_in_s, vec![1]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Iterative bound-based pruning — Algorithm 1 of the paper.
+//!
+//! Given a candidate `⟨S, ext(S)⟩`, `iterative_bounding` repeatedly
+//!
+//! 1. recomputes the candidate's degrees and the bounds `U_S`, `L_S`,
+//! 2. applies critical-vertex pruning (which may *grow* `S`),
+//! 3. applies the Type-II rules (which may prune the whole subtree), and
+//! 4. applies the Type-I rules (which shrink `ext(S)`),
+//!
+//! until `ext(S)` is empty or a full round removes nothing. Shrinking
+//! `ext(S)` changes the degrees, which tightens the bounds, which can enable
+//! more pruning — hence the loop (topic T4 of the paper).
+//!
+//! The return value is `true` iff the *extensions* of `S` are pruned (the
+//! caller must not recurse further); `S` itself is examined and reported here
+//! whenever the paper requires it, so no maximal result is ever missed.
+
+use crate::bounds::{lower_bound, upper_bound, LowerBound, UpperBound};
+use crate::context::MiningContext;
+use crate::critical::find_critical_vertex;
+use crate::degrees::{compute_degrees, compute_ee_degrees, Degrees, Membership};
+use crate::rules::{check_type2, type1_prunable, Type2Outcome};
+
+/// Outcome of computing both bounds for the current `⟨S, ext(S)⟩`.
+struct BoundState {
+    /// `U_S` if the upper-bound family is enabled and feasible.
+    us: Option<usize>,
+    /// `L_S` if the lower-bound family is enabled (or needed by the
+    /// critical-vertex rule) and feasible.
+    ls: Option<usize>,
+}
+
+/// Computes the bounds, handling the three pruning outcomes the paper attaches
+/// to bound computation (below Eqs. 4, 7, 8 and Algorithm 1 line 3):
+///
+/// * upper bound infeasible → prune extensions, but examine `G(S)` first;
+/// * lower bound infeasible → prune `S` and extensions;
+/// * `U_S < L_S` → prune `S` and extensions.
+///
+/// Returns `Err(())` when the caller should return `true` immediately (the
+/// reporting of `G(S)`, when required, has already happened).
+fn compute_bounds(
+    ctx: &mut MiningContext<'_>,
+    s: &[u32],
+    ext: &[u32],
+    degrees: &Degrees,
+) -> Result<BoundState, ()> {
+    let mut us = None;
+    if ctx.config.upper_bound {
+        match upper_bound(&ctx.params, degrees, ext.len()) {
+            UpperBound::Bound(b) => us = Some(b),
+            UpperBound::ExtensionsPruned => {
+                // Same actions as Algorithm 1 lines 23–25: G(S) is still a
+                // candidate result.
+                ctx.stats.type2_pruned += 1;
+                ctx.report_if_valid(s);
+                return Err(());
+            }
+        }
+    }
+    let mut ls = None;
+    if ctx.config.lower_bound || ctx.config.critical_vertex {
+        match lower_bound(&ctx.params, degrees, ext.len()) {
+            LowerBound::Bound(b) => ls = Some(b),
+            LowerBound::AllPruned => {
+                if ctx.config.lower_bound {
+                    // S and its extensions are pruned without examination.
+                    ctx.stats.type2_pruned += 1;
+                    return Err(());
+                }
+                // Lower bound only computed for the critical-vertex rule,
+                // which cannot apply without a feasible L_S; fall through with
+                // ls = None so no lower-bound-based pruning is used.
+            }
+        }
+    }
+    if let (Some(us_v), Some(ls_v)) = (us, ls) {
+        if ctx.config.upper_bound && ctx.config.lower_bound && us_v < ls_v {
+            // L_S ≥ 1 in this situation, so S itself cannot be valid either.
+            ctx.stats.type2_pruned += 1;
+            return Err(());
+        }
+    }
+    Ok(BoundState { us, ls })
+}
+
+/// Algorithm 1: iteratively applies the pruning rules to `⟨S, ext(S)⟩`.
+///
+/// * Returns `true` iff extending `S` (beyond what critical-vertex moves have
+///   already absorbed into it) is pruned; any required examination of `G(S)`
+///   has been performed before returning.
+/// * Returns `false` only when `ext(S)` is non-empty and the caller should
+///   keep extending `S` (Algorithm 2 line 20 / Algorithm 10 line 19).
+///
+/// Both `s` and `ext` are passed by mutable reference: Type-I pruning shrinks
+/// `ext`, and critical-vertex pruning can move vertices from `ext` into `s`.
+pub fn iterative_bounding(
+    ctx: &mut MiningContext<'_>,
+    s: &mut Vec<u32>,
+    ext: &mut Vec<u32>,
+) -> bool {
+    loop {
+        ctx.stats.bounding_rounds += 1;
+        // Line 2: SS/ES/SE degrees (EE deferred to the Type-I phase).
+        let (mut degrees, mut membership) = compute_degrees(ctx.graph, s, ext);
+
+        // Line 3: bounds (may prune).
+        let bounds = match compute_bounds(ctx, s, ext, &degrees) {
+            Ok(b) => b,
+            Err(()) => return true,
+        };
+        let mut us = bounds.us;
+        let mut ls = bounds.ls;
+
+        // Lines 4–8: critical-vertex pruning.
+        if ctx.config.critical_vertex {
+            if let Some(ls_v) = ls {
+                if let Some(pos) = find_critical_vertex(&ctx.params, &degrees, ls_v) {
+                    let v = s[pos];
+                    // The paper's fix over Quick: examine G(S) *before*
+                    // absorbing the critical vertex's neighborhood, otherwise
+                    // a maximal G(S) could be lost.
+                    if !ctx.emulate_quick_omissions {
+                        ctx.report_if_valid(s);
+                    }
+                    let moved: Vec<u32> = ext
+                        .iter()
+                        .copied()
+                        .filter(|&u| ctx.graph.has_edge(u, v))
+                        .collect();
+                    if !moved.is_empty() {
+                        ctx.stats.critical_moves += moved.len() as u64;
+                        ext.retain(|&u| !ctx.graph.has_edge(u, v));
+                        s.extend_from_slice(&moved);
+                        if ext.is_empty() {
+                            // Skip straight to the C1 exit case.
+                            break;
+                        }
+                        // Line 8: recompute degrees and bounds on the grown S.
+                        let recomputed = compute_degrees(ctx.graph, s, ext);
+                        degrees = recomputed.0;
+                        membership = recomputed.1;
+                        let bounds = match compute_bounds(ctx, s, ext, &degrees) {
+                            Ok(b) => b,
+                            Err(()) => return true,
+                        };
+                        us = bounds.us;
+                        ls = bounds.ls;
+                    }
+                }
+            }
+        }
+
+        // Lines 9–16: Type-II rules.
+        match check_type2(&ctx.params, &ctx.config, &degrees, ext.len(), us, ls) {
+            Type2Outcome::PruneAll => {
+                ctx.stats.type2_pruned += 1;
+                return true;
+            }
+            Type2Outcome::PruneExtensionsKeepS => {
+                ctx.stats.type2_pruned += 1;
+                ctx.report_if_valid(s);
+                return true;
+            }
+            Type2Outcome::None => {}
+        }
+
+        // Lines 17–20: Type-I rules (EE-degrees computed lazily here).
+        let ee = compute_ee_degrees(ctx.graph, ext, &membership);
+        debug_assert!(ext
+            .iter()
+            .all(|&u| membership.get(u) == Membership::InExt));
+        let mut pruned_any = false;
+        let mut kept: Vec<u32> = Vec::with_capacity(ext.len());
+        for (j, &u) in ext.iter().enumerate() {
+            if type1_prunable(
+                &ctx.params,
+                &ctx.config,
+                s.len(),
+                degrees.ext_in_s[j] as usize,
+                ee[j] as usize,
+                us,
+                ls,
+            ) {
+                pruned_any = true;
+                ctx.stats.type1_pruned += 1;
+            } else {
+                kept.push(u);
+            }
+        }
+        *ext = kept;
+
+        // Line 21: stop when ext is empty or this round pruned nothing.
+        if ext.is_empty() || !pruned_any {
+            break;
+        }
+    }
+
+    // Lines 22–25: if ext is empty, S has nothing to extend — examine it.
+    if ext.is_empty() {
+        ctx.report_if_valid(s);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PruneConfig;
+    use crate::params::MiningParams;
+    use crate::results::QuasiCliqueSet;
+    use qcm_graph::{Graph, LocalGraph, VertexId};
+
+    fn figure4_local() -> LocalGraph {
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (1, 5),
+            (5, 6),
+            (2, 6),
+            (3, 7),
+            (7, 8),
+            (3, 8),
+        ];
+        let g = Graph::from_edges(9, edges.iter().copied()).unwrap();
+        let all: Vec<VertexId> = g.vertices().collect();
+        LocalGraph::from_induced(&g, &all)
+    }
+
+    fn run(
+        g: &LocalGraph,
+        params: MiningParams,
+        config: PruneConfig,
+        s: &[u32],
+        ext: &[u32],
+    ) -> (bool, Vec<u32>, Vec<u32>, QuasiCliqueSet) {
+        let mut sink = QuasiCliqueSet::new();
+        let mut ctx = MiningContext::with_config(g, params, config, &mut sink);
+        let mut s = s.to_vec();
+        let mut ext = ext.to_vec();
+        let pruned = iterative_bounding(&mut ctx, &mut s, &mut ext);
+        drop(ctx);
+        (pruned, s, ext, sink)
+    }
+
+    #[test]
+    fn healthy_candidate_is_not_pruned() {
+        // S = {a}, ext = {b, c, d, e} with γ = 0.6: the dense 5-vertex region
+        // of Figure 4 survives in full.
+        let g = figure4_local();
+        let (pruned, s, ext, sink) = run(
+            &g,
+            MiningParams::new(0.6, 4),
+            PruneConfig::all_enabled(),
+            &[0],
+            &[1, 2, 3, 4],
+        );
+        assert!(!pruned);
+        assert_eq!(s, vec![0]);
+        assert_eq!(ext.len(), 4);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn type1_pruning_removes_peripheral_vertices() {
+        // S = {a}, ext = {b, c, d, e, f, h}: with γ = 0.9 and τ_size = 4,
+        // peripheral vertices like f (adjacent only to b within the
+        // candidate region) cannot survive the degree rules.
+        let g = figure4_local();
+        let (pruned, _s, ext, _sink) = run(
+            &g,
+            MiningParams::new(0.9, 4),
+            PruneConfig::all_enabled(),
+            &[0],
+            &[1, 2, 3, 4, 5, 7],
+        );
+        // Whatever the final outcome, f (5) and h (7) must have been dropped
+        // from ext if extensions were not wholesale pruned.
+        if !pruned {
+            assert!(!ext.contains(&5));
+            assert!(!ext.contains(&7));
+        }
+    }
+
+    #[test]
+    fn infeasible_candidate_is_pruned_entirely() {
+        // S = {f, i}: disconnected within the candidate with nothing in ext to
+        // repair it — Type-II pruning must fire and nothing is reported.
+        let g = figure4_local();
+        let (pruned, _, _, sink) = run(
+            &g,
+            MiningParams::new(0.9, 2),
+            PruneConfig::all_enabled(),
+            &[5, 8],
+            &[],
+        );
+        assert!(pruned);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn empty_ext_reports_valid_s() {
+        // S = {a, b, c, e} (0.9-quasi-clique needs ⌈0.9·3⌉ = 3 internal
+        // neighbors; all four members have exactly 3), ext = ∅.
+        let g = figure4_local();
+        let (pruned, _, _, sink) = run(
+            &g,
+            MiningParams::new(0.9, 4),
+            PruneConfig::all_enabled(),
+            &[0, 1, 2, 4],
+            &[],
+        );
+        assert!(pruned);
+        assert_eq!(sink.len(), 1);
+        let expected: Vec<VertexId> = [0u32, 1, 2, 4].iter().map(|&v| VertexId::new(v)).collect();
+        assert!(sink.contains(&expected));
+    }
+
+    #[test]
+    fn critical_vertex_absorbs_required_neighbors() {
+        // Same construction as the critical-vertex unit test: a (vertex 0)
+        // must absorb both of its extension neighbors {2, 3}.
+        let g = {
+            let graph =
+                Graph::from_edges(5, [(0, 2), (0, 3), (1, 2), (1, 3), (1, 4)]).unwrap();
+            let all: Vec<VertexId> = graph.vertices().collect();
+            LocalGraph::from_induced(&graph, &all)
+        };
+        let (pruned, s, _ext, _sink) = run(
+            &g,
+            MiningParams::new(0.6, 2),
+            PruneConfig::all_enabled(),
+            &[0, 1],
+            &[2, 3, 4],
+        );
+        // After the critical move S must contain {0, 1, 2, 3} regardless of
+        // whether the remaining extension survives further pruning.
+        assert!(s.contains(&2) && s.contains(&3), "s = {s:?}, pruned = {pruned}");
+    }
+
+    #[test]
+    fn disabled_rules_leave_candidate_untouched() {
+        let g = figure4_local();
+        let (pruned, s, ext, sink) = run(
+            &g,
+            MiningParams::new(0.9, 4),
+            PruneConfig::none(),
+            &[0],
+            &[1, 2, 3, 4, 5, 7],
+        );
+        assert!(!pruned);
+        assert_eq!(s, vec![0]);
+        assert_eq!(ext.len(), 6);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn stats_record_rule_activity() {
+        let g = figure4_local();
+        let mut sink = QuasiCliqueSet::new();
+        let mut ctx = MiningContext::with_config(
+            &g,
+            MiningParams::new(0.9, 4),
+            PruneConfig::all_enabled(),
+            &mut sink,
+        );
+        let mut s = vec![0u32];
+        let mut ext = vec![1u32, 2, 3, 4, 5, 7];
+        let _ = iterative_bounding(&mut ctx, &mut s, &mut ext);
+        assert!(ctx.stats.bounding_rounds >= 1);
+        assert!(ctx.stats.type1_pruned + ctx.stats.type2_pruned > 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # qcm-core — maximal γ-quasi-clique mining
+//!
+//! This crate implements the algorithmic half of the paper *"Scalable Mining
+//! of Maximal Quasi-Cliques: An Algorithm-System Codesign Approach"* (PVLDB
+//! 2020): the pruning rules (P1–P7), the iterative bound-based pruning
+//! procedure (Algorithm 1), the recursive mining algorithm (Algorithm 2), a
+//! Quick-style baseline, a brute-force oracle, and the maximality
+//! post-processing.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qcm_core::{mine_serial, MiningParams};
+//! use qcm_graph::Graph;
+//!
+//! // The illustrative graph of Figure 4 of the paper.
+//! let g = Graph::from_edges(9, [
+//!     (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 4), (2, 3), (2, 4), (3, 4),
+//!     (1, 5), (5, 6), (2, 6), (3, 7), (7, 8), (3, 8),
+//! ]).unwrap();
+//!
+//! // Find all maximal 0.6-quasi-cliques with at least 5 vertices.
+//! let output = mine_serial(&g, MiningParams::new(0.6, 5));
+//! assert_eq!(output.maximal.len(), 1); // {a, b, c, d, e}
+//! ```
+//!
+//! The parallel, task-based version of the algorithm lives in `qcm-parallel`
+//! and runs on the reforged G-thinker-style engine in `qcm-engine`; both reuse
+//! the primitives exported here ([`iterative_bounding`], [`recursive_mine`],
+//! [`MiningContext`], the bounds and rules modules), which is what the paper
+//! means by algorithm–system codesign.
+
+pub mod bounds;
+pub mod config;
+pub mod context;
+pub mod cover;
+pub mod critical;
+pub mod degrees;
+pub mod iterative_bounding;
+pub mod maximality;
+pub mod naive;
+pub mod params;
+pub mod quasiclique;
+pub mod quick;
+pub mod recursive_mine;
+pub mod results;
+pub mod rules;
+pub mod serial;
+pub mod stats;
+
+pub use config::PruneConfig;
+pub use context::MiningContext;
+pub use iterative_bounding::iterative_bounding;
+pub use maximality::remove_non_maximal;
+pub use params::{Gamma, MiningParams};
+pub use quasiclique::{is_quasi_clique, is_quasi_clique_local, is_valid_quasi_clique};
+pub use quick::quick_mine;
+pub use recursive_mine::{recursive_mine, two_hop_local};
+pub use results::{CountingSink, QuasiCliqueSet, QuasiCliqueSink};
+pub use serial::{mine_serial, MiningOutput, SerialMiner};
+pub use stats::MiningStats;

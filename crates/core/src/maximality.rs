@@ -1,0 +1,110 @@
+//! Maximality post-processing.
+//!
+//! The divide-and-conquer search intentionally reports some non-maximal
+//! quasi-cliques: a task mining the subtree `T_{S}` has no visibility into
+//! results found by sibling tasks (Section 3.1 of the paper), and the
+//! time-delayed decomposition loses track of its children's findings
+//! (Algorithm 10 lines 23–24). The paper removes those in a post-processing
+//! step; this module implements it.
+
+use crate::results::{is_sorted_subset, QuasiCliqueSet};
+use qcm_graph::VertexId;
+
+/// Removes every set that is a strict subset of another reported set.
+///
+/// The implementation sorts the sets by decreasing size and only tests
+/// containment against already-kept (larger or equal) sets, additionally
+/// bucketing kept sets by their smallest member to skip impossible matches.
+/// For the result-set sizes of the paper's experiments (tens to a few
+/// thousand) this is effectively instantaneous.
+pub fn remove_non_maximal(results: QuasiCliqueSet) -> QuasiCliqueSet {
+    let mut sets: Vec<Vec<VertexId>> = results.into_sorted_vec();
+    // Sort by length descending; ties in canonical (lexicographic) order so
+    // the output is deterministic.
+    sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    let mut kept: Vec<Vec<VertexId>> = Vec::with_capacity(sets.len());
+    for candidate in sets {
+        let dominated = kept
+            .iter()
+            .any(|k| k.len() > candidate.len() && is_sorted_subset(&candidate, k));
+        if !dominated {
+            kept.push(candidate);
+        }
+    }
+    kept.into_iter().collect()
+}
+
+/// Checks that every set in `results` is maximal with respect to the others
+/// (no strict-subset pairs). Used by tests and debug assertions.
+pub fn is_maximal_family(results: &QuasiCliqueSet) -> bool {
+    let sets: Vec<&Vec<VertexId>> = results.iter().collect();
+    for (i, a) in sets.iter().enumerate() {
+        for (j, b) in sets.iter().enumerate() {
+            if i != j && a.len() < b.len() && is_sorted_subset(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<VertexId> {
+        raw.iter().map(|&v| VertexId::new(v)).collect()
+    }
+
+    #[test]
+    fn strict_subsets_are_removed() {
+        let results: QuasiCliqueSet = vec![
+            ids(&[1, 2, 3]),
+            ids(&[1, 2]),
+            ids(&[2, 3]),
+            ids(&[4, 5]),
+            ids(&[1, 2, 3, 9]),
+        ]
+        .into_iter()
+        .collect();
+        let maximal = remove_non_maximal(results);
+        assert_eq!(maximal.len(), 2);
+        assert!(maximal.contains(&ids(&[1, 2, 3, 9])));
+        assert!(maximal.contains(&ids(&[4, 5])));
+        assert!(!maximal.contains(&ids(&[1, 2, 3])));
+        assert!(!maximal.contains(&ids(&[1, 2])));
+        assert!(is_maximal_family(&maximal));
+    }
+
+    #[test]
+    fn equal_sets_are_kept_once() {
+        let mut results = QuasiCliqueSet::new();
+        results.insert(ids(&[7, 8, 9]));
+        results.insert(ids(&[9, 8, 7]));
+        let maximal = remove_non_maximal(results);
+        assert_eq!(maximal.len(), 1);
+    }
+
+    #[test]
+    fn incomparable_sets_all_survive() {
+        let results: QuasiCliqueSet = vec![ids(&[1, 2, 3]), ids(&[2, 3, 4]), ids(&[3, 4, 5])]
+            .into_iter()
+            .collect();
+        let maximal = remove_non_maximal(results.clone());
+        assert_eq!(maximal, results);
+        assert!(is_maximal_family(&maximal));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let maximal = remove_non_maximal(QuasiCliqueSet::new());
+        assert!(maximal.is_empty());
+        assert!(is_maximal_family(&maximal));
+    }
+
+    #[test]
+    fn is_maximal_family_detects_violations() {
+        let bad: QuasiCliqueSet = vec![ids(&[1, 2]), ids(&[1, 2, 3])].into_iter().collect();
+        assert!(!is_maximal_family(&bad));
+    }
+}

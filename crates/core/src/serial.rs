@@ -1,0 +1,229 @@
+//! The serial mining driver.
+//!
+//! [`SerialMiner`] is the single-threaded reference implementation of the
+//! paper's algorithm: shrink the input graph to its k-core (P2 / topic T1),
+//! spawn one set-enumeration root per surviving vertex (`S = {v}`,
+//! `ext(S) = B_{>v}(v)`), run the recursive miner (Algorithm 2) on each, and
+//! finally remove non-maximal results. The parallel engine in `qcm-parallel`
+//! produces exactly the same result set; tests assert that equivalence.
+
+use std::time::{Duration, Instant};
+
+use crate::config::PruneConfig;
+use crate::context::MiningContext;
+use crate::maximality::remove_non_maximal;
+use crate::params::MiningParams;
+use crate::recursive_mine::{recursive_mine, two_hop_local};
+use crate::results::QuasiCliqueSet;
+use crate::stats::MiningStats;
+use qcm_graph::kcore::k_core_vertices;
+use qcm_graph::{Graph, LocalGraph, VertexId};
+
+/// Everything a mining run produces.
+#[derive(Clone, Debug)]
+pub struct MiningOutput {
+    /// The final, maximal quasi-cliques (global vertex ids of the input graph).
+    pub maximal: QuasiCliqueSet,
+    /// Number of raw (possibly non-maximal, possibly duplicate) reports before
+    /// post-processing.
+    pub raw_reported: u64,
+    /// Aggregated pruning/search statistics.
+    pub stats: MiningStats,
+    /// Wall-clock time of the mining phase (excludes graph loading).
+    pub elapsed: Duration,
+    /// Number of vertices that survived the k-core preprocessing (equal to the
+    /// input size when the size-threshold rule is disabled).
+    pub kcore_vertices: usize,
+}
+
+/// Single-threaded maximal quasi-clique miner.
+#[derive(Clone, Debug)]
+pub struct SerialMiner {
+    params: MiningParams,
+    config: PruneConfig,
+    emulate_quick_omissions: bool,
+}
+
+impl SerialMiner {
+    /// Creates a miner with the default (fully enabled) pruning configuration.
+    pub fn new(params: MiningParams) -> Self {
+        SerialMiner {
+            params,
+            config: PruneConfig::default(),
+            emulate_quick_omissions: false,
+        }
+    }
+
+    /// Creates a miner with an explicit pruning configuration (used by the
+    /// ablation benchmarks).
+    pub fn with_config(params: MiningParams, config: PruneConfig) -> Self {
+        SerialMiner {
+            params,
+            config,
+            emulate_quick_omissions: false,
+        }
+    }
+
+    /// Enables emulation of the original Quick algorithm's result-missing
+    /// omissions (used only by the Quick baseline).
+    pub fn emulating_quick_omissions(mut self, enabled: bool) -> Self {
+        self.emulate_quick_omissions = enabled;
+        self
+    }
+
+    /// The mining parameters this miner was built with.
+    pub fn params(&self) -> &MiningParams {
+        &self.params
+    }
+
+    /// Mines all maximal γ-quasi-cliques of `graph` with at least τ_size
+    /// vertices.
+    pub fn mine(&self, graph: &Graph) -> MiningOutput {
+        let start = Instant::now();
+        let mut stats = MiningStats::new();
+
+        // (T1) Size-threshold preprocessing: shrink to the k-core.
+        let survivors: Vec<VertexId> = if self.config.size_threshold {
+            let k = self.params.kcore_threshold();
+            let kept = k_core_vertices(graph, k);
+            stats.kcore_removed += (graph.num_vertices() - kept.len()) as u64;
+            kept
+        } else {
+            graph.vertices().collect()
+        };
+        let kcore_vertices = survivors.len();
+
+        let mut sink = QuasiCliqueSet::new();
+        if !survivors.is_empty() {
+            let work = LocalGraph::from_induced(graph, &survivors);
+            // Spawn one root per surviving vertex, in id order.
+            for v in 0..work.capacity() as u32 {
+                let mut ctx =
+                    MiningContext::with_config(&work, self.params, self.config, &mut sink);
+                ctx.emulate_quick_omissions = self.emulate_quick_omissions;
+                ctx.stats.tasks_processed += 1;
+                let mut ext: Vec<u32> = if self.config.diameter
+                    && self.params.gamma.diameter_two_applies()
+                {
+                    two_hop_local(&work, v).into_iter().filter(|&u| u > v).collect()
+                } else {
+                    ((v + 1)..work.capacity() as u32).collect()
+                };
+                let s = vec![v];
+                recursive_mine(&mut ctx, &s, &mut ext);
+                stats.merge(&ctx.stats);
+            }
+        }
+
+        let raw_reported = stats.results_reported;
+        let maximal = remove_non_maximal(sink);
+        MiningOutput {
+            maximal,
+            raw_reported,
+            stats,
+            elapsed: start.elapsed(),
+            kcore_vertices,
+        }
+    }
+}
+
+/// Convenience function: mines `graph` with the default configuration.
+pub fn mine_serial(graph: &Graph, params: MiningParams) -> MiningOutput {
+    SerialMiner::new(params).mine(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn figure4() -> Graph {
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (1, 5),
+            (5, 6),
+            (2, 6),
+            (3, 7),
+            (7, 8),
+            (3, 8),
+        ];
+        Graph::from_edges(9, edges.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn serial_miner_matches_oracle_on_figure4() {
+        let g = figure4();
+        for (gamma, min_size) in [(0.6, 5), (0.9, 4), (0.7, 3), (0.5, 4), (1.0, 3)] {
+            let params = MiningParams::new(gamma, min_size);
+            let mined = mine_serial(&g, params);
+            let oracle = naive::maximal_quasi_cliques(&g, &params);
+            assert_eq!(
+                mined.maximal, oracle,
+                "mismatch at gamma={gamma}, min_size={min_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn kcore_preprocessing_shrinks_the_graph() {
+        let g = figure4();
+        // γ = 0.9, τ_size = 4 → k = 3; the periphery (f, g, h, i) is peeled.
+        let params = MiningParams::new(0.9, 4);
+        let out = mine_serial(&g, params);
+        assert_eq!(out.kcore_vertices, 5);
+        assert_eq!(out.stats.kcore_removed, 4);
+        assert!(out.raw_reported >= out.maximal.len() as u64);
+    }
+
+    #[test]
+    fn disabling_size_threshold_keeps_all_vertices() {
+        let g = figure4();
+        let params = MiningParams::new(0.9, 4);
+        let miner =
+            SerialMiner::with_config(params, PruneConfig::all_enabled().without("size_threshold"));
+        let out = miner.mine(&g);
+        assert_eq!(out.kcore_vertices, 9);
+        // Result set unchanged.
+        let default_out = mine_serial(&g, params);
+        assert_eq!(out.maximal, default_out.maximal);
+    }
+
+    #[test]
+    fn no_results_when_thresholds_are_too_strict() {
+        let g = figure4();
+        let params = MiningParams::new(0.95, 6);
+        let out = mine_serial(&g, params);
+        assert!(out.maximal.is_empty());
+        assert_eq!(out.elapsed.as_secs(), 0);
+    }
+
+    #[test]
+    fn quick_emulation_is_a_subset_of_the_fixed_algorithm() {
+        let g = figure4();
+        let params = MiningParams::new(0.9, 4);
+        let fixed = mine_serial(&g, params);
+        let quick = SerialMiner::new(params)
+            .emulating_quick_omissions(true)
+            .mine(&g);
+        for r in quick.maximal.iter() {
+            assert!(fixed.maximal.contains(r));
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_spawned_roots() {
+        let g = figure4();
+        let params = MiningParams::new(0.6, 4);
+        let out = mine_serial(&g, params);
+        assert!(out.stats.tasks_processed >= 1);
+        assert!(out.stats.nodes_expanded > 0);
+    }
+}

@@ -1,0 +1,455 @@
+//! The simulated cluster: machines, mining threads, the reforged scheduler
+//! and big-task stealing.
+//!
+//! This is the system half of the paper's codesign (Section 5). A
+//! [`Cluster`] runs a [`GThinkerApp`] over a shared input graph on
+//! `num_machines × threads_per_machine` mining threads. Each *machine* is a
+//! thread group owning
+//!
+//! * a hash partition of the vertex table and a remote-vertex cache,
+//! * a **global task queue** for big tasks (the reforge addition) with its own
+//!   spill file list `L_big`,
+//! * a spawn cursor over its owned vertices,
+//!
+//! while each *mining thread* owns a local queue (+ `L_small`) for small
+//! tasks. The worker loop follows the reforged Algorithm 3: big tasks are
+//! popped with priority, queues refill from spill files before spawning new
+//! roots, and spawning stops as soon as it produces a big task. A master
+//! load-balancer thread periodically evens out pending big tasks across
+//! machines (task stealing).
+
+use crate::config::EngineConfig;
+use crate::metrics::{EngineMetrics, TaskTimeRecord};
+use crate::queue::TaskQueue;
+use crate::spill::{SpillMetrics, SpillStore};
+use crate::task::{ComputeContext, Frontier, GThinkerApp, TaskTimings};
+use crate::vertex_table::{DataService, FetchMetrics, PartitionedVertexTable};
+
+use parking_lot::Mutex;
+use qcm_graph::{Graph, VertexId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The output of an engine run: raw result rows (the application's emitted
+/// quasi-cliques, before maximality post-processing) and the run metrics.
+#[derive(Clone, Debug, Default)]
+pub struct EngineOutput {
+    /// Emitted result rows (members sorted by the caller if needed).
+    pub results: Vec<Vec<VertexId>>,
+    /// Metrics of the run.
+    pub metrics: EngineMetrics,
+}
+
+/// Per-machine shared state.
+struct MachineState<T> {
+    global_queue: Mutex<TaskQueue<T>>,
+    spawn_cursor: Mutex<VecDeque<VertexId>>,
+    data: DataService,
+}
+
+/// Cluster-wide shared state used by the worker and balancer threads.
+struct SharedState<'a, A: GThinkerApp> {
+    app: &'a A,
+    config: &'a EngineConfig,
+    table: PartitionedVertexTable,
+    machines: Vec<MachineState<A::Task>>,
+    /// Tasks spawned or decomposed but not yet fully processed (plus a
+    /// transient +1 held while a spawn call is in flight, which closes the
+    /// race between the spawn-cursor decrement and the task registration).
+    pending_tasks: AtomicUsize,
+    /// Vertices not yet consumed by any spawn cursor.
+    unspawned: AtomicUsize,
+    done: AtomicBool,
+    results: Mutex<Vec<Vec<VertexId>>>,
+    task_times: Mutex<Vec<TaskTimeRecord>>,
+    tasks_spawned: AtomicU64,
+    tasks_processed: AtomicU64,
+    tasks_decomposed: AtomicU64,
+    active_task_bytes: AtomicU64,
+    peak_task_bytes: AtomicU64,
+    mining_nanos: AtomicU64,
+    materialization_nanos: AtomicU64,
+    stolen_tasks: AtomicU64,
+    spill_metrics: Arc<SpillMetrics>,
+}
+
+impl<'a, A: GThinkerApp> SharedState<'a, A> {
+    fn add_active_bytes(&self, bytes: u64) {
+        let now = self.active_task_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_task_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub_active_bytes(&self, bytes: u64) {
+        self.active_task_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A simulated G-thinker cluster executing one application.
+pub struct Cluster<A: GThinkerApp> {
+    app: Arc<A>,
+    config: EngineConfig,
+}
+
+impl<A: GThinkerApp> Cluster<A> {
+    /// Creates a cluster for `app` with the given configuration.
+    pub fn new(app: Arc<A>, config: EngineConfig) -> Self {
+        config.validate();
+        Cluster { app, config }
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the application over `graph` until every spawned task (and every
+    /// task transitively created by decomposition) has completed.
+    pub fn run(&self, graph: Arc<Graph>) -> EngineOutput {
+        let start = Instant::now();
+        let config = &self.config;
+        let table = PartitionedVertexTable::new(graph, config.num_machines);
+        let spill_metrics = Arc::new(SpillMetrics::default());
+        let fetch_metrics = Arc::new(FetchMetrics::default());
+
+        let machines: Vec<MachineState<A::Task>> = (0..config.num_machines)
+            .map(|m| {
+                let owned: VecDeque<VertexId> = table.owned_vertices(m).into();
+                MachineState {
+                    global_queue: Mutex::new(TaskQueue::new(
+                        config.global_queue_capacity,
+                        config.batch_size,
+                        SpillStore::new(
+                            config.spill_dir.clone(),
+                            format!("m{m}-global"),
+                            spill_metrics.clone(),
+                        ),
+                    )),
+                    spawn_cursor: Mutex::new(owned),
+                    data: DataService::new(
+                        table.clone(),
+                        m,
+                        config.vertex_cache_capacity,
+                        fetch_metrics.clone(),
+                        config.fetch_latency,
+                    ),
+                }
+            })
+            .collect();
+
+        let unspawned_total: usize = table.graph().num_vertices();
+        let shared = SharedState {
+            app: self.app.as_ref(),
+            config,
+            table,
+            machines,
+            pending_tasks: AtomicUsize::new(0),
+            unspawned: AtomicUsize::new(unspawned_total),
+            done: AtomicBool::new(false),
+            results: Mutex::new(Vec::new()),
+            task_times: Mutex::new(Vec::new()),
+            tasks_spawned: AtomicU64::new(0),
+            tasks_processed: AtomicU64::new(0),
+            tasks_decomposed: AtomicU64::new(0),
+            active_task_bytes: AtomicU64::new(0),
+            peak_task_bytes: AtomicU64::new(0),
+            mining_nanos: AtomicU64::new(0),
+            materialization_nanos: AtomicU64::new(0),
+            stolen_tasks: AtomicU64::new(0),
+            spill_metrics: spill_metrics.clone(),
+        };
+
+        let total_workers = config.total_threads();
+        let worker_busy: Mutex<Vec<Duration>> = Mutex::new(vec![Duration::ZERO; total_workers]);
+
+        crossbeam::thread::scope(|scope| {
+            // Master load balancer (big-task stealing between machines).
+            if config.num_machines > 1 {
+                scope.spawn(|_| balancer_loop(&shared));
+            }
+            for worker in 0..total_workers {
+                let machine_id = worker / config.threads_per_machine;
+                let shared_ref = &shared;
+                let busy_ref = &worker_busy;
+                scope.spawn(move |_| {
+                    let busy = worker_loop(shared_ref, machine_id, worker);
+                    busy_ref.lock()[worker] = busy;
+                });
+            }
+        })
+        .expect("engine worker thread panicked");
+
+        let results = shared.results.into_inner();
+        let metrics = EngineMetrics {
+            elapsed: start.elapsed(),
+            tasks_spawned: shared.tasks_spawned.load(Ordering::Relaxed),
+            tasks_processed: shared.tasks_processed.load(Ordering::Relaxed),
+            tasks_decomposed: shared.tasks_decomposed.load(Ordering::Relaxed),
+            results_emitted: results.len() as u64,
+            peak_task_bytes: shared.peak_task_bytes.load(Ordering::Relaxed),
+            spill_bytes_written: spill_metrics.bytes_written.load(Ordering::Relaxed),
+            spill_bytes_read: spill_metrics.bytes_read.load(Ordering::Relaxed),
+            spill_peak_bytes: spill_metrics.peak_bytes.load(Ordering::Relaxed),
+            local_reads: fetch_metrics.local_reads.load(Ordering::Relaxed),
+            remote_fetches: fetch_metrics.remote_fetches.load(Ordering::Relaxed),
+            remote_bytes: fetch_metrics.remote_bytes.load(Ordering::Relaxed),
+            cache_hits: fetch_metrics.cache_hits.load(Ordering::Relaxed),
+            cache_evictions: fetch_metrics.cache_evictions.load(Ordering::Relaxed),
+            stolen_tasks: shared.stolen_tasks.load(Ordering::Relaxed),
+            total_mining_time: Duration::from_nanos(shared.mining_nanos.load(Ordering::Relaxed)),
+            total_materialization_time: Duration::from_nanos(
+                shared.materialization_nanos.load(Ordering::Relaxed),
+            ),
+            task_times: shared.task_times.into_inner(),
+            worker_busy: worker_busy.into_inner(),
+        };
+        EngineOutput { results, metrics }
+    }
+}
+
+/// Main loop of one mining thread (the reforged Algorithm 3).
+fn worker_loop<A: GThinkerApp>(
+    shared: &SharedState<'_, A>,
+    machine_id: usize,
+    worker_id: usize,
+) -> Duration {
+    let config = shared.config;
+    let mut local_queue: TaskQueue<A::Task> = TaskQueue::new(
+        config.local_queue_capacity,
+        config.batch_size,
+        SpillStore::new(
+            config.spill_dir.clone(),
+            format!("m{machine_id}-w{worker_id}-local"),
+            shared.spill_metrics.clone(),
+        ),
+    );
+    let mut busy = Duration::ZERO;
+    loop {
+        if shared.done.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(task) = pop_task(shared, machine_id, &mut local_queue) {
+            let t0 = Instant::now();
+            process_task(shared, machine_id, &mut local_queue, task);
+            busy += t0.elapsed();
+            continue;
+        }
+        let t0 = Instant::now();
+        if spawn_batch(shared, machine_id, &mut local_queue) {
+            busy += t0.elapsed();
+            continue;
+        }
+        // Nothing to pop, nothing to spawn: either the job is finished or
+        // other workers still hold pending tasks.
+        if shared.pending_tasks.load(Ordering::Acquire) == 0
+            && shared.unspawned.load(Ordering::Acquire) == 0
+        {
+            shared.done.store(true, Ordering::Release);
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    busy
+}
+
+/// Pops the next task, preferring the machine's global (big-task) queue: a
+/// try-lock failure or an empty global queue falls back to the worker's local
+/// queue, each refilling from its spill files when it runs below one batch.
+fn pop_task<A: GThinkerApp>(
+    shared: &SharedState<'_, A>,
+    machine_id: usize,
+    local_queue: &mut TaskQueue<A::Task>,
+) -> Option<A::Task> {
+    if let Some(mut gq) = shared.machines[machine_id].global_queue.try_lock() {
+        if gq.needs_refill() {
+            gq.refill_from_spill();
+        }
+        if let Some(task) = gq.pop() {
+            return Some(task);
+        }
+    }
+    if local_queue.needs_refill() {
+        local_queue.refill_from_spill();
+    }
+    local_queue.pop()
+}
+
+/// Routes a freshly created task to the machine's global queue (big) or the
+/// worker's local queue (small).
+fn route_task<A: GThinkerApp>(
+    shared: &SharedState<'_, A>,
+    machine_id: usize,
+    local_queue: &mut TaskQueue<A::Task>,
+    task: A::Task,
+) -> bool {
+    let big = shared.app.is_big(&task);
+    if big {
+        shared.machines[machine_id].global_queue.lock().push(task);
+    } else {
+        local_queue.push(task);
+    }
+    big
+}
+
+/// Spawns up to one batch of root tasks from the machine's spawn cursor,
+/// stopping early as soon as a spawned task is big (the paper's rule to avoid
+/// flooding the global queue from a single refill). Returns true if at least
+/// one vertex was consumed.
+fn spawn_batch<A: GThinkerApp>(
+    shared: &SharedState<'_, A>,
+    machine_id: usize,
+    local_queue: &mut TaskQueue<A::Task>,
+) -> bool {
+    let mut consumed_any = false;
+    for _ in 0..shared.config.batch_size {
+        // Hold a transient pending slot across the spawn so that the
+        // (unspawned, pending) pair can never both read zero mid-spawn.
+        shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
+        let vertex = {
+            let mut cursor = shared.machines[machine_id].spawn_cursor.lock();
+            cursor.pop_front()
+        };
+        let Some(v) = vertex else {
+            shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
+            break;
+        };
+        shared.unspawned.fetch_sub(1, Ordering::AcqRel);
+        consumed_any = true;
+
+        let adj = shared.table.adjacency(v).to_vec();
+        let mut ctx = ComputeContext::new();
+        shared.app.spawn(v, &adj, &mut ctx);
+        if !ctx.results.is_empty() {
+            let mut results = shared.results.lock();
+            results.extend(ctx.results);
+        }
+        let mut spawned_big = false;
+        for task in ctx.new_tasks {
+            shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
+            shared.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+            spawned_big |= route_task(shared, machine_id, local_queue, task);
+        }
+        shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
+        if spawned_big {
+            break;
+        }
+    }
+    consumed_any
+}
+
+/// Processes one task to completion: repeatedly resolves its pending pulls
+/// into a frontier and calls `compute` until the application reports the task
+/// finished, routing any decomposed subtasks and results along the way.
+fn process_task<A: GThinkerApp>(
+    shared: &SharedState<'_, A>,
+    machine_id: usize,
+    local_queue: &mut TaskQueue<A::Task>,
+    mut task: A::Task,
+) {
+    let start = Instant::now();
+    let mut mem = shared.app.task_memory_bytes(&task) as u64;
+    shared.add_active_bytes(mem);
+    let mut timings = TaskTimings::default();
+    let mut fetch_scratch = crate::vertex_table::FetchScratch::default();
+    loop {
+        let pulls = shared.app.pending_pulls(&task);
+        let mut frontier = Frontier::new();
+        for v in pulls {
+            frontier.insert(
+                v,
+                shared.machines[machine_id]
+                    .data
+                    .fetch_with(v, &mut fetch_scratch),
+            );
+        }
+        let mut ctx = ComputeContext::new();
+        let more = shared.app.compute(&mut task, &frontier, &mut ctx);
+        timings.merge(&ctx.timings);
+        if !ctx.results.is_empty() {
+            shared.results.lock().extend(ctx.results);
+        }
+        for subtask in ctx.new_tasks {
+            shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
+            shared.tasks_decomposed.fetch_add(1, Ordering::Relaxed);
+            route_task(shared, machine_id, local_queue, subtask);
+        }
+        // The task's subgraph may have grown (iterations 1–2 materialise it).
+        let new_mem = shared.app.task_memory_bytes(&task) as u64;
+        if new_mem > mem {
+            shared.add_active_bytes(new_mem - mem);
+        } else {
+            shared.sub_active_bytes(mem - new_mem);
+        }
+        mem = new_mem;
+        if !more {
+            break;
+        }
+    }
+    let label = shared.app.task_label(&task);
+    shared.machines[machine_id].data.flush(&mut fetch_scratch);
+    shared.sub_active_bytes(mem);
+    shared.tasks_processed.fetch_add(1, Ordering::Relaxed);
+    shared
+        .mining_nanos
+        .fetch_add(timings.mining.as_nanos() as u64, Ordering::Relaxed);
+    shared
+        .materialization_nanos
+        .fetch_add(timings.materialization.as_nanos() as u64, Ordering::Relaxed);
+    shared.task_times.lock().push(TaskTimeRecord {
+        root: label.root,
+        subgraph_size: label.subgraph_size,
+        elapsed: start.elapsed(),
+        timings,
+    });
+    shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Master load-balancing loop: every `balance_period`, even out pending big
+/// tasks across machines by moving at most one batch from the richest to the
+/// poorest machine (Section 5's stealing plan, simplified to the in-process
+/// setting where "transmitting a task file" is a queue-to-queue move).
+fn balancer_loop<A: GThinkerApp>(shared: &SharedState<'_, A>) {
+    let config = shared.config;
+    while !shared.done.load(Ordering::Acquire) {
+        std::thread::sleep(config.balance_period);
+        let counts: Vec<usize> = shared
+            .machines
+            .iter()
+            .map(|m| m.global_queue.lock().total_pending())
+            .collect();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let avg = total / counts.len();
+        let Some((rich, &rich_count)) = counts.iter().enumerate().max_by_key(|(_, &c)| c) else {
+            continue;
+        };
+        let Some((poor, &poor_count)) = counts.iter().enumerate().min_by_key(|(_, &c)| c) else {
+            continue;
+        };
+        if rich == poor || rich_count <= poor_count + 1 || rich_count <= avg {
+            continue;
+        }
+        let to_move = config
+            .batch_size
+            .min((rich_count - poor_count) / 2)
+            .max(1);
+        let moved = {
+            let mut rich_queue = shared.machines[rich].global_queue.lock();
+            rich_queue.take_batch(to_move)
+        };
+        if moved.is_empty() {
+            continue;
+        }
+        let n = moved.len() as u64;
+        {
+            let mut poor_queue = shared.machines[poor].global_queue.lock();
+            for t in moved {
+                poor_queue.push(t);
+            }
+        }
+        shared.stolen_tasks.fetch_add(n, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,115 @@
+//! Binary encoding helpers for task spilling.
+//!
+//! The spill files and the (simulated) inter-machine steal messages use a
+//! small hand-rolled little-endian format built on these helpers, so the task
+//! types in `qcm-parallel` do not need a serde dependency and the on-disk
+//! framing stays under the engine's control.
+
+use qcm_graph::VertexId;
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a length-prefixed list of `u32`s.
+pub fn put_u32_slice(buf: &mut Vec<u8>, values: &[u32]) {
+    put_u32(buf, values.len() as u32);
+    for &v in values {
+        put_u32(buf, v);
+    }
+}
+
+/// Appends a length-prefixed list of vertex ids.
+pub fn put_vertices(buf: &mut Vec<u8>, values: &[VertexId]) {
+    put_u32(buf, values.len() as u32);
+    for &v in values {
+        put_u32(buf, v.raw());
+    }
+}
+
+/// Reads a `u32`, advancing the slice. `None` if the input is exhausted.
+pub fn take_u32(data: &mut &[u8]) -> Option<u32> {
+    if data.len() < 4 {
+        return None;
+    }
+    let (head, rest) = data.split_at(4);
+    *data = rest;
+    Some(u32::from_le_bytes(head.try_into().ok()?))
+}
+
+/// Reads a `u64`, advancing the slice.
+pub fn take_u64(data: &mut &[u8]) -> Option<u64> {
+    if data.len() < 8 {
+        return None;
+    }
+    let (head, rest) = data.split_at(8);
+    *data = rest;
+    Some(u64::from_le_bytes(head.try_into().ok()?))
+}
+
+/// Reads a length-prefixed list of `u32`s, advancing the slice.
+pub fn take_u32_vec(data: &mut &[u8]) -> Option<Vec<u32>> {
+    let len = take_u32(data)? as usize;
+    // Guard against corrupted lengths that would cause huge allocations.
+    if data.len() < len * 4 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(take_u32(data)?);
+    }
+    Some(out)
+}
+
+/// Reads a length-prefixed list of vertex ids, advancing the slice.
+pub fn take_vertices(data: &mut &[u8]) -> Option<Vec<VertexId>> {
+    Some(take_u32_vec(data)?.into_iter().map(VertexId::new).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        let mut slice = buf.as_slice();
+        assert_eq!(take_u32(&mut slice), Some(0xDEAD_BEEF));
+        assert_eq!(take_u64(&mut slice), Some(u64::MAX - 1));
+        assert!(slice.is_empty());
+        assert_eq!(take_u32(&mut slice), None);
+        assert_eq!(take_u64(&mut slice), None);
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &[1, 2, 3]);
+        put_vertices(&mut buf, &[VertexId::new(9), VertexId::new(10)]);
+        put_u32_slice(&mut buf, &[]);
+        let mut slice = buf.as_slice();
+        assert_eq!(take_u32_vec(&mut slice), Some(vec![1, 2, 3]));
+        assert_eq!(
+            take_vertices(&mut slice),
+            Some(vec![VertexId::new(9), VertexId::new(10)])
+        );
+        assert_eq!(take_u32_vec(&mut slice), Some(vec![]));
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn corrupted_length_is_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1000); // claims 1000 entries but provides none
+        let mut slice = buf.as_slice();
+        assert_eq!(take_u32_vec(&mut slice), None);
+    }
+}

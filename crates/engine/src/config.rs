@@ -1,0 +1,168 @@
+//! Engine configuration.
+//!
+//! The knobs mirror Section 5 of the paper and Table 2's hyperparameter
+//! columns: the big-task threshold τ_split, the decomposition timeout τ_time,
+//! the spill batch size `C`, the queue/cache capacities and the simulated
+//! cluster shape (number of machines × mining threads per machine).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration of the simulated cluster and the task scheduler.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of simulated machines. Each machine owns a hash partition of the
+    /// vertex table, a global big-task queue, a remote-vertex cache and its
+    /// own group of mining threads.
+    pub num_machines: usize,
+    /// Mining threads per machine.
+    pub threads_per_machine: usize,
+    /// Big-task threshold τ_split: a task whose extension set is larger than
+    /// this goes to the machine's global queue, otherwise to the spawning
+    /// thread's local queue.
+    pub tau_split: usize,
+    /// Decomposition timeout τ_time: a task mines its subgraph by backtracking
+    /// for at least this long before wrapping the remaining subtrees into new
+    /// tasks (Algorithm 10).
+    pub tau_time: Duration,
+    /// Spill/steal batch size `C`: tasks are spilled to disk, refilled and
+    /// stolen in batches of this size.
+    pub batch_size: usize,
+    /// Capacity of each mining thread's local task queue before spilling.
+    pub local_queue_capacity: usize,
+    /// Capacity of each machine's global task queue before spilling.
+    pub global_queue_capacity: usize,
+    /// Maximum number of adjacency lists kept in a machine's remote-vertex
+    /// cache.
+    pub vertex_cache_capacity: usize,
+    /// Directory used for spill files. `None` keeps spilled batches in memory
+    /// (still accounted as "disk" bytes in the metrics) — useful for tests.
+    pub spill_dir: Option<PathBuf>,
+    /// Period of the master's load-balancing loop (big-task stealing).
+    pub balance_period: Duration,
+    /// Simulated per-remote-fetch latency added by the comm layer (0 for the
+    /// pure in-process simulation).
+    pub fetch_latency: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_machines: 1,
+            threads_per_machine: num_cpus_fallback(),
+            tau_split: 100,
+            tau_time: Duration::from_millis(10),
+            batch_size: 16,
+            local_queue_capacity: 256,
+            global_queue_capacity: 1024,
+            vertex_cache_capacity: 100_000,
+            spill_dir: None,
+            balance_period: Duration::from_millis(20),
+            fetch_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Creates a configuration for a single machine with the given number of
+    /// mining threads (the most common setup for the experiment harness).
+    pub fn single_machine(threads: usize) -> Self {
+        EngineConfig {
+            num_machines: 1,
+            threads_per_machine: threads.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Creates a configuration for a simulated cluster.
+    pub fn cluster(num_machines: usize, threads_per_machine: usize) -> Self {
+        EngineConfig {
+            num_machines: num_machines.max(1),
+            threads_per_machine: threads_per_machine.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the two hyperparameters of Table 2 (τ_split, τ_time).
+    pub fn with_decomposition(mut self, tau_split: usize, tau_time: Duration) -> Self {
+        self.tau_split = tau_split;
+        self.tau_time = tau_time;
+        self
+    }
+
+    /// Total number of mining threads across the cluster.
+    pub fn total_threads(&self) -> usize {
+        self.num_machines * self.threads_per_machine
+    }
+
+    /// Validates the configuration, panicking on nonsensical values. Called by
+    /// the cluster constructor.
+    pub fn validate(&self) {
+        assert!(self.num_machines >= 1, "need at least one machine");
+        assert!(self.threads_per_machine >= 1, "need at least one thread per machine");
+        assert!(self.batch_size >= 1, "batch size must be at least 1");
+        assert!(
+            self.local_queue_capacity >= self.batch_size,
+            "local queue capacity must hold at least one batch"
+        );
+        assert!(
+            self.global_queue_capacity >= self.batch_size,
+            "global queue capacity must hold at least one batch"
+        );
+    }
+}
+
+/// Conservative fallback for the default thread count (`std::thread` exposes
+/// available parallelism but may fail in constrained environments).
+fn num_cpus_fallback() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_is_valid() {
+        let c = EngineConfig::default();
+        c.validate();
+        assert_eq!(c.num_machines, 1);
+        assert!(c.threads_per_machine >= 1);
+    }
+
+    #[test]
+    fn cluster_constructor_sets_shape() {
+        let c = EngineConfig::cluster(4, 8);
+        assert_eq!(c.total_threads(), 32);
+        c.validate();
+        let c = EngineConfig::cluster(0, 0);
+        assert_eq!(c.total_threads(), 1);
+    }
+
+    #[test]
+    fn with_decomposition_sets_hyperparameters() {
+        let c = EngineConfig::single_machine(2)
+            .with_decomposition(50, Duration::from_millis(1));
+        assert_eq!(c.tau_split, 50);
+        assert_eq!(c.tau_time, Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch")]
+    fn validate_rejects_zero_batch() {
+        let mut c = EngineConfig::default();
+        c.batch_size = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "local queue capacity")]
+    fn validate_rejects_queue_smaller_than_batch() {
+        let mut c = EngineConfig::default();
+        c.batch_size = 64;
+        c.local_queue_capacity = 32;
+        c.validate();
+    }
+}

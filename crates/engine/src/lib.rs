@@ -1,0 +1,40 @@
+//! # qcm-engine — the reforged G-thinker task engine
+//!
+//! This crate is the system half of the paper's algorithm–system codesign: a
+//! task-based parallel graph-mining engine in the style of G-thinker, with the
+//! three reforges Section 5 of the paper introduces for quasi-clique mining:
+//!
+//! 1. a **global big-task queue** per machine, shared by all mining threads
+//!    and popped with priority, so expensive tasks never suffer head-of-line
+//!    blocking behind a single thread's local queue;
+//! 2. **prioritised refill and spilling**: local/global queues spill batches
+//!    of `C` tasks to disk when full and refill from spill files before
+//!    spawning new roots, keeping the in-memory task pool bounded;
+//! 3. **big-task stealing** between machines, driven by a master that
+//!    periodically evens out pending big-task counts.
+//!
+//! The "cluster" is simulated in-process: machines are thread groups, the
+//! vertex table is hash-partitioned over them, remote adjacency-list fetches
+//! go through a per-machine cache and are counted as network traffic. The
+//! scheduling structure — which is what the paper's scalability results
+//! depend on — is preserved faithfully; see DESIGN.md for the substitution
+//! rationale.
+//!
+//! Applications implement [`GThinkerApp`] (the `spawn`/`compute` UDF pair plus
+//! the big-task classifier); the quasi-clique application lives in
+//! `qcm-parallel`.
+
+pub mod cluster;
+pub mod codec;
+pub mod config;
+pub mod metrics;
+pub mod queue;
+pub mod spill;
+pub mod task;
+pub mod vertex_table;
+
+pub use cluster::{Cluster, EngineOutput};
+pub use config::EngineConfig;
+pub use metrics::{EngineMetrics, TaskTimeRecord};
+pub use task::{ComputeContext, Frontier, GThinkerApp, TaskCodec, TaskLabel, TaskTimings};
+pub use vertex_table::{PartitionedVertexTable, RemoteVertexCache};

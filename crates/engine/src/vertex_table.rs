@@ -1,0 +1,327 @@
+//! The partitioned vertex table and the remote-vertex cache.
+//!
+//! G-thinker hash-partitions the input graph's vertices (with their adjacency
+//! lists) across machines; the local vertex tables of all machines together
+//! form a distributed key-value store, and each machine keeps a bounded
+//! *remote vertex cache* of adjacency lists it had to fetch from other
+//! machines (Figure 8). In this in-process simulation the graph lives in
+//! shared memory, but ownership, remote-fetch counting and cache behaviour
+//! are preserved so the communication-volume and cache-pressure aspects of
+//! the design remain observable.
+
+use qcm_graph::{Graph, VertexId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hash partitioning of vertices over machines plus access to adjacency lists.
+#[derive(Clone)]
+pub struct PartitionedVertexTable {
+    graph: Arc<Graph>,
+    num_machines: usize,
+}
+
+impl PartitionedVertexTable {
+    /// Creates the table over `graph` partitioned across `num_machines`.
+    pub fn new(graph: Arc<Graph>, num_machines: usize) -> Self {
+        assert!(num_machines >= 1);
+        PartitionedVertexTable {
+            graph,
+            num_machines,
+        }
+    }
+
+    /// The machine that owns vertex `v` (hash partitioning by id).
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        (v.raw() as usize) % self.num_machines
+    }
+
+    /// True if `machine` owns `v`.
+    #[inline]
+    pub fn is_local(&self, machine: usize, v: VertexId) -> bool {
+        self.owner(v) == machine
+    }
+
+    /// The vertices owned by `machine`, in increasing id order.
+    pub fn owned_vertices(&self, machine: usize) -> Vec<VertexId> {
+        self.graph
+            .vertices()
+            .filter(|&v| self.owner(v) == machine)
+            .collect()
+    }
+
+    /// The adjacency list Γ(v) (borrowed from the shared graph).
+    #[inline]
+    pub fn adjacency(&self, v: VertexId) -> &[VertexId] {
+        self.graph.neighbors(v)
+    }
+
+    /// The underlying shared graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Number of machines in the partitioning.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+}
+
+/// Counters describing remote fetches and cache behaviour.
+#[derive(Debug, Default)]
+pub struct FetchMetrics {
+    /// Adjacency lists served from the machine's own partition.
+    pub local_reads: AtomicU64,
+    /// Adjacency lists fetched from another machine (cache miss).
+    pub remote_fetches: AtomicU64,
+    /// Bytes transferred for remote fetches (4 bytes per neighbor id).
+    pub remote_bytes: AtomicU64,
+    /// Remote requests served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Cache evictions.
+    pub cache_evictions: AtomicU64,
+}
+
+/// A bounded FIFO cache of remote adjacency lists (per machine).
+#[derive(Debug)]
+pub struct RemoteVertexCache {
+    capacity: usize,
+    map: HashMap<VertexId, Arc<Vec<VertexId>>>,
+    order: VecDeque<VertexId>,
+}
+
+impl RemoteVertexCache {
+    /// Creates a cache holding at most `capacity` adjacency lists.
+    pub fn new(capacity: usize) -> Self {
+        RemoteVertexCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Number of cached lists.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a cached adjacency list.
+    pub fn get(&self, v: VertexId) -> Option<Arc<Vec<VertexId>>> {
+        self.map.get(&v).cloned()
+    }
+
+    /// Inserts an adjacency list, evicting the oldest entry if full. Returns
+    /// the number of evictions performed (0 or 1).
+    pub fn insert(&mut self, v: VertexId, adj: Arc<Vec<VertexId>>) -> u64 {
+        if self.map.contains_key(&v) {
+            return 0;
+        }
+        let mut evictions = 0;
+        while self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+                evictions += 1;
+            } else {
+                break;
+            }
+        }
+        self.map.insert(v, adj);
+        self.order.push_back(v);
+        evictions
+    }
+}
+
+/// Per-worker scratch counters for fetch accounting.
+///
+/// A task pulls thousands of adjacency lists; updating the machine-wide
+/// atomic counters on every single fetch would make the shared cache line the
+/// hottest memory location in the system and destroy thread scalability.
+/// Workers therefore accumulate into this plain struct and flush once per
+/// task ([`DataService::flush`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FetchScratch {
+    /// Adjacency lists served from the machine's own partition.
+    pub local_reads: u64,
+    /// Adjacency lists fetched from another machine (cache miss).
+    pub remote_fetches: u64,
+    /// Bytes transferred for remote fetches.
+    pub remote_bytes: u64,
+    /// Remote requests served from the cache.
+    pub cache_hits: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+}
+
+/// Per-machine data access façade: local reads go straight to the partition,
+/// remote reads go through the cache and are counted as network traffic.
+pub struct DataService {
+    table: PartitionedVertexTable,
+    machine: usize,
+    cache: parking_lot::Mutex<RemoteVertexCache>,
+    metrics: Arc<FetchMetrics>,
+    fetch_latency: std::time::Duration,
+}
+
+impl DataService {
+    /// Creates the data service of one machine.
+    pub fn new(
+        table: PartitionedVertexTable,
+        machine: usize,
+        cache_capacity: usize,
+        metrics: Arc<FetchMetrics>,
+        fetch_latency: std::time::Duration,
+    ) -> Self {
+        DataService {
+            table,
+            machine,
+            cache: parking_lot::Mutex::new(RemoteVertexCache::new(cache_capacity)),
+            metrics,
+            fetch_latency,
+        }
+    }
+
+    /// Fetches Γ(v), serving locally owned vertices from the partition and
+    /// remote vertices through the cache, accumulating traffic counters into
+    /// `scratch` (flush them with [`DataService::flush`]).
+    pub fn fetch_with(&self, v: VertexId, scratch: &mut FetchScratch) -> Arc<Vec<VertexId>> {
+        if self.table.is_local(self.machine, v) {
+            scratch.local_reads += 1;
+            return Arc::new(self.table.adjacency(v).to_vec());
+        }
+        if let Some(hit) = self.cache.lock().get(v) {
+            scratch.cache_hits += 1;
+            return hit;
+        }
+        // Simulated remote fetch.
+        if !self.fetch_latency.is_zero() {
+            std::thread::sleep(self.fetch_latency);
+        }
+        let adj = Arc::new(self.table.adjacency(v).to_vec());
+        scratch.remote_fetches += 1;
+        scratch.remote_bytes += adj.len() as u64 * 4;
+        scratch.cache_evictions += self.cache.lock().insert(v, adj.clone());
+        adj
+    }
+
+    /// Convenience wrapper around [`DataService::fetch_with`] that flushes the
+    /// counters immediately (used by tests and one-off fetches).
+    pub fn fetch(&self, v: VertexId) -> Arc<Vec<VertexId>> {
+        let mut scratch = FetchScratch::default();
+        let adj = self.fetch_with(v, &mut scratch);
+        self.flush(&mut scratch);
+        adj
+    }
+
+    /// Adds the accumulated scratch counters into the machine-wide metrics and
+    /// resets the scratch.
+    pub fn flush(&self, scratch: &mut FetchScratch) {
+        if scratch.local_reads > 0 {
+            self.metrics
+                .local_reads
+                .fetch_add(scratch.local_reads, Ordering::Relaxed);
+        }
+        if scratch.remote_fetches > 0 {
+            self.metrics
+                .remote_fetches
+                .fetch_add(scratch.remote_fetches, Ordering::Relaxed);
+        }
+        if scratch.remote_bytes > 0 {
+            self.metrics
+                .remote_bytes
+                .fetch_add(scratch.remote_bytes, Ordering::Relaxed);
+        }
+        if scratch.cache_hits > 0 {
+            self.metrics
+                .cache_hits
+                .fetch_add(scratch.cache_hits, Ordering::Relaxed);
+        }
+        if scratch.cache_evictions > 0 {
+            self.metrics
+                .cache_evictions
+                .fetch_add(scratch.cache_evictions, Ordering::Relaxed);
+        }
+        *scratch = FetchScratch::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_graph() -> Arc<Graph> {
+        Arc::new(Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]).unwrap())
+    }
+
+    #[test]
+    fn partitioning_covers_all_vertices_once() {
+        let table = PartitionedVertexTable::new(sample_graph(), 3);
+        let mut all: Vec<VertexId> = (0..3).flat_map(|m| table.owned_vertices(m)).collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 8);
+        for v in table.graph().vertices() {
+            assert!(table.is_local(table.owner(v), v));
+        }
+    }
+
+    #[test]
+    fn adjacency_matches_graph() {
+        let g = sample_graph();
+        let table = PartitionedVertexTable::new(g.clone(), 2);
+        for v in g.vertices() {
+            assert_eq!(table.adjacency(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn cache_evicts_fifo() {
+        let mut cache = RemoteVertexCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert(VertexId::new(1), Arc::new(vec![]));
+        cache.insert(VertexId::new(2), Arc::new(vec![]));
+        assert_eq!(cache.len(), 2);
+        let evicted = cache.insert(VertexId::new(3), Arc::new(vec![]));
+        assert_eq!(evicted, 1);
+        assert!(cache.get(VertexId::new(1)).is_none());
+        assert!(cache.get(VertexId::new(3)).is_some());
+        // Re-inserting an existing key is a no-op.
+        assert_eq!(cache.insert(VertexId::new(3), Arc::new(vec![])), 0);
+    }
+
+    #[test]
+    fn data_service_counts_local_and_remote() {
+        let table = PartitionedVertexTable::new(sample_graph(), 2);
+        let metrics = Arc::new(FetchMetrics::default());
+        let service = DataService::new(table, 0, 10, metrics.clone(), Duration::ZERO);
+        // Vertex 0 is owned by machine 0 (0 % 2), vertex 1 by machine 1.
+        let local = service.fetch(VertexId::new(0));
+        assert_eq!(local.len(), 1);
+        assert_eq!(metrics.local_reads.load(Ordering::Relaxed), 1);
+        let remote = service.fetch(VertexId::new(1));
+        assert_eq!(remote.len(), 2);
+        assert_eq!(metrics.remote_fetches.load(Ordering::Relaxed), 1);
+        assert!(metrics.remote_bytes.load(Ordering::Relaxed) > 0);
+        // Second fetch of the same remote vertex hits the cache.
+        let _ = service.fetch(VertexId::new(1));
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.remote_fetches.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn tiny_cache_records_evictions() {
+        let table = PartitionedVertexTable::new(sample_graph(), 2);
+        let metrics = Arc::new(FetchMetrics::default());
+        let service = DataService::new(table, 0, 1, metrics.clone(), Duration::ZERO);
+        // Vertices 1, 3, 5 are remote to machine 0; cache holds one entry.
+        let _ = service.fetch(VertexId::new(1));
+        let _ = service.fetch(VertexId::new(3));
+        let _ = service.fetch(VertexId::new(5));
+        assert!(metrics.cache_evictions.load(Ordering::Relaxed) >= 2);
+    }
+}

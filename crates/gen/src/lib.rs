@@ -1,0 +1,32 @@
+//! # qcm-gen — synthetic graph generators
+//!
+//! The paper evaluates on eight real graphs downloaded from GEO, SNAP and
+//! KONECT (Table 1). Those files are not available in this offline
+//! reproduction, so this crate provides generators that produce *stand-in*
+//! graphs with the structural properties that drive quasi-clique mining cost:
+//!
+//! * a sparse, heavy-tailed background (Chung–Lu / preferential-attachment
+//!   style degree skew) — this is what makes some spawned tasks huge and
+//!   others trivial (Figures 1–3 of the paper);
+//! * planted dense near-cliques whose internal edge density straddles the
+//!   mining threshold γ — these are the communities the miner is supposed to
+//!   find (the "Result #" column of Table 2);
+//! * controllable size so the experiment harness can run every table on a
+//!   single machine in minutes while preserving the qualitative shapes.
+//!
+//! The [`datasets`] module exposes one constructor per paper dataset
+//! (`cx_gse1730()`, `youtube()`, …) returning a [`SyntheticDataset`] with the
+//! generated graph plus the γ/τ_size/τ_split/τ_time parameters the paper used
+//! for that dataset (scaled where necessary).
+//!
+//! All generators take an explicit RNG seed and are fully deterministic.
+
+pub mod datasets;
+pub mod planted;
+pub mod powerlaw;
+pub mod uniform;
+
+pub use datasets::{DatasetSpec, SyntheticDataset};
+pub use planted::{plant_into, plant_quasi_cliques, PlantedCommunity, PlantedGraphSpec};
+pub use powerlaw::{chung_lu, preferential_attachment};
+pub use uniform::{gnm, gnp, ring_lattice};

@@ -1,0 +1,267 @@
+//! Planted quasi-clique generator.
+//!
+//! To reproduce the "Result #" column of Table 2 and the correctness oracle
+//! tests, we need graphs that *provably contain* dense communities whose
+//! internal degree ratio straddles a chosen γ. This module plants
+//! near-cliques into an arbitrary background graph:
+//!
+//! * each planted community is a vertex block of a chosen size whose internal
+//!   edges are filled until every member has internal degree
+//!   ≥ ⌈γ⁺·(size−1)⌉ for a plant density γ⁺ (usually slightly above the
+//!   mining γ so the block survives the pruning rules);
+//! * the background's degree skew controls how expensive the mining tasks
+//!   touching each block are.
+//!
+//! The generator reports the planted blocks so tests can assert that the
+//! miner recovers (supersets of) them.
+
+use qcm_graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Description of one planted community.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlantedCommunity {
+    /// The member vertices (sorted by id).
+    pub members: Vec<VertexId>,
+    /// Minimum internal degree guaranteed for every member.
+    pub min_internal_degree: usize,
+}
+
+/// Specification of a planted-community graph.
+#[derive(Clone, Debug)]
+pub struct PlantedGraphSpec {
+    /// Number of vertices in the background graph.
+    pub num_vertices: usize,
+    /// Average degree of the background (Chung–Lu power-law layer).
+    pub background_avg_degree: f64,
+    /// Power-law exponent of the background degree distribution.
+    pub background_beta: f64,
+    /// Cap on the expected background degree (controls hub size).
+    pub background_max_degree: f64,
+    /// Sizes of the communities to plant.
+    pub community_sizes: Vec<usize>,
+    /// Internal density of each planted community, as a fraction in [0, 1]:
+    /// every member ends up adjacent to at least `⌈density·(size-1)⌉` other
+    /// members.
+    pub community_density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedGraphSpec {
+    fn default() -> Self {
+        PlantedGraphSpec {
+            num_vertices: 1000,
+            background_avg_degree: 6.0,
+            background_beta: 2.5,
+            background_max_degree: 80.0,
+            community_sizes: vec![20, 15, 12],
+            community_density: 0.95,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a graph according to `spec`: a power-law background plus planted
+/// dense communities. Returns the graph and the planted community
+/// descriptions.
+pub fn plant_quasi_cliques(spec: &PlantedGraphSpec) -> (Graph, Vec<PlantedCommunity>) {
+    let background = crate::powerlaw::power_law_graph(
+        spec.num_vertices,
+        spec.background_avg_degree,
+        spec.background_beta,
+        spec.background_max_degree,
+        spec.seed,
+    );
+    plant_into(
+        &background,
+        &spec.community_sizes,
+        spec.community_density,
+        spec.seed ^ 0x9e37_79b9,
+    )
+}
+
+/// Plants dense communities of the given sizes into an existing background
+/// graph. Members are chosen uniformly at random without replacement across
+/// communities (so communities are vertex-disjoint), and internal edges are
+/// added until every member reaches the target internal degree.
+pub fn plant_into(
+    background: &Graph,
+    community_sizes: &[usize],
+    density: f64,
+    seed: u64,
+) -> (Graph, Vec<PlantedCommunity>) {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    let n = background.num_vertices();
+    let total_needed: usize = community_sizes.iter().sum();
+    assert!(
+        total_needed <= n,
+        "cannot plant {total_needed} community vertices into a graph with {n} vertices"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    pool.shuffle(&mut rng);
+
+    let mut builder = GraphBuilder::with_capacity(n, background.num_edges() + total_needed * 8);
+    builder.set_min_vertices(n);
+    for (u, v) in background.edges() {
+        builder.add_edge(u, v);
+    }
+
+    let mut communities = Vec::with_capacity(community_sizes.len());
+    let mut cursor = 0usize;
+    for &size in community_sizes {
+        let mut members: Vec<u32> = pool[cursor..cursor + size].to_vec();
+        cursor += size;
+        members.sort_unstable();
+        let target = ((density * (size as f64 - 1.0)).ceil() as usize).min(size.saturating_sub(1));
+
+        // Dense block adjacency: start from the background edges already
+        // inside the block, then greedily connect the currently
+        // lowest-internal-degree member to the lowest-degree non-neighbor
+        // until every member reaches the target. The greedy pairing keeps the
+        // block's degree distribution flat, so every member clears the target
+        // with near-minimal extra edges.
+        let mut adjacency = vec![vec![false; size]; size];
+        for i in 0..size {
+            for j in (i + 1)..size {
+                if background.has_edge(VertexId::new(members[i]), VertexId::new(members[j])) {
+                    adjacency[i][j] = true;
+                    adjacency[j][i] = true;
+                }
+            }
+        }
+        let mut internal: Vec<usize> = (0..size)
+            .map(|i| adjacency[i].iter().filter(|&&b| b).count())
+            .collect();
+        let mut order: Vec<usize> = (0..size).collect();
+        loop {
+            order.sort_unstable_by_key(|&i| internal[i]);
+            let lo = order[0];
+            if internal[lo] >= target {
+                break;
+            }
+            let partner = order
+                .iter()
+                .copied()
+                .find(|&cand| cand != lo && !adjacency[lo][cand]);
+            let Some(p) = partner else { break };
+            adjacency[lo][p] = true;
+            adjacency[p][lo] = true;
+            internal[lo] += 1;
+            internal[p] += 1;
+            builder.add_edge_raw(members[lo], members[p]);
+        }
+        communities.push(PlantedCommunity {
+            members: members.iter().map(|&m| VertexId::new(m)).collect(),
+            min_internal_degree: target,
+        });
+    }
+    (builder.build(), communities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_communities_reach_target_density() {
+        let spec = PlantedGraphSpec {
+            num_vertices: 300,
+            community_sizes: vec![15, 10],
+            community_density: 0.9,
+            seed: 3,
+            ..Default::default()
+        };
+        let (g, communities) = plant_quasi_cliques(&spec);
+        g.validate().unwrap();
+        assert_eq!(communities.len(), 2);
+        for c in &communities {
+            let size = c.members.len();
+            let target = ((0.9 * (size as f64 - 1.0)).ceil()) as usize;
+            assert_eq!(c.min_internal_degree, target);
+            for &v in &c.members {
+                let internal = c
+                    .members
+                    .iter()
+                    .filter(|&&u| u != v && g.has_edge(u, v))
+                    .count();
+                assert!(
+                    internal >= target,
+                    "vertex {v} has internal degree {internal} < target {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planted_communities_are_disjoint() {
+        let spec = PlantedGraphSpec {
+            num_vertices: 200,
+            community_sizes: vec![12, 12, 12],
+            seed: 9,
+            ..Default::default()
+        };
+        let (_, communities) = plant_quasi_cliques(&spec);
+        let mut all: Vec<VertexId> = communities
+            .iter()
+            .flat_map(|c| c.members.iter().copied())
+            .collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn planting_is_deterministic() {
+        let spec = PlantedGraphSpec {
+            num_vertices: 150,
+            community_sizes: vec![10],
+            seed: 77,
+            ..Default::default()
+        };
+        let (g1, c1) = plant_quasi_cliques(&spec);
+        let (g2, c2) = plant_quasi_cliques(&spec);
+        assert_eq!(g1, g2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn plant_into_preserves_background_edges() {
+        let background = crate::uniform::gnp(60, 0.05, 4);
+        let (g, _) = plant_into(&background, &[8], 1.0, 5);
+        for (u, v) in background.edges() {
+            assert!(g.has_edge(u, v), "background edge ({u},{v}) lost");
+        }
+        assert!(g.num_edges() >= background.num_edges());
+    }
+
+    #[test]
+    fn density_one_plants_a_clique() {
+        let background = crate::uniform::gnp(40, 0.02, 8);
+        let (g, communities) = plant_into(&background, &[6], 1.0, 2);
+        let c = &communities[0];
+        for (i, &u) in c.members.iter().enumerate() {
+            for &v in &c.members[i + 1..] {
+                assert!(g.has_edge(u, v), "clique edge ({u},{v}) missing");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot plant")]
+    fn plant_into_rejects_oversized_request() {
+        let background = crate::uniform::gnp(10, 0.1, 1);
+        plant_into(&background, &[8, 8], 0.9, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn plant_into_rejects_bad_density() {
+        let background = crate::uniform::gnp(10, 0.1, 1);
+        plant_into(&background, &[5], 1.5, 1);
+    }
+}

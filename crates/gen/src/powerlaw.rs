@@ -1,0 +1,221 @@
+//! Heavy-tailed (power-law) background graph generators.
+//!
+//! The paper's large evaluation graphs (YouTube, Hyves, DBLP, Amazon, Enron)
+//! are social/interaction networks with strongly skewed degree distributions.
+//! Degree skew is what makes the per-task workload of the miner so uneven:
+//! the task spawned from a hub vertex has a huge two-hop neighborhood while
+//! most tasks are tiny (Figures 1–2). Two generators reproduce that skew:
+//!
+//! * [`chung_lu`] — expected-degree model: vertex `i` gets weight `w_i`
+//!   following a power law, and edge `(i,j)` appears with probability
+//!   `min(1, w_i·w_j / Σw)`. Fast (O(m) expected via the Miller–Hagberg
+//!   bucket trick is unnecessary at our scales; we use the quadratic-free
+//!   weighted sampling below).
+//! * [`preferential_attachment`] — Barabási–Albert style growth, giving a
+//!   power-law tail with exponent ≈ 3 and a connected graph.
+
+use qcm_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates power-law weights `w_i ∝ (i + i0)^(-1/(β-1))` scaled so that the
+/// average equals `avg_degree`. `β` is the target power-law exponent
+/// (typically 2.1–3.0 for social networks).
+pub fn power_law_weights(n: usize, avg_degree: f64, beta: f64, max_degree: f64) -> Vec<f64> {
+    assert!(beta > 1.0, "power-law exponent must exceed 1");
+    if n == 0 {
+        return Vec::new();
+    }
+    let exponent = 1.0 / (beta - 1.0);
+    // i0 offsets the ranks so the largest weight is about `max_degree`.
+    let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-exponent)).collect();
+    let raw_sum: f64 = raw.iter().sum();
+    let scale = avg_degree * n as f64 / raw_sum;
+    raw.into_iter()
+        .map(|w| (w * scale).min(max_degree))
+        .collect()
+}
+
+/// Chung–Lu expected-degree random graph.
+///
+/// `weights[i]` is the expected degree of vertex `i`. Edges are sampled with
+/// probability `min(1, w_i w_j / Σw)` using the standard "skip" acceleration:
+/// for each `i`, candidate `j`s are visited in weight order with geometric
+/// skips, giving expected `O(n + m)` work for sorted weights.
+pub fn chung_lu(weights: &[f64], seed: u64) -> Graph {
+    let n = weights.len();
+    let mut builder = GraphBuilder::with_capacity(n, 0);
+    builder.set_min_vertices(n);
+    if n < 2 {
+        return builder.build();
+    }
+    // Sort vertices by non-increasing weight; remember the permutation so the
+    // output graph still uses the caller's vertex numbering.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let sorted_w: Vec<f64> = order.iter().map(|&v| weights[v as usize]).collect();
+    let total_w: f64 = sorted_w.iter().sum();
+    if total_w <= 0.0 {
+        return builder.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        if sorted_w[i] <= 0.0 {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut p = (sorted_w[i] * sorted_w[i + 1..].first().copied().unwrap_or(0.0) / total_w)
+            .min(1.0);
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                // Geometric skip ahead.
+                let r: f64 = rng.gen::<f64>();
+                let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+                j += skip;
+            }
+            if j >= n {
+                break;
+            }
+            let q = (sorted_w[i] * sorted_w[j] / total_w).min(1.0);
+            if rng.gen::<f64>() < q / p {
+                builder.add_edge_raw(order[i], order[j]);
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    builder.build()
+}
+
+/// Convenience wrapper: Chung–Lu graph with a power-law expected degree
+/// sequence of exponent `beta`, average degree `avg_degree` and maximum
+/// expected degree `max_degree`.
+pub fn power_law_graph(n: usize, avg_degree: f64, beta: f64, max_degree: f64, seed: u64) -> Graph {
+    let weights = power_law_weights(n, avg_degree, beta, max_degree);
+    chung_lu(&weights, seed)
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique of
+/// `m + 1` vertices and attaches each new vertex to `m` existing vertices
+/// chosen proportionally to their current degree.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment parameter m must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * m);
+    builder.set_min_vertices(n);
+    if n == 0 {
+        return builder.build();
+    }
+    let seed_size = (m + 1).min(n);
+    // Repeated-endpoint list: sampling an index uniformly from this list is
+    // equivalent to degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for i in 0..seed_size as u32 {
+        for j in (i + 1)..seed_size as u32 {
+            builder.add_edge_raw(i, j);
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in seed_size as u32..n as u32 {
+        let mut targets = std::collections::HashSet::with_capacity(m);
+        let mut guard = 0usize;
+        while targets.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = if endpoints.is_empty() {
+                rng.gen_range(0..v)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        for &t in &targets {
+            builder.add_edge_raw(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcm_graph::GraphStats;
+
+    #[test]
+    fn power_law_weights_average_matches_request() {
+        let w = power_law_weights(1000, 6.0, 2.5, 200.0);
+        let avg: f64 = w.iter().sum::<f64>() / w.len() as f64;
+        // Capping at max_degree can pull the average down slightly.
+        assert!(avg > 4.0 && avg < 6.5, "avg weight {avg}");
+        assert!(w[0] >= w[999]);
+        assert!(power_law_weights(0, 5.0, 2.5, 100.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn power_law_weights_rejects_bad_beta() {
+        power_law_weights(10, 5.0, 1.0, 10.0);
+    }
+
+    #[test]
+    fn chung_lu_produces_roughly_expected_density() {
+        let n = 2000;
+        let g = power_law_graph(n, 8.0, 2.3, 150.0, 11);
+        g.validate().unwrap();
+        let avg = g.avg_degree();
+        assert!(avg > 3.0 && avg < 14.0, "average degree {avg} out of range");
+        // Heavy tail: max degree should be several times the average.
+        assert!(g.max_degree() as f64 > 3.0 * avg);
+    }
+
+    #[test]
+    fn chung_lu_deterministic_and_seed_sensitive() {
+        let w = power_law_weights(300, 5.0, 2.5, 60.0);
+        let a = chung_lu(&w, 5);
+        let b = chung_lu(&w, 5);
+        let c = chung_lu(&w, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chung_lu_edge_cases() {
+        assert_eq!(chung_lu(&[], 1).num_vertices(), 0);
+        assert_eq!(chung_lu(&[3.0], 1).num_vertices(), 1);
+        assert_eq!(chung_lu(&[0.0, 0.0, 0.0], 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn preferential_attachment_basic_structure() {
+        let g = preferential_attachment(500, 3, 99);
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 500);
+        // Every non-seed vertex attaches with m edges, so m is (almost) a
+        // lower bound on edge count.
+        assert!(g.num_edges() >= 3 * (500 - 4));
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.num_components, 1, "BA graphs are connected");
+        assert!(stats.max_degree > 20, "hubs should emerge");
+    }
+
+    #[test]
+    fn preferential_attachment_small_n() {
+        let g = preferential_attachment(3, 5, 1);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3); // capped at the seed clique
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be >= 1")]
+    fn preferential_attachment_rejects_zero_m() {
+        preferential_attachment(10, 0, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Uniform (Erdős–Rényi style) random graph generators.
+//!
+//! These are the simplest background models: `G(n, p)` includes every edge
+//! independently with probability `p`, `G(n, m)` samples exactly `m` distinct
+//! edges uniformly. They are used as low-skew baselines in tests and as the
+//! background noise layer of the planted-community generator.
+
+use qcm_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a `G(n, p)` random graph: each of the `n(n-1)/2` possible edges
+/// is present independently with probability `p`.
+///
+/// Runs in `O(n²)`; intended for small/medium `n` (tests, planted blocks).
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, (p * n as f64 * n as f64 / 2.0) as usize);
+    builder.set_min_vertices(n);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                builder.add_edge_raw(i, j);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Generates a `G(n, m)` random graph with exactly `m` distinct edges sampled
+/// uniformly at random (capped at the maximum possible `n(n-1)/2`).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    builder.set_min_vertices(n);
+    if n < 2 {
+        return builder.build();
+    }
+    while chosen.len() < m {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if chosen.insert(key) {
+            builder.add_edge_raw(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+/// Generates a ring lattice: `n` vertices in a cycle, each connected to its
+/// `k` nearest neighbors on each side. Useful as a deterministic, low-variance
+/// test fixture (every vertex has degree exactly `2k` for `n > 2k`).
+pub fn ring_lattice(n: usize, k: usize) -> Graph {
+    let mut builder = GraphBuilder::with_capacity(n, n * k);
+    builder.set_min_vertices(n);
+    if n == 0 {
+        return builder.build();
+    }
+    for i in 0..n {
+        for d in 1..=k {
+            let j = (i + d) % n;
+            if i != j {
+                builder.add_edge_raw(i as u32, j as u32);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_zero_and_one_extremes() {
+        let g0 = gnp(10, 0.0, 1);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = gnp(10, 1.0, 1);
+        assert_eq!(g1.num_edges(), 45);
+        g1.validate().unwrap();
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(50, 0.1, 42);
+        let b = gnp(50, 0.1, 42);
+        assert_eq!(a, b);
+        let c = gnp(50, 0.1, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn gnp_rejects_bad_probability() {
+        gnp(5, 1.5, 0);
+    }
+
+    #[test]
+    fn gnm_produces_exact_edge_count() {
+        let g = gnm(30, 100, 7);
+        assert_eq!(g.num_edges(), 100);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let g = gnm(5, 1000, 7);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnm_handles_tiny_graphs() {
+        assert_eq!(gnm(0, 10, 1).num_edges(), 0);
+        assert_eq!(gnm(1, 10, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn ring_lattice_degrees_are_uniform() {
+        let g = ring_lattice(20, 3);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 60);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 6);
+        }
+    }
+
+    #[test]
+    fn ring_lattice_small_n() {
+        let g = ring_lattice(3, 2);
+        // Triangle: each vertex connected to both others, duplicates removed.
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(ring_lattice(0, 2).num_vertices(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Incremental graph construction.
+//!
+//! [`GraphBuilder`] collects undirected edges (in any order, with duplicates
+//! and self loops tolerated) and produces a canonical [`Graph`]: dense vertex
+//! ids, sorted and de-duplicated adjacency lists, no self loops.
+
+use crate::graph::Graph;
+use crate::vertex::VertexId;
+
+/// Builder for [`Graph`].
+///
+/// ```
+/// use qcm_graph::{GraphBuilder, VertexId};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(VertexId::new(0), VertexId::new(1));
+/// b.add_edge(VertexId::new(1), VertexId::new(2));
+/// b.add_edge(VertexId::new(2), VertexId::new(0));
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    /// Raw (directed) edge endpoints; every undirected edge is stored once in
+    /// the order it was added and mirrored during `build`.
+    edges: Vec<(u32, u32)>,
+    /// Highest vertex id seen so far plus one.
+    min_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-reserved capacity.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(num_edges),
+            min_vertices: num_vertices,
+        }
+    }
+
+    /// Adds an undirected edge. Self loops are ignored; duplicates are removed
+    /// during [`GraphBuilder::build`].
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) {
+        let (a, b) = (a.raw(), b.raw());
+        let needed = (a.max(b) as usize) + 1;
+        if needed > self.min_vertices {
+            self.min_vertices = needed;
+        }
+        if a == b {
+            return;
+        }
+        self.edges.push((a, b));
+    }
+
+    /// Adds an undirected edge given raw `u32` endpoints.
+    pub fn add_edge_raw(&mut self, a: u32, b: u32) {
+        self.add_edge(VertexId::new(a), VertexId::new(b));
+    }
+
+    /// Ensures the built graph has at least `n` vertices even if the highest
+    /// vertex id mentioned by an edge is smaller (trailing isolated vertices).
+    pub fn set_min_vertices(&mut self, n: usize) {
+        if n > self.min_vertices {
+            self.min_vertices = n;
+        }
+    }
+
+    /// Number of (possibly duplicated) edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalises the builder into a canonical [`Graph`].
+    ///
+    /// Runs in `O(|V| + |E| log d_max)`: edges are bucketed per-vertex with a
+    /// counting pass, then each adjacency list is sorted and de-duplicated.
+    pub fn build(self) -> Graph {
+        let n = self.min_vertices;
+        // Counting pass: degree of every vertex counting both directions.
+        let mut counts = vec![0usize; n + 1];
+        for &(a, b) in &self.edges {
+            counts[a as usize + 1] += 1;
+            counts[b as usize + 1] += 1;
+        }
+        // Prefix sums -> provisional offsets.
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut neighbors = vec![VertexId::new(0); counts[n]];
+        let mut cursor = counts.clone();
+        for &(a, b) in &self.edges {
+            neighbors[cursor[a as usize]] = VertexId::new(b);
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize]] = VertexId::new(a);
+            cursor[b as usize] += 1;
+        }
+        // Sort + dedup each list, compacting in place.
+        let mut offsets = vec![0usize; n + 1];
+        let mut write = 0usize;
+        for v in 0..n {
+            let (start, end) = (counts[v], counts[v + 1]);
+            let list = &mut neighbors[start..end];
+            list.sort_unstable();
+            let mut last: Option<VertexId> = None;
+            let mut kept = 0usize;
+            for i in 0..list.len() {
+                let w = list[i];
+                if last != Some(w) {
+                    list[kept] = w;
+                    kept += 1;
+                    last = Some(w);
+                }
+            }
+            // Move the deduplicated run to the compacted position.
+            if start != write {
+                // Safe because write <= start always holds.
+                for i in 0..kept {
+                    neighbors[write + i] = neighbors[start + i];
+                }
+            }
+            write += kept;
+            offsets[v + 1] = write;
+        }
+        neighbors.truncate(write);
+        Graph::from_csr(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_removes_duplicates_and_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_raw(0, 1);
+        b.add_edge_raw(1, 0);
+        b.add_edge_raw(0, 1);
+        b.add_edge_raw(2, 2); // loop, dropped
+        b.add_edge_raw(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_respects_min_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_raw(0, 1);
+        b.set_min_vertices(10);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(VertexId::new(9)), 0);
+    }
+
+    #[test]
+    fn builder_handles_unordered_input() {
+        let mut b = GraphBuilder::new();
+        for (a, x) in [(5u32, 3u32), (1, 4), (4, 0), (3, 1), (2, 5)] {
+            b.add_edge_raw(a, x);
+        }
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 5);
+        g.validate().unwrap();
+        // Every list is sorted.
+        for v in g.vertices() {
+            let adj = g.neighbors(v);
+            assert!(adj.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_builder_produces_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn with_capacity_and_len_track_additions() {
+        let mut b = GraphBuilder::with_capacity(4, 8);
+        assert!(b.is_empty());
+        b.add_edge_raw(0, 3);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced an index outside of the graph.
+    VertexOutOfRange {
+        /// The offending vertex id (raw value).
+        vertex: u32,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An edge list line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The graph exceeded the 32-bit vertex id space.
+    TooManyVertices(usize),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} is out of range for a graph with {num_vertices} vertices"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "failed to parse edge list at line {line}: {message}")
+            }
+            GraphError::TooManyVertices(n) => {
+                write!(f, "graph has {n} vertices which exceeds the u32 id space")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
+        assert!(format!("{e}").contains("out of range"));
+
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".to_string(),
+        };
+        assert!(format!("{e}").contains("line 3"));
+
+        let e = GraphError::TooManyVertices(5_000_000_000);
+        assert!(format!("{e}").contains("u32"));
+
+        let e = GraphError::Io(io::Error::new(io::ErrorKind::NotFound, "missing"));
+        assert!(format!("{e}").contains("I/O"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        use std::error::Error;
+        let e: GraphError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(e.source().is_some());
+    }
+}

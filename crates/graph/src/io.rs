@@ -1,0 +1,256 @@
+//! Edge-list I/O.
+//!
+//! The paper's datasets are distributed as SNAP-style whitespace-separated
+//! edge lists. This module parses and writes that format and additionally
+//! supports a compact binary format used by the engine's spill files and by
+//! the experiment harness for caching generated graphs.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::vertex::VertexId;
+use crate::Result;
+
+/// Parses a SNAP-style edge list from a reader.
+///
+/// * Lines starting with `#` or `%` are comments.
+/// * Blank lines are skipped.
+/// * Each data line holds two whitespace-separated vertex ids (extra columns,
+///   e.g. weights/timestamps, are ignored).
+/// * Vertex ids need not be dense: they are compacted to `0..n` in first-seen
+///   order of the sorted distinct ids, so the same file always produces the
+///   same graph.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut raw_edges: Vec<(u64, u64)> = Vec::new();
+    let mut ids: Vec<u64> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let a = parse_id(parts.next(), lineno + 1)?;
+        let b = parse_id(parts.next(), lineno + 1)?;
+        raw_edges.push((a, b));
+        ids.push(a);
+        ids.push(b);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() > u32::MAX as usize {
+        return Err(GraphError::TooManyVertices(ids.len()));
+    }
+    let mut builder = GraphBuilder::with_capacity(ids.len(), raw_edges.len());
+    builder.set_min_vertices(ids.len());
+    for (a, b) in raw_edges {
+        let la = ids.binary_search(&a).expect("id must exist") as u32;
+        let lb = ids.binary_search(&b).expect("id must exist") as u32;
+        builder.add_edge_raw(la, lb);
+    }
+    Ok(builder.build())
+}
+
+fn parse_id(token: Option<&str>, line: usize) -> Result<u64> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex ids".to_string(),
+    })?;
+    token.parse::<u64>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id {token:?}: {e}"),
+    })
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let file = File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes the graph as a SNAP-style edge list (one `u v` pair per line, each
+/// undirected edge written once, preceded by a summary comment).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# Undirected graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{}\t{}", u.raw(), v.raw())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph as an edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
+    let file = File::create(path)?;
+    write_edge_list(g, file)
+}
+
+/// Magic header for the binary graph format.
+const BINARY_MAGIC: &[u8; 8] = b"QCMGRPH1";
+
+/// Writes the graph in a compact little-endian binary format:
+/// `magic | n: u64 | m: u64 | degrees: [u32; n] | neighbors: [u32; sum(deg)]`.
+pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for v in g.vertices() {
+        w.write_all(&(g.degree(v) as u32).to_le_bytes())?;
+    }
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            w.write_all(&u.raw().to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "bad magic header for binary graph".to_string(),
+        });
+    }
+    let n = read_u64(&mut r)? as usize;
+    let declared_edges = read_u64(&mut r)? as usize;
+    let mut degrees = vec![0u32; n];
+    for d in degrees.iter_mut() {
+        *d = read_u32(&mut r)?;
+    }
+    let total: usize = degrees.iter().map(|&d| d as usize).sum();
+    let mut offsets = vec![0usize; n + 1];
+    for i in 0..n {
+        offsets[i + 1] = offsets[i] + degrees[i] as usize;
+    }
+    let mut neighbors = Vec::with_capacity(total);
+    for _ in 0..total {
+        let v = read_u32(&mut r)?;
+        if v as usize >= n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: n,
+            });
+        }
+        neighbors.push(VertexId::new(v));
+    }
+    let g = Graph::from_csr(offsets, neighbors);
+    if g.num_edges() != declared_edges {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!(
+                "edge count mismatch: header says {declared_edges}, data has {}",
+                g.num_edges()
+            ),
+        });
+    }
+    Ok(g)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_edge_list() {
+        let input = "# comment\n% another comment\n\n1 2\n2 3 17\n10 1\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        // Distinct ids {1,2,3,10} compact to 4 vertices.
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let input = "1 x\n";
+        let err = read_edge_list(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+
+        let input = "42\n";
+        let err = read_edge_list(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_structure() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTMAGIC\0\0\0\0\0\0\0\0".to_vec();
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("qcm_graph_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test_graph.txt");
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn isolated_vertices_are_not_preserved_by_edge_list() {
+        // Edge lists cannot represent isolated vertices; only mentioned ids
+        // survive a round trip. This documents the (expected) behaviour.
+        let g = Graph::from_edges(10, [(0, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), 2);
+    }
+}

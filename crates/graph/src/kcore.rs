@@ -1,0 +1,285 @@
+//! k-core decomposition by peeling.
+//!
+//! The size-threshold pruning rule (P2 / Theorem 2 of the paper) states that a
+//! vertex with degree `< k = ⌈γ·(τ_size − 1)⌉` cannot belong to any valid
+//! quasi-clique, so the input graph can be shrunk to its k-core before mining.
+//! The paper adopts the O(|E|) peeling algorithm of Batagelj & Zaversnik [13];
+//! this module implements both the targeted `k_core` extraction and the full
+//! core-number decomposition (used by the experiment harness for workload
+//! characterisation and by the generators for calibration).
+
+use crate::graph::Graph;
+use crate::subgraph::induced_subgraph;
+use crate::vertex::VertexId;
+
+/// Computes the core number of every vertex with the classic O(|E|)
+/// bucket-based peeling algorithm.
+///
+/// `core[v]` is the largest `k` such that `v` belongs to the k-core of `g`.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n)
+        .map(|v| g.degree(VertexId::from(v)) as u32)
+        .collect();
+    let max_deg = *degree.iter().max().unwrap() as usize;
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 1..bin.len() {
+        bin[i] += bin[i - 1];
+    }
+    let mut pos = vec![0usize; n]; // position of vertex in `vert`
+    let mut vert = vec![0u32; n]; // vertices sorted by current degree
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = degree[v] as usize;
+            pos[v] = cursor[d];
+            vert[cursor[d]] = v as u32;
+            cursor[d] += 1;
+        }
+    }
+    // bin[d] must point at the first vertex of degree d.
+    // (After the cursor pass above it already does.)
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = degree[v];
+        for &w in g.neighbors(VertexId::from(v)) {
+            let w = w.index();
+            if degree[w] > degree[v] {
+                // Move w one bucket down: swap it with the first vertex of its
+                // current bucket, then shrink the bucket boundary.
+                let dw = degree[w] as usize;
+                let pw = pos[w];
+                let first = bin[dw];
+                let u = vert[first] as usize;
+                if u != w {
+                    vert.swap(pw, first);
+                    pos[w] = first;
+                    pos[u] = pw;
+                }
+                bin[dw] += 1;
+                degree[w] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Returns the maximal subgraph in which every vertex has degree `>= k`
+/// (the *k-core*), together with the surviving original vertex ids.
+///
+/// The returned [`Graph`] uses a compacted id space; `mapping[i]` is the
+/// original id of the new vertex `i`. Vertices not in the k-core are dropped.
+/// If the k-core is empty, an empty graph and mapping are returned.
+pub fn k_core(g: &Graph, k: usize) -> (Graph, Vec<VertexId>) {
+    let survivors = k_core_vertices(g, k);
+    induced_subgraph(g, &survivors)
+}
+
+/// Returns the vertices of the k-core of `g` (sorted by id) without
+/// materialising the subgraph. O(|E|).
+pub fn k_core_vertices(g: &Graph, k: usize) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    if k == 0 {
+        return g.vertices().collect();
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(VertexId::from(v))).collect();
+    let mut removed = vec![false; n];
+    let mut stack: Vec<u32> = (0..n as u32)
+        .filter(|&v| degree[v as usize] < k)
+        .collect();
+    for &v in &stack {
+        removed[v as usize] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for &w in g.neighbors(VertexId::new(v)) {
+            let w = w.index();
+            if !removed[w] {
+                degree[w] -= 1;
+                if degree[w] < k {
+                    removed[w] = true;
+                    stack.push(w as u32);
+                }
+            }
+        }
+    }
+    (0..n as u32)
+        .filter(|&v| !removed[v as usize])
+        .map(VertexId::new)
+        .collect()
+}
+
+/// Returns a degeneracy ordering of the graph: vertices in the order they are
+/// peeled when repeatedly removing a minimum-degree vertex. The degeneracy of
+/// the graph is `max(core_numbers)`.
+pub fn degeneracy_ordering(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let core = core_numbers(g);
+    // The standard peeling order: sort by (core number, id) is *not* a valid
+    // degeneracy ordering in general, so re-run the bucket peeling recording
+    // removal order.
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(VertexId::from(v))).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut min_bucket = 0usize;
+    while order.len() < n {
+        while min_bucket <= max_deg && buckets[min_bucket].is_empty() {
+            min_bucket += 1;
+        }
+        if min_bucket > max_deg {
+            break;
+        }
+        let v = buckets[min_bucket].pop().unwrap() as usize;
+        if removed[v] || degree[v] != min_bucket {
+            // Stale bucket entry.
+            continue;
+        }
+        removed[v] = true;
+        order.push(VertexId::from(v));
+        for &w in g.neighbors(VertexId::from(v)) {
+            let w = w.index();
+            if !removed[w] && degree[w] > 0 {
+                degree[w] -= 1;
+                buckets[degree[w]].push(w as u32);
+                if degree[w] < min_bucket {
+                    min_bucket = degree[w];
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    let _ = core; // core numbers retained for potential debug assertions
+    order
+}
+
+/// The degeneracy (maximum core number) of the graph.
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        // Triangle 0-1-2 plus a path 2-3-4.
+        Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn core_numbers_triangle_with_tail() {
+        let g = triangle_plus_tail();
+        let core = core_numbers(&g);
+        assert_eq!(core, vec![2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn k_core_extracts_triangle() {
+        let g = triangle_plus_tail();
+        let (core2, mapping) = k_core(&g, 2);
+        assert_eq!(core2.num_vertices(), 3);
+        assert_eq!(core2.num_edges(), 3);
+        let mapped: Vec<u32> = mapping.iter().map(|v| v.raw()).collect();
+        assert_eq!(mapped, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_core_zero_is_identity() {
+        let g = triangle_plus_tail();
+        let (same, mapping) = k_core(&g, 0);
+        assert_eq!(same.num_vertices(), g.num_vertices());
+        assert_eq!(same.num_edges(), g.num_edges());
+        assert_eq!(mapping.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn k_core_too_large_is_empty() {
+        let g = triangle_plus_tail();
+        let (empty, mapping) = k_core(&g, 3);
+        assert_eq!(empty.num_vertices(), 0);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn k_core_cascades_removals() {
+        // A path 0-1-2-3-4: the 2-core is empty because peeling the endpoints
+        // cascades through the whole path.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let survivors = k_core_vertices(&g, 2);
+        assert!(survivors.is_empty());
+    }
+
+    #[test]
+    fn clique_core_numbers_are_n_minus_1() {
+        let mut b = GraphBuilder::new();
+        let n = 6u32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge_raw(i, j);
+            }
+        }
+        let g = b.build();
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == n - 1));
+        assert_eq!(degeneracy(&g), n - 1);
+    }
+
+    #[test]
+    fn degeneracy_ordering_is_a_permutation_and_valid() {
+        let g = triangle_plus_tail();
+        let order = degeneracy_ordering(&g);
+        assert_eq!(order.len(), g.num_vertices());
+        let mut seen = vec![false; g.num_vertices()];
+        for v in &order {
+            assert!(!seen[v.index()]);
+            seen[v.index()] = true;
+        }
+        // Validity: when vertex v is removed, its remaining (later) degree is
+        // at most the graph degeneracy.
+        let d = degeneracy(&g) as usize;
+        let mut position = vec![0usize; g.num_vertices()];
+        for (i, v) in order.iter().enumerate() {
+            position[v.index()] = i;
+        }
+        for (i, v) in order.iter().enumerate() {
+            let later = g
+                .neighbors(*v)
+                .iter()
+                .filter(|w| position[w.index()] > i)
+                .count();
+            assert!(later <= d, "vertex {v} has {later} later neighbors > degeneracy {d}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::empty(0);
+        assert!(core_numbers(&g).is_empty());
+        assert!(degeneracy_ordering(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+        let (e, m) = k_core(&g, 1);
+        assert_eq!(e.num_vertices(), 0);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! # qcm-graph — graph substrate for the quasi-clique miner
+//!
+//! This crate provides the graph data structures and primitives that the
+//! quasi-clique mining algorithms and the task engine are built on:
+//!
+//! * [`Graph`] — an immutable, CSR-backed simple undirected graph with sorted
+//!   adjacency lists (binary-searchable edge queries).
+//! * [`GraphBuilder`] — incremental construction with de-duplication,
+//!   self-loop removal and vertex-id compaction.
+//! * [`kcore`] — the O(|E|) peeling algorithm of Batagelj & Zaversnik used by
+//!   the size-threshold pruning rule (P2) of the paper.
+//! * [`subgraph`] — induced subgraphs and the [`subgraph::LocalGraph`]
+//!   representation that mining tasks carry around (local index space with a
+//!   mapping back to global vertex ids).
+//! * [`traversal`] — BFS, two-hop neighborhoods (the `B(v)` of the paper),
+//!   connected components.
+//! * [`io`] — SNAP-style edge-list parsing and writing.
+//! * [`stats`] — degree distributions and summary statistics used by the
+//!   experiment harness.
+//!
+//! Vertex identifiers are [`VertexId`] (a `u32` new-type): the paper's
+//! evaluation graphs top out at ~1.4M vertices and 32-bit ids keep adjacency
+//! lists and task subgraphs compact.
+
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod kcore;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+pub mod vertex;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use kcore::{core_numbers, degeneracy_ordering, k_core};
+pub use stats::GraphStats;
+pub use subgraph::LocalGraph;
+pub use vertex::VertexId;
+
+/// Convenience result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

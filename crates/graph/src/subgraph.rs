@@ -1,0 +1,433 @@
+//! Induced subgraphs and the task-local graph representation.
+//!
+//! Mining tasks in the paper carry a *materialised subgraph* `t.g` — the
+//! k-core of the spawning vertex's two-hop neighborhood, or an induced
+//! subgraph of a parent task's graph after decomposition. [`LocalGraph`] is
+//! that representation: a small adjacency-list graph over a *local* index
+//! space (`0..n_local`) plus a mapping back to the global [`VertexId`]s, so
+//! that result sets can be reported in terms of the original graph.
+
+use crate::graph::Graph;
+use crate::vertex::VertexId;
+
+/// Returns the subgraph of `g` induced by `vertices` together with the
+/// local→global id mapping.
+///
+/// `vertices` must be sorted by id and duplicate-free (callers in this crate
+/// always satisfy this; the function debug-asserts it). Runs in
+/// `O(Σ_{v∈vertices} d(v) · log |vertices|)`.
+pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
+    debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
+    let mapping: Vec<VertexId> = vertices.to_vec();
+    let n = mapping.len();
+    let mut offsets = vec![0usize; n + 1];
+    let mut neighbors: Vec<VertexId> = Vec::new();
+    for (local, &v) in mapping.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            if let Ok(local_w) = mapping.binary_search(&w) {
+                neighbors.push(VertexId::from(local_w));
+            }
+        }
+        offsets[local + 1] = neighbors.len();
+    }
+    (Graph::from_csr(offsets, neighbors), mapping)
+}
+
+/// A small adjacency-list graph over a local index space, carried by mining
+/// tasks.
+///
+/// Unlike [`Graph`], a `LocalGraph` supports *vertex removal* (needed by the
+/// per-task k-core shrinking of Algorithms 6–7) and records the global id of
+/// every local vertex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalGraph {
+    /// `adj[i]` is the sorted list of local neighbor indices of local vertex `i`.
+    adj: Vec<Vec<u32>>,
+    /// `global[i]` is the global id of local vertex `i`.
+    global: Vec<VertexId>,
+    /// `alive[i]` is false if the vertex has been peeled away.
+    alive: Vec<bool>,
+    /// Number of alive vertices.
+    alive_count: usize,
+}
+
+impl LocalGraph {
+    /// Creates a local graph with the given global ids and no edges.
+    pub fn new(global_ids: Vec<VertexId>) -> Self {
+        let n = global_ids.len();
+        LocalGraph {
+            adj: vec![Vec::new(); n],
+            global: global_ids,
+            alive: vec![true; n],
+            alive_count: n,
+        }
+    }
+
+    /// Builds a `LocalGraph` as the subgraph of `g` induced by `vertices`
+    /// (sorted, duplicate-free).
+    pub fn from_induced(g: &Graph, vertices: &[VertexId]) -> Self {
+        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
+        let mut lg = LocalGraph::new(vertices.to_vec());
+        for (local, &v) in vertices.iter().enumerate() {
+            let mut list: Vec<u32> = Vec::new();
+            for &w in g.neighbors(v) {
+                if let Ok(local_w) = vertices.binary_search(&w) {
+                    list.push(local_w as u32);
+                }
+            }
+            lg.adj[local] = list;
+        }
+        lg
+    }
+
+    /// Builds a `LocalGraph` from another local graph restricted to the given
+    /// *local* indices of the parent (sorted, duplicate-free). This is the
+    /// subgraph-materialisation step of task decomposition (Algorithm 8
+    /// line 19): the child task's graph is induced by `S' ∪ ext(S')`.
+    pub fn induce_from_local(&self, keep: &[u32]) -> LocalGraph {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        let global: Vec<VertexId> = keep.iter().map(|&i| self.global[i as usize]).collect();
+        let mut child = LocalGraph::new(global);
+        for (new_idx, &old_idx) in keep.iter().enumerate() {
+            let mut list: Vec<u32> = Vec::new();
+            for &w in &self.adj[old_idx as usize] {
+                if !self.alive[w as usize] {
+                    continue;
+                }
+                if let Ok(new_w) = keep.binary_search(&w) {
+                    list.push(new_w as u32);
+                }
+            }
+            child.adj[new_idx] = list;
+        }
+        child
+    }
+
+    /// Number of local vertices ever added (including removed ones).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Number of alive (not peeled) vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Number of edges between alive vertices.
+    pub fn num_edges(&self) -> usize {
+        let mut total = 0usize;
+        for i in 0..self.adj.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            total += self.adj[i]
+                .iter()
+                .filter(|&&w| self.alive[w as usize])
+                .count();
+        }
+        total / 2
+    }
+
+    /// True if local vertex `i` is alive.
+    #[inline]
+    pub fn is_alive(&self, i: u32) -> bool {
+        self.alive[i as usize]
+    }
+
+    /// Global id of local vertex `i`.
+    #[inline]
+    pub fn global_id(&self, i: u32) -> VertexId {
+        self.global[i as usize]
+    }
+
+    /// Finds the local index of a global id, if present and alive.
+    pub fn local_index(&self, v: VertexId) -> Option<u32> {
+        // The global mapping is not necessarily sorted for incrementally built
+        // graphs, so do a linear scan; task graphs are small.
+        self.global
+            .iter()
+            .position(|&g| g == v)
+            .filter(|&i| self.alive[i])
+            .map(|i| i as u32)
+    }
+
+    /// Iterator over alive local vertex indices.
+    pub fn vertices(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.adj.len() as u32).filter(move |&i| self.alive[i as usize])
+    }
+
+    /// Sorted adjacency list of local vertex `i` **including** removed
+    /// neighbors; callers that care must filter with [`LocalGraph::is_alive`].
+    #[inline]
+    pub fn raw_neighbors(&self, i: u32) -> &[u32] {
+        &self.adj[i as usize]
+    }
+
+    /// Alive neighbors of local vertex `i`.
+    pub fn neighbors(&self, i: u32) -> impl Iterator<Item = u32> + '_ {
+        self.adj[i as usize]
+            .iter()
+            .copied()
+            .filter(move |&w| self.alive[w as usize])
+    }
+
+    /// Degree of local vertex `i` counting only alive neighbors.
+    pub fn degree(&self, i: u32) -> usize {
+        self.neighbors(i).count()
+    }
+
+    /// True if alive vertices `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        if a == b || !self.alive[a as usize] || !self.alive[b as usize] {
+            return false;
+        }
+        let (s, l) = if self.adj[a as usize].len() <= self.adj[b as usize].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[s as usize].binary_search(&l).is_ok()
+    }
+
+    /// Adds an undirected edge between local indices (used when constructing
+    /// task subgraphs incrementally from pulled adjacency lists). Keeps the
+    /// lists sorted.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        debug_assert!((a as usize) < self.adj.len() && (b as usize) < self.adj.len());
+        if let Err(pos) = self.adj[a as usize].binary_search(&b) {
+            self.adj[a as usize].insert(pos, b);
+        }
+        if let Err(pos) = self.adj[b as usize].binary_search(&a) {
+            self.adj[b as usize].insert(pos, a);
+        }
+    }
+
+    /// Appends a new local vertex with the given global id and returns its
+    /// local index.
+    pub fn add_vertex(&mut self, global: VertexId) -> u32 {
+        let idx = self.adj.len() as u32;
+        self.adj.push(Vec::new());
+        self.global.push(global);
+        self.alive.push(true);
+        self.alive_count += 1;
+        idx
+    }
+
+    /// Removes (peels) a vertex. Its edges become invisible to alive queries.
+    pub fn remove_vertex(&mut self, i: u32) {
+        if self.alive[i as usize] {
+            self.alive[i as usize] = false;
+            self.alive_count -= 1;
+        }
+    }
+
+    /// Shrinks the graph to its k-core **in place** by peeling alive vertices
+    /// of alive-degree `< k`. Returns the number of vertices removed.
+    pub fn shrink_to_k_core(&mut self, k: usize) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        let n = self.adj.len();
+        let mut degree: Vec<usize> = (0..n as u32)
+            .map(|i| if self.alive[i as usize] { self.degree(i) } else { 0 })
+            .collect();
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&i| self.alive[i as usize] && degree[i as usize] < k)
+            .collect();
+        let mut removed = 0usize;
+        let mut dead_now = vec![false; n];
+        for &v in &stack {
+            dead_now[v as usize] = true;
+        }
+        while let Some(v) = stack.pop() {
+            if !self.alive[v as usize] {
+                continue;
+            }
+            self.remove_vertex(v);
+            removed += 1;
+            // Decrement neighbors.
+            let nbrs: Vec<u32> = self.adj[v as usize].clone();
+            for w in nbrs {
+                let wi = w as usize;
+                if self.alive[wi] && !dead_now[wi] {
+                    degree[wi] = degree[wi].saturating_sub(1);
+                    if degree[wi] < k {
+                        dead_now[wi] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Compacts the graph: drops removed vertices and renumbers the alive ones
+    /// to `0..alive_count`, returning the compacted graph. The relative order
+    /// of global ids is preserved.
+    pub fn compact(&self) -> LocalGraph {
+        let keep: Vec<u32> = self.vertices().collect();
+        // `induce_from_local` expects sorted local indices, which `vertices()`
+        // yields by construction.
+        self.induce_from_local(&keep)
+    }
+
+    /// Converts to an immutable [`Graph`] plus global-id mapping (compacting
+    /// removed vertices away).
+    pub fn to_graph(&self) -> (Graph, Vec<VertexId>) {
+        let compacted = self.compact();
+        let n = compacted.adj.len();
+        let mut offsets = vec![0usize; n + 1];
+        let mut neighbors = Vec::new();
+        for i in 0..n {
+            for &w in &compacted.adj[i] {
+                neighbors.push(VertexId::new(w));
+            }
+            offsets[i + 1] = neighbors.len();
+        }
+        (Graph::from_csr(offsets, neighbors), compacted.global)
+    }
+
+    /// Approximate heap footprint in bytes (for the engine's memory metrics).
+    pub fn memory_bytes(&self) -> usize {
+        let adj_bytes: usize = self
+            .adj
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<u32>())
+            .sum();
+        adj_bytes
+            + self.global.len() * std::mem::size_of::<VertexId>()
+            + self.alive.len()
+            + self.adj.len() * std::mem::size_of::<Vec<u32>>()
+    }
+
+    /// Global ids of all alive vertices, in local-index order.
+    pub fn alive_global_ids(&self) -> Vec<VertexId> {
+        self.vertices().map(|i| self.global_id(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure4() -> Graph {
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (1, 5),
+            (5, 6),
+            (2, 6),
+            (3, 7),
+            (7, 8),
+            (3, 8),
+        ];
+        Graph::from_edges(9, edges.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn induced_subgraph_of_figure4_red_set() {
+        let g = figure4();
+        // S = {a, b, c, d, e} = {0,1,2,3,4}.
+        let vs: Vec<VertexId> = (0..5u32).map(VertexId::new).collect();
+        let (sub, mapping) = induced_subgraph(&g, &vs);
+        assert_eq!(sub.num_vertices(), 5);
+        // The induced subgraph has 9 edges (all pairs except b-d).
+        assert_eq!(sub.num_edges(), 9);
+        assert_eq!(mapping.len(), 5);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn local_graph_from_induced_matches_graph() {
+        let g = figure4();
+        let vs: Vec<VertexId> = (0..5u32).map(VertexId::new).collect();
+        let lg = LocalGraph::from_induced(&g, &vs);
+        assert_eq!(lg.num_vertices(), 5);
+        assert_eq!(lg.num_edges(), 9);
+        assert!(lg.has_edge(0, 1));
+        assert!(!lg.has_edge(1, 3)); // b-d not an edge
+        assert_eq!(lg.global_id(4), VertexId::new(4));
+    }
+
+    #[test]
+    fn local_graph_remove_and_degree() {
+        let g = figure4();
+        let vs: Vec<VertexId> = (0..5u32).map(VertexId::new).collect();
+        let mut lg = LocalGraph::from_induced(&g, &vs);
+        assert_eq!(lg.degree(0), 4);
+        lg.remove_vertex(4); // remove e
+        assert_eq!(lg.num_vertices(), 4);
+        assert_eq!(lg.degree(0), 3);
+        assert!(!lg.has_edge(0, 4));
+        assert_eq!(lg.num_edges(), 5);
+    }
+
+    #[test]
+    fn shrink_to_k_core_peels_cascade() {
+        // Path 0-1-2-3 plus triangle 3-4-5.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let vs: Vec<VertexId> = (0..6u32).map(VertexId::new).collect();
+        let mut lg = LocalGraph::from_induced(&g, &vs);
+        let removed = lg.shrink_to_k_core(2);
+        assert_eq!(removed, 3); // 0, 1, 2 peel away
+        assert_eq!(lg.num_vertices(), 3);
+        let alive: Vec<u32> = lg.alive_global_ids().iter().map(|v| v.raw()).collect();
+        assert_eq!(alive, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn compact_renumbers_and_preserves_edges() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let vs: Vec<VertexId> = (0..6u32).map(VertexId::new).collect();
+        let mut lg = LocalGraph::from_induced(&g, &vs);
+        lg.shrink_to_k_core(2);
+        let c = lg.compact();
+        assert_eq!(c.capacity(), 3);
+        assert_eq!(c.num_edges(), 3);
+        let (as_graph, mapping) = lg.to_graph();
+        assert_eq!(as_graph.num_vertices(), 3);
+        assert_eq!(as_graph.num_edges(), 3);
+        assert_eq!(mapping.iter().map(|v| v.raw()).collect::<Vec<_>>(), vec![3, 4, 5]);
+        as_graph.validate().unwrap();
+    }
+
+    #[test]
+    fn induce_from_local_respects_alive_flags() {
+        let g = figure4();
+        let vs: Vec<VertexId> = (0..5u32).map(VertexId::new).collect();
+        let mut lg = LocalGraph::from_induced(&g, &vs);
+        lg.remove_vertex(2); // remove c
+        let child = lg.induce_from_local(&[0, 1, 3, 4]);
+        assert_eq!(child.capacity(), 4);
+        // c's edges must be gone; a-b, a-d, a-e, b-e, d-e remain.
+        assert_eq!(child.num_edges(), 5);
+    }
+
+    #[test]
+    fn add_vertex_and_add_edge_incremental_build() {
+        let mut lg = LocalGraph::new(vec![]);
+        let a = lg.add_vertex(VertexId::new(100));
+        let b = lg.add_vertex(VertexId::new(200));
+        let c = lg.add_vertex(VertexId::new(300));
+        lg.add_edge(a, b);
+        lg.add_edge(b, c);
+        lg.add_edge(b, c); // duplicate ignored
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.num_edges(), 2);
+        assert_eq!(lg.local_index(VertexId::new(200)), Some(b));
+        assert_eq!(lg.local_index(VertexId::new(999)), None);
+        assert!(lg.memory_bytes() > 0);
+    }
+}

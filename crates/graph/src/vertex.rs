@@ -1,0 +1,163 @@
+//! Vertex identifiers.
+//!
+//! The whole code base uses a compact `u32` new-type for vertex ids. The
+//! paper's evaluation graphs are on the order of a few million vertices, so
+//! 32 bits are plenty, and the smaller id type roughly halves the memory
+//! footprint of adjacency lists and task subgraphs compared to `usize`.
+
+use std::fmt;
+
+/// A vertex identifier in a [`crate::Graph`].
+///
+/// Ids are dense: a graph with `n` vertices uses ids `0..n`. The ordering of
+/// ids is significant for the mining algorithms — the set-enumeration tree of
+/// the paper (Figure 5) only extends a candidate set with vertices whose id is
+/// *larger* than every vertex already in the set, which is how double counting
+/// is avoided.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The maximum representable vertex id.
+    pub const MAX: VertexId = VertexId(u32::MAX);
+
+    /// Creates a vertex id from a raw `u32`.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        VertexId(id)
+    }
+
+    /// Returns the id as a `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, for indexing into per-vertex arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "vertex id {v} overflows u32");
+        VertexId(v as u32)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl From<VertexId> for usize {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An undirected edge between two vertices.
+///
+/// Edges are canonicalised so that `src <= dst`; the builder relies on this to
+/// de-duplicate parallel edges.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub src: VertexId,
+    /// Larger endpoint.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Creates a canonicalised edge (endpoints sorted).
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        if a <= b {
+            Edge { src: a, dst: b }
+        } else {
+            Edge { src: b, dst: a }
+        }
+    }
+
+    /// Returns true if the edge is a self loop.
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(usize::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+        assert_eq!(VertexId::from(42usize), v);
+    }
+
+    #[test]
+    fn vertex_id_ordering_is_numeric() {
+        assert!(VertexId::new(3) < VertexId::new(10));
+        assert!(VertexId::new(10) > VertexId::new(3));
+        assert_eq!(VertexId::new(7), VertexId::new(7));
+    }
+
+    #[test]
+    fn vertex_id_display_and_debug() {
+        let v = VertexId::new(5);
+        assert_eq!(format!("{v}"), "5");
+        assert_eq!(format!("{v:?}"), "v5");
+    }
+
+    #[test]
+    fn edge_canonicalises_endpoints() {
+        let e = Edge::new(VertexId::new(9), VertexId::new(2));
+        assert_eq!(e.src, VertexId::new(2));
+        assert_eq!(e.dst, VertexId::new(9));
+        assert!(!e.is_loop());
+    }
+
+    #[test]
+    fn edge_detects_self_loop() {
+        let e = Edge::new(VertexId::new(4), VertexId::new(4));
+        assert!(e.is_loop());
+    }
+
+    #[test]
+    fn edges_with_same_endpoints_compare_equal() {
+        let a = Edge::new(VertexId::new(1), VertexId::new(5));
+        let b = Edge::new(VertexId::new(5), VertexId::new(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use qcm_graph::{
+    io, k_core,
+    kcore::{core_numbers, k_core_vertices},
+    subgraph::{induced_subgraph, LocalGraph},
+    traversal::{bfs_distances, connected_components, two_hop_neighborhood},
+    Graph, GraphBuilder, VertexId,
+};
+
+/// Strategy producing a random simple graph with up to `max_n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(200)).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new();
+                b.set_min_vertices(n);
+                for (a, x) in edges {
+                    b.add_edge_raw(a, x);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_graphs_satisfy_csr_invariants(g in arb_graph(30)) {
+        prop_assert!(g.validate().is_ok());
+        // Handshake lemma.
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn has_edge_is_symmetric(g in arb_graph(20)) {
+        for u in g.vertices() {
+            for v in g.vertices() {
+                prop_assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn kcore_vertices_all_have_degree_at_least_k(g in arb_graph(30), k in 1usize..6) {
+        let (core, mapping) = k_core(&g, k);
+        core.validate().unwrap();
+        for v in core.vertices() {
+            prop_assert!(core.degree(v) >= k,
+                "vertex {} (global {}) has degree {} < k={}",
+                v, mapping[v.index()], core.degree(v), k);
+        }
+    }
+
+    #[test]
+    fn kcore_is_maximal(g in arb_graph(25), k in 1usize..5) {
+        // No vertex outside the k-core could be added back: in the subgraph
+        // induced by (core ∪ {v}) vertex v must have degree < k OR v fails to
+        // survive because the peeling order doesn't matter (k-core is unique).
+        let survivors = k_core_vertices(&g, k);
+        let core_nums = core_numbers(&g);
+        for v in g.vertices() {
+            let in_core = survivors.binary_search(&v).is_ok();
+            prop_assert_eq!(in_core, core_nums[v.index()] as usize >= k);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges(g in arb_graph(25)) {
+        // Take every other vertex.
+        let vs: Vec<VertexId> = g.vertices().filter(|v| v.raw() % 2 == 0).collect();
+        let (sub, mapping) = induced_subgraph(&g, &vs);
+        sub.validate().unwrap();
+        for u in sub.vertices() {
+            for v in sub.vertices() {
+                if u < v {
+                    prop_assert_eq!(
+                        sub.has_edge(u, v),
+                        g.has_edge(mapping[u.index()], mapping[v.index()])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_graph_matches_induced_subgraph(g in arb_graph(25)) {
+        let vs: Vec<VertexId> = g.vertices().filter(|v| v.raw() % 3 != 0).collect();
+        let (sub, _) = induced_subgraph(&g, &vs);
+        let lg = LocalGraph::from_induced(&g, &vs);
+        prop_assert_eq!(sub.num_vertices(), lg.num_vertices());
+        prop_assert_eq!(sub.num_edges(), lg.num_edges());
+    }
+
+    #[test]
+    fn two_hop_neighborhood_is_sound(g in arb_graph(25)) {
+        for v in g.vertices() {
+            let dist = bfs_distances(&g, v);
+            let bbar = two_hop_neighborhood(&g, v);
+            // Everything in B̄(v) is within distance 2 and != v.
+            for w in &bbar {
+                prop_assert!(dist[w.index()] <= 2 && *w != v);
+            }
+            // Everything within distance 1..=2 is in B̄(v).
+            for w in g.vertices() {
+                if w != v && dist[w.index()] <= 2 && dist[w.index()] > 0 {
+                    prop_assert!(bbar.binary_search(&w).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_vertex_set(g in arb_graph(30)) {
+        let comps = connected_components(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_vertices());
+        let mut seen = vec![false; g.num_vertices()];
+        for comp in &comps {
+            for v in comp {
+                prop_assert!(!seen[v.index()]);
+                seen[v.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn binary_io_roundtrip(g in arb_graph(30)) {
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        let g2 = io::read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_io_preserves_edges(g in arb_graph(30)) {
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn local_graph_kcore_agrees_with_graph_kcore(g in arb_graph(25), k in 1usize..5) {
+        let all: Vec<VertexId> = g.vertices().collect();
+        let mut lg = LocalGraph::from_induced(&g, &all);
+        lg.shrink_to_k_core(k);
+        let survivors = k_core_vertices(&g, k);
+        let mut lg_survivors = lg.alive_global_ids();
+        lg_survivors.sort_unstable();
+        prop_assert_eq!(lg_survivors, survivors);
+    }
+}

@@ -1,0 +1,187 @@
+//! The quasi-clique G-thinker application (the two UDFs of Algorithms 4–5).
+
+use crate::iterations::{iteration_1, iteration_2};
+use crate::mine::{run_mine_phase, DecompositionStrategy, MinePhaseParams};
+use crate::task::{QCTask, TaskPhase};
+use qcm_core::{MiningParams, PruneConfig};
+use qcm_engine::{ComputeContext, Frontier, GThinkerApp, TaskLabel};
+use qcm_graph::VertexId;
+use std::time::Duration;
+
+/// The maximal quasi-clique mining application, parameterised by the mining
+/// thresholds and the task-decomposition hyperparameters of Table 2.
+#[derive(Clone, Debug)]
+pub struct QuasiCliqueApp {
+    /// Mining parameters (γ, τ_size).
+    pub params: MiningParams,
+    /// Pruning-rule configuration (all rules on by default).
+    pub prune_config: PruneConfig,
+    /// Big-task threshold τ_split.
+    pub tau_split: usize,
+    /// Decomposition timeout τ_time.
+    pub tau_time: Duration,
+    /// Decomposition strategy (time-delayed by default, per the paper).
+    pub strategy: DecompositionStrategy,
+}
+
+impl QuasiCliqueApp {
+    /// Creates the application with the paper's default strategy
+    /// (time-delayed decomposition) and all pruning rules enabled.
+    pub fn new(params: MiningParams, tau_split: usize, tau_time: Duration) -> Self {
+        QuasiCliqueApp {
+            params,
+            prune_config: PruneConfig::all_enabled(),
+            tau_split,
+            tau_time,
+            strategy: DecompositionStrategy::TimeDelayed,
+        }
+    }
+
+    /// Switches to the simple size-threshold decomposition (Algorithm 8),
+    /// used as the baseline in the τ_time ablation.
+    pub fn with_strategy(mut self, strategy: DecompositionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the pruning configuration.
+    pub fn with_prune_config(mut self, config: PruneConfig) -> Self {
+        self.prune_config = config;
+        self
+    }
+
+    fn mine_phase_params(&self) -> MinePhaseParams {
+        MinePhaseParams {
+            params: self.params,
+            config: self.prune_config,
+            tau_split: self.tau_split,
+            tau_time: self.tau_time,
+            strategy: self.strategy,
+        }
+    }
+}
+
+impl GThinkerApp for QuasiCliqueApp {
+    type Task = QCTask;
+
+    /// Algorithm 4: spawn a task from `v` if its degree reaches
+    /// `k = ⌈γ(τ_size − 1)⌉`, pulling its larger-id neighbors.
+    fn spawn(&self, v: VertexId, adj: &[VertexId], ctx: &mut ComputeContext<Self::Task>) {
+        let k = self.params.kcore_threshold();
+        if adj.len() < k {
+            return;
+        }
+        let larger: Vec<VertexId> = adj.iter().copied().filter(|&u| u > v).collect();
+        if larger.is_empty() {
+            // A quasi-clique whose smallest vertex is v needs at least
+            // τ_size − 1 larger members; with none available the task would
+            // terminate in its first iteration anyway.
+            return;
+        }
+        ctx.add_task(QCTask::spawned(v, larger));
+    }
+
+    fn pending_pulls(&self, task: &Self::Task) -> Vec<VertexId> {
+        task.pull_targets.clone()
+    }
+
+    /// Algorithm 5: dispatch on the task's iteration.
+    fn compute(
+        &self,
+        task: &mut Self::Task,
+        frontier: &Frontier,
+        ctx: &mut ComputeContext<Self::Task>,
+    ) -> bool {
+        let k = self.params.kcore_threshold();
+        match task.phase {
+            TaskPhase::FirstHop => iteration_1(task, frontier, k),
+            TaskPhase::SecondHop => {
+                // Iteration 2 performs no pulls, so returning `true` makes the
+                // engine run iteration 3 immediately (the paper's "G-thinker
+                // will schedule t to run Iteration 3 right away").
+                iteration_2(task, frontier, k)
+            }
+            TaskPhase::Mine => {
+                let outcome = run_mine_phase(task, &self.mine_phase_params());
+                for r in outcome.results {
+                    ctx.emit(r);
+                }
+                for sub in outcome.subtasks {
+                    ctx.add_task(sub);
+                }
+                ctx.timings.mining += outcome.mining_time;
+                ctx.timings.materialization += outcome.materialization_time;
+                false
+            }
+        }
+    }
+
+    fn is_big(&self, task: &Self::Task) -> bool {
+        task.size_measure() > self.tau_split
+    }
+
+    fn task_memory_bytes(&self, task: &Self::Task) -> usize {
+        64 + task.subgraph.memory_bytes()
+            + 4 * (task.pull_targets.len() + task.one_hop.len() + task.s.len() + task.ext.len())
+    }
+
+    fn task_label(&self, task: &Self::Task) -> TaskLabel {
+        TaskLabel {
+            root: Some(task.root),
+            subgraph_size: task.subgraph.num_vertices().max(task.s.len() + task.ext.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_filters_by_degree_and_larger_neighbors() {
+        let app = QuasiCliqueApp::new(MiningParams::new(0.9, 4), 100, Duration::from_millis(10));
+        // k = ⌈0.9·3⌉ = 3.
+        let mut ctx = ComputeContext::new();
+        app.spawn(
+            VertexId::new(5),
+            &[VertexId::new(1), VertexId::new(2)],
+            &mut ctx,
+        );
+        assert!(ctx.new_tasks.is_empty(), "degree 2 < k must not spawn");
+
+        let mut ctx = ComputeContext::new();
+        app.spawn(
+            VertexId::new(5),
+            &[VertexId::new(1), VertexId::new(2), VertexId::new(3)],
+            &mut ctx,
+        );
+        assert!(
+            ctx.new_tasks.is_empty(),
+            "no larger neighbor means the task would die instantly"
+        );
+
+        let mut ctx = ComputeContext::new();
+        app.spawn(
+            VertexId::new(5),
+            &[VertexId::new(6), VertexId::new(7), VertexId::new(8)],
+            &mut ctx,
+        );
+        assert_eq!(ctx.new_tasks.len(), 1);
+        assert_eq!(ctx.new_tasks[0].pull_targets.len(), 3);
+        assert_eq!(app.pending_pulls(&ctx.new_tasks[0]).len(), 3);
+    }
+
+    #[test]
+    fn big_task_classification_uses_tau_split() {
+        let app = QuasiCliqueApp::new(MiningParams::new(0.8, 3), 2, Duration::from_millis(1));
+        let small = QCTask::spawned(VertexId::new(0), vec![VertexId::new(1)]);
+        assert!(!app.is_big(&small));
+        let big = QCTask::spawned(
+            VertexId::new(0),
+            vec![VertexId::new(1), VertexId::new(2), VertexId::new(3)],
+        );
+        assert!(app.is_big(&big));
+        assert!(app.task_memory_bytes(&big) > 0);
+        assert_eq!(app.task_label(&big).root, Some(VertexId::new(0)));
+    }
+}

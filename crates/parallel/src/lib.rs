@@ -1,0 +1,41 @@
+//! # qcm-parallel — parallel quasi-clique mining on the reforged engine
+//!
+//! This crate is the codesign glue of the paper: the quasi-clique mining
+//! algorithm of `qcm-core` expressed as a G-thinker application running on
+//! the task engine of `qcm-engine`.
+//!
+//! * [`QuasiCliqueApp`] implements the two UDFs: `spawn` (Algorithm 4) and the
+//!   three-iteration `compute` (Algorithms 5–7 build the task subgraph,
+//!   Algorithms 8–10 mine/decompose it).
+//! * [`DecompositionStrategy`] selects between the simple size-threshold
+//!   splitting of Algorithm 8 and the paper's **time-delayed task
+//!   decomposition** of Algorithms 9–10.
+//! * [`ParallelMiner`] is the one-call front end: configure γ, τ_size,
+//!   τ_split, τ_time and the simulated cluster shape, call
+//!   [`ParallelMiner::mine`], get back the maximal quasi-cliques plus the
+//!   engine metrics used to regenerate the paper's tables and figures.
+//!
+//! ```
+//! use qcm_core::MiningParams;
+//! use qcm_parallel::mine_parallel;
+//! use qcm_graph::Graph;
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(Graph::from_edges(9, [
+//!     (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 4), (2, 3), (2, 4), (3, 4),
+//!     (1, 5), (5, 6), (2, 6), (3, 7), (7, 8), (3, 8),
+//! ]).unwrap());
+//! let output = mine_parallel(&g, MiningParams::new(0.6, 5), 4);
+//! assert_eq!(output.maximal.len(), 1);
+//! ```
+
+pub mod app;
+pub mod iterations;
+pub mod mine;
+pub mod runner;
+pub mod task;
+
+pub use app::QuasiCliqueApp;
+pub use mine::{DecompositionStrategy, MineOutcome, MinePhaseParams};
+pub use runner::{mine_parallel, ParallelMiner, ParallelMiningOutput};
+pub use task::{QCTask, TaskGraph, TaskPhase};

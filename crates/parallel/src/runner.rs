@@ -1,0 +1,169 @@
+//! High-level parallel mining API.
+//!
+//! [`ParallelMiner`] wires the quasi-clique application to the reforged
+//! engine, runs the job on the simulated cluster, and post-processes the raw
+//! reports into the final maximal result set — the same pipeline the paper's
+//! experiments use (Section 7), exposed as one call.
+
+use crate::app::QuasiCliqueApp;
+use crate::mine::DecompositionStrategy;
+use qcm_core::{remove_non_maximal, MiningParams, PruneConfig, QuasiCliqueSet};
+use qcm_engine::{Cluster, EngineConfig, EngineMetrics};
+use qcm_graph::Graph;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Output of a parallel mining run.
+#[derive(Clone, Debug)]
+pub struct ParallelMiningOutput {
+    /// The final maximal quasi-cliques.
+    pub maximal: QuasiCliqueSet,
+    /// Number of raw (pre-post-processing) reports emitted by tasks.
+    pub raw_reported: u64,
+    /// Engine metrics (timing, tasks, spilling, stealing, per-task log).
+    pub metrics: EngineMetrics,
+}
+
+impl ParallelMiningOutput {
+    /// Wall-clock time of the run.
+    pub fn elapsed(&self) -> Duration {
+        self.metrics.elapsed
+    }
+}
+
+/// Parallel maximal quasi-clique miner (the paper's full system).
+#[derive(Clone, Debug)]
+pub struct ParallelMiner {
+    /// Mining parameters (γ, τ_size).
+    pub params: MiningParams,
+    /// Pruning-rule configuration.
+    pub prune_config: PruneConfig,
+    /// Engine/cluster configuration (threads, machines, τ_split, τ_time, …).
+    pub engine_config: EngineConfig,
+    /// Task decomposition strategy.
+    pub strategy: DecompositionStrategy,
+}
+
+impl ParallelMiner {
+    /// Creates a miner with the paper's defaults: all pruning rules enabled
+    /// and time-delayed task decomposition.
+    pub fn new(params: MiningParams, engine_config: EngineConfig) -> Self {
+        ParallelMiner {
+            params,
+            prune_config: PruneConfig::all_enabled(),
+            engine_config,
+            strategy: DecompositionStrategy::TimeDelayed,
+        }
+    }
+
+    /// Overrides the decomposition strategy.
+    pub fn with_strategy(mut self, strategy: DecompositionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the pruning configuration.
+    pub fn with_prune_config(mut self, config: PruneConfig) -> Self {
+        self.prune_config = config;
+        self
+    }
+
+    /// Mines all maximal γ-quasi-cliques of `graph` on the simulated cluster.
+    pub fn mine(&self, graph: Arc<Graph>) -> ParallelMiningOutput {
+        let app = Arc::new(
+            QuasiCliqueApp::new(
+                self.params,
+                self.engine_config.tau_split,
+                self.engine_config.tau_time,
+            )
+            .with_strategy(self.strategy)
+            .with_prune_config(self.prune_config),
+        );
+        let cluster = Cluster::new(app, self.engine_config.clone());
+        let output = cluster.run(graph);
+        let raw_reported = output.metrics.results_emitted;
+        let mut set = QuasiCliqueSet::new();
+        for members in output.results {
+            set.insert(members);
+        }
+        ParallelMiningOutput {
+            maximal: remove_non_maximal(set),
+            raw_reported,
+            metrics: output.metrics,
+        }
+    }
+}
+
+/// Convenience function: parallel mining with default engine settings and the
+/// given number of threads on one simulated machine.
+pub fn mine_parallel(graph: &Arc<Graph>, params: MiningParams, threads: usize) -> ParallelMiningOutput {
+    ParallelMiner::new(params, EngineConfig::single_machine(threads)).mine(graph.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcm_core::mine_serial;
+
+    fn figure4() -> Arc<Graph> {
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (1, 5),
+            (5, 6),
+            (2, 6),
+            (3, 7),
+            (7, 8),
+            (3, 8),
+        ];
+        Arc::new(Graph::from_edges(9, edges.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_figure4() {
+        let g = figure4();
+        for (gamma, min_size) in [(0.6, 5), (0.9, 4), (0.5, 4)] {
+            let params = MiningParams::new(gamma, min_size);
+            let serial = mine_serial(&g, params);
+            let parallel = mine_parallel(&g, params, 4);
+            assert_eq!(
+                parallel.maximal, serial.maximal,
+                "parallel/serial mismatch at gamma={gamma} min_size={min_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposition_strategies_agree() {
+        let g = figure4();
+        let params = MiningParams::new(0.6, 5);
+        let mut config = EngineConfig::single_machine(2);
+        config.tau_split = 1; // force heavy decomposition
+        config.tau_time = Duration::ZERO;
+        let time_delayed = ParallelMiner::new(params, config.clone()).mine(g.clone());
+        let size_threshold = ParallelMiner::new(params, config)
+            .with_strategy(DecompositionStrategy::SizeThreshold)
+            .mine(g.clone());
+        let serial = mine_serial(&g, params);
+        assert_eq!(time_delayed.maximal, serial.maximal);
+        assert_eq!(size_threshold.maximal, serial.maximal);
+        assert!(time_delayed.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn multi_machine_matches_single_machine() {
+        let g = figure4();
+        let params = MiningParams::new(0.9, 4);
+        let single = mine_parallel(&g, params, 2);
+        let multi = ParallelMiner::new(params, EngineConfig::cluster(3, 2)).mine(g.clone());
+        assert_eq!(single.maximal, multi.maximal);
+        assert!(multi.raw_reported >= multi.maximal.len() as u64);
+    }
+}

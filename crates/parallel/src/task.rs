@@ -1,0 +1,430 @@
+//! The quasi-clique mining task (the `t` of Algorithms 4–10).
+//!
+//! A [`QCTask`] progresses through three iterations, exactly like the paper's
+//! UDF `compute(t, frontier)`:
+//!
+//! 1. **Iteration 1** (Algorithm 6): the pulled first-hop adjacency lists are
+//!    filtered by the degree threshold `k` and assembled into the task
+//!    subgraph `t.g`; the second-hop vertices are requested.
+//! 2. **Iteration 2** (Algorithm 7): second-hop vertices are added, the
+//!    subgraph is shrunk to its k-core, and the candidate `⟨S = {v},
+//!    ext(S) = V(t.g) − v⟩` is formed.
+//! 3. **Iteration 3** (Algorithms 8–10): the subgraph is mined; if the task is
+//!    big it is decomposed into subtasks, which re-enter the engine directly
+//!    at iteration 3 with a materialised (smaller) subgraph.
+//!
+//! Tasks must survive queueing, disk spilling and stealing, so everything —
+//! including the partially built subgraph — is stored by value and encodable
+//! with the engine's [`TaskCodec`].
+
+use qcm_engine::codec::{put_u32, put_vertices, take_u32, take_vertices};
+use qcm_engine::TaskCodec;
+use qcm_graph::{LocalGraph, VertexId};
+use std::collections::HashMap;
+
+/// Adjacency of the task subgraph keyed by *global* vertex ids, kept sorted by
+/// vertex id. Global ids make the structure stable under spilling and under
+/// transfer between machines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskGraph {
+    /// `(vertex, neighbors)` pairs, sorted by vertex id; neighbor lists sorted.
+    pub adj: Vec<(VertexId, Vec<VertexId>)>,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges, counting only edges whose both endpoints are vertices
+    /// of the task graph.
+    pub fn num_edges(&self) -> usize {
+        let count: usize = self
+            .adj
+            .iter()
+            .map(|(_, nbrs)| nbrs.iter().filter(|w| self.contains(**w)).count())
+            .sum();
+        count / 2
+    }
+
+    /// True if `v` is a vertex of the task graph.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.adj.binary_search_by_key(&v, |(u, _)| *u).is_ok()
+    }
+
+    /// The adjacency list of `v`, if present.
+    pub fn neighbors(&self, v: VertexId) -> Option<&[VertexId]> {
+        self.adj
+            .binary_search_by_key(&v, |(u, _)| *u)
+            .ok()
+            .map(|i| self.adj[i].1.as_slice())
+    }
+
+    /// Inserts a vertex with the given (sorted) adjacency list, replacing any
+    /// existing entry.
+    pub fn insert(&mut self, v: VertexId, mut neighbors: Vec<VertexId>) {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        match self.adj.binary_search_by_key(&v, |(u, _)| *u) {
+            Ok(i) => self.adj[i].1 = neighbors,
+            Err(i) => self.adj.insert(i, (v, neighbors)),
+        }
+    }
+
+    /// Removes destinations that are not vertices of the task graph from every
+    /// adjacency list (used before an exact k-core pass).
+    pub fn retain_internal_edges(&mut self) {
+        let vertices: Vec<VertexId> = self.adj.iter().map(|(v, _)| *v).collect();
+        for (_, nbrs) in &mut self.adj {
+            nbrs.retain(|w| vertices.binary_search(w).is_ok());
+        }
+    }
+
+    /// Iteratively removes *peelable* vertices whose adjacency list is shorter
+    /// than `k`. Destinations that are not vertices of the graph still count
+    /// toward the degree (the paper's iteration-1 treatment of two-hop
+    /// destinations); vertices for which `peelable` returns false are never
+    /// removed. Returns the number of removed vertices.
+    ///
+    /// Uses the O(|E|) queue-based peeling of Batagelj & Zaversnik rather than
+    /// repeated full scans — hub tasks build subgraphs with thousands of
+    /// vertices and a quadratic peel would dominate their build time.
+    pub fn peel<F: Fn(VertexId) -> bool>(&mut self, k: usize, peelable: F) -> usize {
+        let n = self.adj.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut degree: Vec<usize> = self.adj.iter().map(|(_, nbrs)| nbrs.len()).collect();
+        let mut removed = vec![false; n];
+        // The adjacency is sorted by vertex id, so the position of a
+        // destination can be found by binary search without an extra map.
+        let position = |target: &VertexId, adj: &[(VertexId, Vec<VertexId>)]| {
+            adj.binary_search_by_key(target, |(v, _)| *v).ok()
+        };
+        let mut stack: Vec<usize> = (0..n)
+            .filter(|&i| peelable(self.adj[i].0) && degree[i] < k)
+            .collect();
+        for &i in &stack {
+            removed[i] = true;
+        }
+        let mut removed_total = 0usize;
+        while let Some(i) = stack.pop() {
+            removed_total += 1;
+            for w in &self.adj[i].1 {
+                if let Some(j) = position(w, &self.adj) {
+                    if !removed[j] {
+                        degree[j] -= 1;
+                        if degree[j] < k && peelable(self.adj[j].0) {
+                            removed[j] = true;
+                            stack.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        if removed_total == 0 {
+            return 0;
+        }
+        let removed_ids: Vec<VertexId> = self
+            .adj
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| removed[*i])
+            .map(|(_, (v, _))| *v)
+            .collect();
+        let old = std::mem::take(&mut self.adj);
+        self.adj = old
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !removed[*i])
+            .map(|(_, entry)| entry)
+            .collect();
+        for (_, nbrs) in &mut self.adj {
+            nbrs.retain(|w| removed_ids.binary_search(w).is_err());
+        }
+        removed_total
+    }
+
+    /// Converts the task graph into a [`LocalGraph`] plus a global→local index
+    /// map. Only edges between present vertices are materialised.
+    pub fn to_local_graph(&self) -> (LocalGraph, HashMap<VertexId, u32>) {
+        let globals: Vec<VertexId> = self.adj.iter().map(|(v, _)| *v).collect();
+        let index: HashMap<VertexId, u32> = globals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut lg = LocalGraph::new(globals);
+        for (v, nbrs) in &self.adj {
+            let vi = index[v];
+            for w in nbrs {
+                // `add_edge` inserts both directions and ignores duplicates,
+                // so asymmetric adjacency input still yields a simple graph.
+                if let Some(&wi) = index.get(w) {
+                    lg.add_edge(vi, wi);
+                }
+            }
+        }
+        (lg, index)
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.adj
+            .iter()
+            .map(|(_, nbrs)| std::mem::size_of::<(VertexId, Vec<VertexId>)>() + nbrs.len() * 4)
+            .sum()
+    }
+}
+
+/// The iteration a task is in (mirrors `t.iteration` of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// Waiting for first-hop adjacency lists (Algorithm 6 next).
+    FirstHop,
+    /// Waiting for second-hop adjacency lists (Algorithm 7 next).
+    SecondHop,
+    /// Subgraph ready; mine / decompose (Algorithms 8–10 next).
+    Mine,
+}
+
+impl TaskPhase {
+    fn as_u32(self) -> u32 {
+        match self {
+            TaskPhase::FirstHop => 1,
+            TaskPhase::SecondHop => 2,
+            TaskPhase::Mine => 3,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(TaskPhase::FirstHop),
+            2 => Some(TaskPhase::SecondHop),
+            3 => Some(TaskPhase::Mine),
+            _ => None,
+        }
+    }
+}
+
+/// A quasi-clique mining task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QCTask {
+    /// The spawning vertex `v` (tasks only consider vertices with larger ids).
+    pub root: VertexId,
+    /// Current iteration.
+    pub phase: TaskPhase,
+    /// Vertices whose adjacency lists this task is waiting for.
+    pub pull_targets: Vec<VertexId>,
+    /// `t.N`: the spawning vertex plus its (larger-id) first-hop neighbors,
+    /// collected in iteration 1 and used to identify second-hop vertices.
+    pub one_hop: Vec<VertexId>,
+    /// The task subgraph `t.g` (global-id adjacency).
+    pub subgraph: TaskGraph,
+    /// The candidate set `S` (global ids). `{root}` for root tasks; larger for
+    /// decomposed subtasks.
+    pub s: Vec<VertexId>,
+    /// The extension set `ext(S)` (global ids). Empty until iteration 3.
+    pub ext: Vec<VertexId>,
+}
+
+impl QCTask {
+    /// Creates the initial task spawned from `root` (Algorithm 4): iteration 1,
+    /// `S = {root}` and pull requests for the larger-id neighbors.
+    pub fn spawned(root: VertexId, larger_neighbors: Vec<VertexId>) -> Self {
+        QCTask {
+            root,
+            phase: TaskPhase::FirstHop,
+            pull_targets: larger_neighbors,
+            one_hop: Vec::new(),
+            subgraph: TaskGraph::new(),
+            s: vec![root],
+            ext: Vec::new(),
+        }
+    }
+
+    /// Creates a decomposed subtask that enters directly at iteration 3
+    /// (Algorithm 8 lines 12–21 / Algorithm 10 lines 20–22).
+    pub fn decomposed(
+        root: VertexId,
+        s: Vec<VertexId>,
+        ext: Vec<VertexId>,
+        subgraph: TaskGraph,
+    ) -> Self {
+        QCTask {
+            root,
+            phase: TaskPhase::Mine,
+            pull_targets: Vec::new(),
+            one_hop: Vec::new(),
+            subgraph,
+            s,
+            ext,
+        }
+    }
+
+    /// Size measure used by the τ_split big-task classification: `|ext(S)|`
+    /// for mining-phase tasks, the number of requested vertices for tasks
+    /// still building their subgraph.
+    pub fn size_measure(&self) -> usize {
+        match self.phase {
+            TaskPhase::Mine => self.ext.len(),
+            _ => self.pull_targets.len(),
+        }
+    }
+}
+
+impl TaskCodec for QCTask {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.root.raw());
+        put_u32(buf, self.phase.as_u32());
+        put_vertices(buf, &self.pull_targets);
+        put_vertices(buf, &self.one_hop);
+        put_vertices(buf, &self.s);
+        put_vertices(buf, &self.ext);
+        put_u32(buf, self.subgraph.adj.len() as u32);
+        for (v, nbrs) in &self.subgraph.adj {
+            put_u32(buf, v.raw());
+            put_vertices(buf, nbrs);
+        }
+    }
+
+    fn decode(data: &mut &[u8]) -> Option<Self> {
+        let root = VertexId::new(take_u32(data)?);
+        let phase = TaskPhase::from_u32(take_u32(data)?)?;
+        let pull_targets = take_vertices(data)?;
+        let one_hop = take_vertices(data)?;
+        let s = take_vertices(data)?;
+        let ext = take_vertices(data)?;
+        let n = take_u32(data)? as usize;
+        let mut adj = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = VertexId::new(take_u32(data)?);
+            let nbrs = take_vertices(data)?;
+            adj.push((v, nbrs));
+        }
+        Some(QCTask {
+            root,
+            phase,
+            pull_targets,
+            one_hop,
+            subgraph: TaskGraph { adj },
+            s,
+            ext,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> VertexId {
+        VertexId::new(id)
+    }
+
+    #[test]
+    fn task_graph_insert_query_and_edges() {
+        let mut g = TaskGraph::new();
+        g.insert(v(5), vec![v(7), v(9)]);
+        g.insert(v(7), vec![v(5)]);
+        g.insert(v(9), vec![v(5), v(100)]); // 100 is an external destination
+        assert_eq!(g.num_vertices(), 3);
+        assert!(g.contains(v(7)));
+        assert!(!g.contains(v(100)));
+        assert_eq!(g.neighbors(v(5)).unwrap(), &[v(7), v(9)]);
+        // 100 is not a vertex, so only edges 5-7 and 5-9 count.
+        assert_eq!(g.num_edges(), 2);
+        g.retain_internal_edges();
+        assert_eq!(g.neighbors(v(9)).unwrap(), &[v(5)]);
+    }
+
+    #[test]
+    fn peel_respects_unpeelable_vertices() {
+        let mut g = TaskGraph::new();
+        // Chain 1-2-3 where only 2 and 3 are peelable.
+        g.insert(v(1), vec![v(2)]);
+        g.insert(v(2), vec![v(1), v(3)]);
+        g.insert(v(3), vec![v(2)]);
+        let removed = g.peel(2, |u| u != v(1));
+        // 3 peels first (degree 1), then 2 (degree drops to 1); 1 survives
+        // despite ending with degree 0 because it is not peelable.
+        assert_eq!(removed, 2);
+        assert!(g.contains(v(1)));
+        assert_eq!(g.num_vertices(), 1);
+    }
+
+    #[test]
+    fn peel_cascades() {
+        let mut g = TaskGraph::new();
+        // A triangle plus a pendant path.
+        g.insert(v(0), vec![v(1), v(2)]);
+        g.insert(v(1), vec![v(0), v(2)]);
+        g.insert(v(2), vec![v(0), v(1), v(3)]);
+        g.insert(v(3), vec![v(2), v(4)]);
+        g.insert(v(4), vec![v(3)]);
+        let removed = g.peel(2, |_| true);
+        assert_eq!(removed, 2);
+        assert_eq!(g.num_vertices(), 3);
+        assert!(g.contains(v(0)) && g.contains(v(1)) && g.contains(v(2)));
+    }
+
+    #[test]
+    fn to_local_graph_preserves_structure() {
+        let mut g = TaskGraph::new();
+        g.insert(v(10), vec![v(20), v(30)]);
+        g.insert(v(20), vec![v(10), v(30)]);
+        g.insert(v(30), vec![v(10), v(20), v(99)]);
+        let (lg, index) = g.to_local_graph();
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.num_edges(), 3);
+        assert_eq!(lg.global_id(index[&v(20)]), v(20));
+        assert!(lg.has_edge(index[&v(10)], index[&v(30)]));
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_every_field() {
+        let mut sub = TaskGraph::new();
+        sub.insert(v(3), vec![v(4), v(5)]);
+        sub.insert(v(4), vec![v(3)]);
+        let task = QCTask {
+            root: v(3),
+            phase: TaskPhase::SecondHop,
+            pull_targets: vec![v(8), v(9)],
+            one_hop: vec![v(3), v(4)],
+            subgraph: sub,
+            s: vec![v(3)],
+            ext: vec![v(4), v(5)],
+        };
+        let mut buf = Vec::new();
+        task.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let decoded = QCTask::decode(&mut slice).unwrap();
+        assert_eq!(decoded, task);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn spawned_and_decomposed_constructors() {
+        let t = QCTask::spawned(v(7), vec![v(8), v(11)]);
+        assert_eq!(t.phase, TaskPhase::FirstHop);
+        assert_eq!(t.s, vec![v(7)]);
+        assert_eq!(t.size_measure(), 2);
+
+        let sub = TaskGraph::new();
+        let t = QCTask::decomposed(v(7), vec![v(7), v(8)], vec![v(11), v(12), v(13)], sub);
+        assert_eq!(t.phase, TaskPhase::Mine);
+        assert_eq!(t.size_measure(), 3);
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        let mut slice: &[u8] = &[1, 2, 3];
+        assert!(QCTask::decode(&mut slice).is_none());
+    }
+}

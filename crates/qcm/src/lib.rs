@@ -1,0 +1,71 @@
+//! # qcm — maximal quasi-clique mining (facade crate)
+//!
+//! This crate re-exports the public API of the whole workspace so downstream
+//! users can depend on a single crate:
+//!
+//! * [`graph`] — graph substrate ([`graph::Graph`], k-core, I/O);
+//! * [`gen`] — synthetic dataset generators (including the stand-ins for the
+//!   paper's eight evaluation graphs);
+//! * [`core`] — the serial mining algorithm, pruning rules and baselines;
+//! * [`engine`] — the reforged G-thinker-style task engine;
+//! * [`parallel`] — the parallel miner (the paper's full system).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qcm::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Generate a small graph with two planted dense communities.
+//! let dataset = qcm::gen::datasets::tiny_test_dataset(7);
+//! let graph = Arc::new(dataset.graph.clone());
+//! let params = MiningParams::new(dataset.spec.gamma, dataset.spec.min_size);
+//!
+//! // Serial reference run.
+//! let serial = mine_serial(&graph, params);
+//! // Parallel run on 4 threads.
+//! let parallel = mine_parallel(&graph, params, 4);
+//! assert_eq!(serial.maximal, parallel.maximal);
+//! ```
+//!
+//! The runnable examples in `examples/` (quickstart, community detection,
+//! protein complexes, parallel cluster, hyperparameter sweep) demonstrate the
+//! API on realistic scenarios; the `qcm-bench` crate regenerates every table
+//! and figure of the paper.
+
+pub use qcm_core as core;
+pub use qcm_engine as engine;
+pub use qcm_gen as gen;
+pub use qcm_graph as graph;
+pub use qcm_parallel as parallel;
+
+/// The most commonly used types and functions in one import.
+pub mod prelude {
+    pub use qcm_core::{
+        mine_serial, quick_mine, Gamma, MiningOutput, MiningParams, MiningStats, PruneConfig,
+        QuasiCliqueSet, SerialMiner,
+    };
+    pub use qcm_engine::{EngineConfig, EngineMetrics};
+    pub use qcm_gen::{DatasetSpec, PlantedGraphSpec, SyntheticDataset};
+    pub use qcm_graph::{Graph, GraphBuilder, GraphStats, VertexId};
+    pub use qcm_parallel::{
+        mine_parallel, DecompositionStrategy, ParallelMiner, ParallelMiningOutput,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        let dataset = crate::gen::datasets::tiny_test_dataset(3);
+        let graph = Arc::new(dataset.graph.clone());
+        let params = MiningParams::new(dataset.spec.gamma, dataset.spec.min_size);
+        let serial = mine_serial(&graph, params);
+        let parallel = mine_parallel(&graph, params, 2);
+        assert_eq!(serial.maximal, parallel.maximal);
+        assert!(!serial.maximal.is_empty(), "planted communities must be found");
+    }
+}

@@ -1,0 +1,73 @@
+//! Community detection in a synthetic social network.
+//!
+//! The paper motivates quasi-clique mining with dense-community detection in
+//! online interaction networks (cybercriminal rings, botnets, spam sources).
+//! This example generates a power-law "social network" with planted
+//! communities of different densities, mines it at two γ levels, and shows how
+//! the threshold trades recall for strictness — the reason the paper's
+//! experiments pick γ per dataset.
+//!
+//! ```text
+//! cargo run --release -p qcm --example community_detection
+//! ```
+
+use qcm::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A 5,000-vertex power-law background with six planted communities:
+    // three tight ones (95% internal density) and three looser ones (80%).
+    let spec = PlantedGraphSpec {
+        num_vertices: 5_000,
+        background_avg_degree: 6.0,
+        background_beta: 2.4,
+        background_max_degree: 150.0,
+        community_sizes: vec![14, 12, 11, 13, 12, 11],
+        community_density: 0.95,
+        seed: 2020,
+    };
+    let (graph, tight_communities) = qcm::gen::plant_quasi_cliques(&spec);
+    let (graph, loose_communities) = qcm::gen::plant_into(&graph, &[13, 12, 11], 0.8, 4242);
+    let graph = Arc::new(graph);
+    let stats = GraphStats::compute(&graph);
+    println!(
+        "social network: {} vertices, {} edges, max degree {}, degeneracy {}",
+        stats.num_vertices, stats.num_edges, stats.max_degree, stats.degeneracy
+    );
+    println!(
+        "planted: {} tight (0.95-dense) and {} loose (0.80-dense) communities\n",
+        tight_communities.len(),
+        loose_communities.len()
+    );
+
+    for gamma in [0.9, 0.75] {
+        let params = MiningParams::new(gamma, 10);
+        let out = mine_parallel(&graph, params, 8);
+        let tight_found = tight_communities
+            .iter()
+            .filter(|c| out.maximal.contains_superset_of(&c.members))
+            .count();
+        let loose_found = loose_communities
+            .iter()
+            .filter(|c| out.maximal.contains_superset_of(&c.members))
+            .count();
+        println!(
+            "γ = {gamma:<4}: {:>4} maximal quasi-cliques in {:>9.3?} — recovered {tight_found}/{} \
+             tight and {loose_found}/{} loose communities",
+            out.maximal.len(),
+            out.elapsed(),
+            tight_communities.len(),
+            loose_communities.len()
+        );
+        let mut sizes: Vec<usize> = out.maximal.iter().map(Vec::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let preview: Vec<String> = sizes.iter().take(10).map(|s| s.to_string()).collect();
+        println!("          largest result sizes: {}", preview.join(", "));
+    }
+
+    println!(
+        "\nA stricter γ only accepts the tightest communities; lowering it recovers the looser \
+         ones at the cost of more (and less significant) results — matching the paper's guidance \
+         on choosing selective parameters."
+    );
+}

@@ -1,0 +1,95 @@
+//! Determinism and schedule-independence of the parallel miner.
+//!
+//! The paper's system runs the same algorithm under wildly different
+//! schedules (1–512 threads, 2–16 machines, different τ_split/τ_time). These
+//! tests assert that the *result set* is a pure function of (graph, γ,
+//! τ_size): every cluster shape and every hyperparameter setting must return
+//! exactly what the serial reference returns.
+
+use qcm::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn planted_graph(seed: u64) -> (Arc<Graph>, MiningParams) {
+    let spec = PlantedGraphSpec {
+        num_vertices: 300,
+        background_avg_degree: 5.0,
+        background_beta: 2.5,
+        background_max_degree: 40.0,
+        community_sizes: vec![9, 8, 7],
+        community_density: 0.95,
+        seed,
+    };
+    let (graph, _) = qcm::gen::plant_quasi_cliques(&spec);
+    (Arc::new(graph), MiningParams::new(0.8, 7))
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let (graph, params) = planted_graph(1);
+    let reference = mine_serial(&graph, params);
+    assert!(!reference.maximal.is_empty());
+    for threads in [1, 2, 4, 8] {
+        let parallel = mine_parallel(&graph, params, threads);
+        assert_eq!(
+            parallel.maximal, reference.maximal,
+            "result set changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn machine_count_does_not_change_results() {
+    let (graph, params) = planted_graph(2);
+    let reference = mine_serial(&graph, params);
+    for machines in [1, 2, 4] {
+        let mut config = EngineConfig::cluster(machines, 2);
+        config.balance_period = Duration::from_millis(2);
+        let parallel = ParallelMiner::new(params, config).mine(graph.clone());
+        assert_eq!(
+            parallel.maximal, reference.maximal,
+            "result set changed with {machines} machines"
+        );
+    }
+}
+
+#[test]
+fn hyperparameters_do_not_change_results() {
+    let (graph, params) = planted_graph(3);
+    let reference = mine_serial(&graph, params);
+    for tau_split in [1usize, 10, 1000] {
+        for tau_time_ms in [0u64, 1, 1000] {
+            let config = EngineConfig::single_machine(4)
+                .with_decomposition(tau_split, Duration::from_millis(tau_time_ms));
+            let parallel = ParallelMiner::new(params, config).mine(graph.clone());
+            assert_eq!(
+                parallel.maximal, reference.maximal,
+                "result set changed at tau_split={tau_split}, tau_time={tau_time_ms}ms"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let (graph, params) = planted_graph(4);
+    let first = mine_parallel(&graph, params, 4);
+    for _ in 0..3 {
+        let again = mine_parallel(&graph, params, 4);
+        assert_eq!(first.maximal, again.maximal);
+    }
+}
+
+#[test]
+fn engine_metrics_are_consistent_with_results() {
+    let (graph, params) = planted_graph(5);
+    let out = mine_parallel(&graph, params, 4);
+    assert!(out.raw_reported >= out.maximal.len() as u64);
+    assert_eq!(out.metrics.results_emitted, out.raw_reported);
+    assert!(out.metrics.tasks_processed >= out.metrics.tasks_spawned);
+    assert_eq!(
+        out.metrics.task_times.len() as u64,
+        out.metrics.tasks_processed
+    );
+    assert!(out.metrics.worker_busy.len() == 4);
+}
