@@ -27,7 +27,7 @@ fn bench_figures(c: &mut Criterion) {
         );
     }
     let mut by_size = run.metrics.task_times.clone();
-    by_size.sort_by(|a, b| b.subgraph_size.cmp(&a.subgraph_size));
+    by_size.sort_by_key(|r| std::cmp::Reverse(r.subgraph_size));
     for rec in by_size.iter().take(5) {
         eprintln!(
             "[fig3] subgraph |V|={} time={:?}",

@@ -17,9 +17,11 @@ fn bench_scalability(c: &mut Criterion) {
             threads_per_machine: threads,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &options, |b, options| {
-            b.iter(|| run_dataset(&spec, options))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &options,
+            |b, options| b.iter(|| run_dataset(&spec, options)),
+        );
     }
     group.finish();
 

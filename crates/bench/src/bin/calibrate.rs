@@ -25,7 +25,10 @@ fn main() {
     let min_size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
     let params = MiningParams::new(gamma, min_size);
     println!("hard-core cost at gamma={gamma}, min_size={min_size} (serial miner):");
-    println!("{:>6} {:>6} {:>12} {:>12} {:>10}", "size", "p", "time (s)", "nodes", "results");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>10}",
+        "size", "p", "time (s)", "nodes", "results"
+    );
     for &size in &[25usize, 30, 35, 40, 45] {
         for &p in &[0.45f64, 0.5, 0.55, 0.6, 0.65] {
             let graph = qcm_gen::gnp(size, p, (size as u64) * 1000 + (p * 100.0) as u64);
@@ -73,7 +76,11 @@ fn profile_dataset(name: &str) {
     for rec in run.metrics.top_k_task_times(10) {
         println!(
             "  root {:?}  elapsed {:>12?}  subgraph |V| {:>6}  mining {:?} materialization {:?}",
-            rec.root, rec.elapsed, rec.subgraph_size, rec.timings.mining, rec.timings.materialization
+            rec.root,
+            rec.elapsed,
+            rec.subgraph_size,
+            rec.timings.mining,
+            rec.timings.materialization
         );
     }
 }

@@ -84,9 +84,10 @@ fn spec_by_name<'a>(specs: &'a [DatasetSpec], name: &str) -> &'a DatasetSpec {
 
 /// Table 1: dataset sizes.
 fn table1(specs: &[DatasetSpec]) {
-    let mut table = Table::new("Table 1: Graph Datasets (synthetic stand-ins)", &[
-        "Data", "|V|", "|E|", "max deg", "degeneracy",
-    ]);
+    let mut table = Table::new(
+        "Table 1: Graph Datasets (synthetic stand-ins)",
+        &["Data", "|V|", "|E|", "max deg", "degeneracy"],
+    );
     for spec in specs {
         let ds = spec.generate();
         let stats = GraphStats::compute(&ds.graph);
@@ -106,8 +107,15 @@ fn table2(specs: &[DatasetSpec]) {
     let mut table = Table::new(
         "Table 2: Results on All Datasets",
         &[
-            "Data", "tau_size", "gamma", "tau_split", "tau_time(ms)", "Time (sec)", "RAM (MiB)",
-            "Disk (MiB)", "Result #",
+            "Data",
+            "tau_size",
+            "gamma",
+            "tau_split",
+            "tau_time(ms)",
+            "Time (sec)",
+            "RAM (MiB)",
+            "Disk (MiB)",
+            "Result #",
         ],
     );
     for spec in specs {
@@ -151,7 +159,11 @@ fn table3_4(specs: &[DatasetSpec], dataset: &str, quick: bool) {
         .chain(tau_splits.iter().map(|s| s.to_string()))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let title = if dataset == "Hyves" { "Table 4" } else { "Table 3" };
+    let title = if dataset == "Hyves" {
+        "Table 4"
+    } else {
+        "Table 3"
+    };
     let mut time_table = Table::new(
         format!("{title}(a): Running Time (seconds) on {dataset}"),
         &header_refs,
@@ -203,8 +215,13 @@ fn table5(specs: &[DatasetSpec], vertical: bool) {
         let mut table = Table::new(
             "Table 5(a): Vertical Scalability on Enron (1 machine)",
             &[
-                "Thread #", "Sim. makespan (sec)", "Sim. speedup", "Wall time (sec)",
-                "Utilisation", "RAM (MiB)", "Disk (MiB)",
+                "Thread #",
+                "Sim. makespan (sec)",
+                "Sim. speedup",
+                "Wall time (sec)",
+                "Utilisation",
+                "RAM (MiB)",
+                "Disk (MiB)",
             ],
         );
         for threads in [1usize, 2, 4, 8] {
@@ -230,8 +247,12 @@ fn table5(specs: &[DatasetSpec], vertical: bool) {
         let mut table = Table::new(
             "Table 5(b): Horizontal Scalability on Enron (2 threads per machine)",
             &[
-                "Machine #", "Sim. makespan (sec)", "Sim. speedup", "Wall time (sec)",
-                "Stolen tasks", "Remote fetches",
+                "Machine #",
+                "Sim. makespan (sec)",
+                "Sim. speedup",
+                "Wall time (sec)",
+                "Stolen tasks",
+                "Remote fetches",
             ],
         );
         for machines in [1usize, 2, 4, 8] {
@@ -241,7 +262,10 @@ fn table5(specs: &[DatasetSpec], vertical: bool) {
                 ..Default::default()
             };
             let run = run_dataset(spec, &options);
-            let makespan = serial.metrics.simulated_makespan(machines * 2).as_secs_f64();
+            let makespan = serial
+                .metrics
+                .simulated_makespan(machines * 2)
+                .as_secs_f64();
             table.add_row(vec![
                 machines.to_string(),
                 format!("{makespan:.3}"),
@@ -261,7 +285,10 @@ fn table6(specs: &[DatasetSpec]) {
     let mut table = Table::new(
         "Table 6: Mining vs Subgraph Materialization on Hyves",
         &[
-            "tau_time (ms)", "Job Time (sec)", "Total Mining (sec)", "Total Materialization (sec)",
+            "tau_time (ms)",
+            "Job Time (sec)",
+            "Total Mining (sec)",
+            "Total Materialization (sec)",
             "Mining:Materialization",
         ],
     );
@@ -313,7 +340,14 @@ fn figures(specs: &[DatasetSpec], figure: Figure) {
                 let idx = buckets_ms.iter().position(|&b| ms < b).unwrap_or(0);
                 counts[idx] += 1;
             }
-            let labels = ["< 1 ms", "1-10 ms", "10-100 ms", "0.1-1 s", "1-10 s", ">= 10 s"];
+            let labels = [
+                "< 1 ms",
+                "1-10 ms",
+                "10-100 ms",
+                "0.1-1 s",
+                "1-10 s",
+                ">= 10 s",
+            ];
             for (label, count) in labels.iter().zip(counts) {
                 table.add_row(vec![label.to_string(), count.to_string()]);
             }
@@ -324,7 +358,12 @@ fn figures(specs: &[DatasetSpec], figure: Figure) {
             let totals = run.metrics.per_root_totals();
             let mut table = Table::new(
                 "Figure 2: Time of Top-100 Tasks (YouTube stand-in)",
-                &["rank", "spawning vertex", "total time (sec)", "subgraph |V|"],
+                &[
+                    "rank",
+                    "spawning vertex",
+                    "total time (sec)",
+                    "subgraph |V|",
+                ],
             );
             for (rank, (root, time, size)) in totals.iter().take(100).enumerate() {
                 table.add_row(vec![
@@ -338,7 +377,7 @@ fn figures(specs: &[DatasetSpec], figure: Figure) {
         }
         Figure::TimeVsSize => {
             let mut records = run.metrics.task_times.clone();
-            records.sort_by(|a, b| b.subgraph_size.cmp(&a.subgraph_size));
+            records.sort_by_key(|r| std::cmp::Reverse(r.subgraph_size));
             let mut table = Table::new(
                 "Figure 3: Running Time and Subgraph Size of the Largest Tasks (YouTube stand-in)",
                 &["subgraph |V|", "time (sec)"],
@@ -398,7 +437,10 @@ fn ablation(specs: &[DatasetSpec]) {
     );
     for (label, strategy) in [
         ("time-delayed (Alg 10)", DecompositionStrategy::TimeDelayed),
-        ("size-threshold (Alg 8)", DecompositionStrategy::SizeThreshold),
+        (
+            "size-threshold (Alg 8)",
+            DecompositionStrategy::SizeThreshold,
+        ),
     ] {
         let config = EngineConfig::single_machine(default_threads())
             .with_decomposition(spec.tau_split, Duration::from_millis(spec.tau_time_ms));

@@ -127,10 +127,18 @@ pub fn mine(args: &[String]) -> Result<(), String> {
         None => {
             for (i, members) in maximal.iter().take(10).enumerate() {
                 let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
-                println!("  #{:<3} |S|={:<3} {{{}}}", i + 1, members.len(), ids.join(", "));
+                println!(
+                    "  #{:<3} |S|={:<3} {{{}}}",
+                    i + 1,
+                    members.len(),
+                    ids.join(", ")
+                );
             }
             if maximal.len() > 10 {
-                println!("  … ({} more; use --output to save all)", maximal.len() - 10);
+                println!(
+                    "  … ({} more; use --output to save all)",
+                    maximal.len() - 10
+                );
             }
         }
     }
@@ -188,7 +196,12 @@ pub fn list_datasets() -> Result<(), String> {
     for spec in qcm_gen::datasets::all_datasets() {
         println!(
             "  {:<12} |V|≈{:<7} γ={:<4} τ_size={:<3} τ_split={:<5} τ_time={}ms",
-            spec.name, spec.num_vertices, spec.gamma, spec.min_size, spec.tau_split, spec.tau_time_ms
+            spec.name,
+            spec.num_vertices,
+            spec.gamma,
+            spec.min_size,
+            spec.tau_split,
+            spec.tau_time_ms
         );
     }
     Ok(())
@@ -198,9 +211,15 @@ fn print_stats(graph: &Graph) {
     let stats = GraphStats::compute(graph);
     println!("vertices            : {}", stats.num_vertices);
     println!("edges               : {}", stats.num_edges);
-    println!("min / avg / max deg : {} / {:.2} / {}", stats.min_degree, stats.avg_degree, stats.max_degree);
+    println!(
+        "min / avg / max deg : {} / {:.2} / {}",
+        stats.min_degree, stats.avg_degree, stats.max_degree
+    );
     println!("degeneracy          : {}", stats.degeneracy);
-    println!("connected components: {} (largest {})", stats.num_components, stats.largest_component);
+    println!(
+        "connected components: {} (largest {})",
+        stats.num_components, stats.largest_component
+    );
 }
 
 fn write_results(results: &QuasiCliqueSet, path: &str) -> Result<(), String> {
@@ -225,10 +244,17 @@ mod tests {
 
     #[test]
     fn flag_parser_handles_values_switches_and_positionals() {
-        let args: Vec<String> = ["input.txt", "--gamma", "0.8", "--serial", "--min-size", "12"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "input.txt",
+            "--gamma",
+            "0.8",
+            "--serial",
+            "--min-size",
+            "12",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let flags = Flags::parse(&args).unwrap();
         assert_eq!(flags.positional, vec!["input.txt"]);
         assert_eq!(flags.get::<f64>("gamma", 0.9).unwrap(), 0.8);
@@ -274,7 +300,10 @@ mod tests {
         ];
         mine(&args).unwrap();
         let written = std::fs::read_to_string(&results_path).unwrap();
-        assert!(!written.trim().is_empty(), "mining the planted graph must find results");
+        assert!(
+            !written.trim().is_empty(),
+            "mining the planted graph must find results"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

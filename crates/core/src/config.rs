@@ -124,7 +124,11 @@ mod tests {
     fn without_disables_single_rule() {
         for &name in PruneConfig::rule_names() {
             let c = PruneConfig::all_enabled().without(name);
-            assert_ne!(c, PruneConfig::all_enabled(), "rule {name} was not disabled");
+            assert_ne!(
+                c,
+                PruneConfig::all_enabled(),
+                "rule {name} was not disabled"
+            );
         }
         let c = PruneConfig::all_enabled().without("lower_bound");
         assert!(!c.lower_bound);

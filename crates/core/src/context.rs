@@ -112,7 +112,6 @@ mod tests {
         let mut ctx = MiningContext::new(&lg, params, &mut sink);
         ctx.report(&[0, 2]);
         assert_eq!(ctx.stats.results_reported, 1);
-        drop(ctx);
         assert!(sink.contains(&[VertexId::new(3), VertexId::new(5)]));
     }
 
@@ -124,7 +123,6 @@ mod tests {
         let mut ctx = MiningContext::new(&lg, params, &mut sink);
         assert!(!ctx.report_if_valid(&[0, 1])); // too small
         assert!(ctx.report_if_valid(&[0, 1, 2])); // triangle passes
-        drop(ctx);
         assert_eq!(sink.len(), 1);
     }
 
@@ -133,8 +131,7 @@ mod tests {
         let lg = triangle_local();
         let mut sink = QuasiCliqueSet::new();
         let params = MiningParams::new(0.9, 2);
-        let ctx =
-            MiningContext::with_config(&lg, params, PruneConfig::none(), &mut sink);
+        let ctx = MiningContext::with_config(&lg, params, PruneConfig::none(), &mut sink);
         assert_eq!(ctx.config, PruneConfig::none());
         assert!(!ctx.emulate_quick_omissions);
     }

@@ -14,11 +14,7 @@ use crate::params::MiningParams;
 /// Returns the position (index into the `s` slice that produced `degrees`) of
 /// the first critical vertex, or `None`. `ls` is the lower bound `L_S`
 /// computed by [`crate::bounds::lower_bound`].
-pub fn find_critical_vertex(
-    params: &MiningParams,
-    degrees: &Degrees,
-    ls: usize,
-) -> Option<usize> {
+pub fn find_critical_vertex(params: &MiningParams, degrees: &Degrees, ls: usize) -> Option<usize> {
     let s_len = degrees.s_in_s.len();
     if s_len == 0 {
         return None;

@@ -167,9 +167,7 @@ pub fn iterative_bounding(
 
         // Lines 17–20: Type-I rules (EE-degrees computed lazily here).
         let ee = compute_ee_degrees(ctx.graph, ext, &membership);
-        debug_assert!(ext
-            .iter()
-            .all(|&u| membership.get(u) == Membership::InExt));
+        debug_assert!(ext.iter().all(|&u| membership.get(u) == Membership::InExt));
         let mut pruned_any = false;
         let mut kept: Vec<u32> = Vec::with_capacity(ext.len());
         for (j, &u) in ext.iter().enumerate() {
@@ -247,7 +245,6 @@ mod tests {
         let mut s = s.to_vec();
         let mut ext = ext.to_vec();
         let pruned = iterative_bounding(&mut ctx, &mut s, &mut ext);
-        drop(ctx);
         (pruned, s, ext, sink)
     }
 
@@ -329,8 +326,7 @@ mod tests {
         // Same construction as the critical-vertex unit test: a (vertex 0)
         // must absorb both of its extension neighbors {2, 3}.
         let g = {
-            let graph =
-                Graph::from_edges(5, [(0, 2), (0, 3), (1, 2), (1, 3), (1, 4)]).unwrap();
+            let graph = Graph::from_edges(5, [(0, 2), (0, 3), (1, 2), (1, 3), (1, 4)]).unwrap();
             let all: Vec<VertexId> = graph.vertices().collect();
             LocalGraph::from_induced(&graph, &all)
         };
@@ -343,7 +339,10 @@ mod tests {
         );
         // After the critical move S must contain {0, 1, 2, 3} regardless of
         // whether the remaining extension survives further pruning.
-        assert!(s.contains(&2) && s.contains(&3), "s = {s:?}, pruned = {pruned}");
+        assert!(
+            s.contains(&2) && s.contains(&3),
+            "s = {s:?}, pruned = {pruned}"
+        );
     }
 
     #[test]

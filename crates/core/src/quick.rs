@@ -23,12 +23,9 @@ use qcm_graph::Graph;
 /// Mines with the Quick-style baseline: no k-core preprocessing and with
 /// Quick's result-missing omissions enabled.
 pub fn quick_mine(graph: &Graph, params: MiningParams) -> MiningOutput {
-    SerialMiner::with_config(
-        params,
-        PruneConfig::all_enabled().without("size_threshold"),
-    )
-    .emulating_quick_omissions(true)
-    .mine(graph)
+    SerialMiner::with_config(params, PruneConfig::all_enabled().without("size_threshold"))
+        .emulating_quick_omissions(true)
+        .mine(graph)
 }
 
 /// Mines with Quick's pruning behaviour but *with* the k-core preprocessing —

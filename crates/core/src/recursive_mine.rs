@@ -244,7 +244,6 @@ mod tests {
         let found = recursive_mine(&mut ctx, &[0], &mut ext);
         assert!(found);
         assert!(ctx.stats.lookahead_hits >= 1);
-        drop(ctx);
         assert!(sink.contains(&ids(&[0, 1, 2, 3, 4])));
     }
 

@@ -263,11 +263,43 @@ mod tests {
         let params = MiningParams::new(0.8, 2);
         // Theorem 5 with |S| = 4, U_S = 2: u needs d_S(u) + 1 ≥ ⌈0.8·5⌉ = 4,
         // so d_S(u) = 2 is prunable even if its EE-degree is huge.
-        assert!(type1_prunable(&params, &all_rules(), 4, 2, 10, Some(2), None));
-        assert!(!type1_prunable(&params, &all_rules(), 4, 4, 10, Some(2), None));
+        assert!(type1_prunable(
+            &params,
+            &all_rules(),
+            4,
+            2,
+            10,
+            Some(2),
+            None
+        ));
+        assert!(!type1_prunable(
+            &params,
+            &all_rules(),
+            4,
+            4,
+            10,
+            Some(2),
+            None
+        ));
         // Theorem 7 with L_S = 4: u needs d_S + d_ext ≥ ⌈0.8·7⌉ = 6.
-        assert!(type1_prunable(&params, &all_rules(), 4, 3, 2, None, Some(4)));
-        assert!(!type1_prunable(&params, &all_rules(), 4, 3, 3, None, Some(4)));
+        assert!(type1_prunable(
+            &params,
+            &all_rules(),
+            4,
+            3,
+            2,
+            None,
+            Some(4)
+        ));
+        assert!(!type1_prunable(
+            &params,
+            &all_rules(),
+            4,
+            3,
+            3,
+            None,
+            Some(4)
+        ));
     }
 
     #[test]

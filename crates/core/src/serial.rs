@@ -102,13 +102,15 @@ impl SerialMiner {
                     MiningContext::with_config(&work, self.params, self.config, &mut sink);
                 ctx.emulate_quick_omissions = self.emulate_quick_omissions;
                 ctx.stats.tasks_processed += 1;
-                let mut ext: Vec<u32> = if self.config.diameter
-                    && self.params.gamma.diameter_two_applies()
-                {
-                    two_hop_local(&work, v).into_iter().filter(|&u| u > v).collect()
-                } else {
-                    ((v + 1)..work.capacity() as u32).collect()
-                };
+                let mut ext: Vec<u32> =
+                    if self.config.diameter && self.params.gamma.diameter_two_applies() {
+                        two_hop_local(&work, v)
+                            .into_iter()
+                            .filter(|&u| u > v)
+                            .collect()
+                    } else {
+                        ((v + 1)..work.capacity() as u32).collect()
+                    };
                 let s = vec![v];
                 recursive_mine(&mut ctx, &s, &mut ext);
                 stats.merge(&ctx.stats);

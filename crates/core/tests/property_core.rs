@@ -7,9 +7,7 @@
 //! final result set).
 
 use proptest::prelude::*;
-use qcm_core::{
-    mine_serial, naive, quick_mine, MiningParams, PruneConfig, SerialMiner,
-};
+use qcm_core::{mine_serial, naive, quick_mine, MiningParams, PruneConfig, SerialMiner};
 use qcm_graph::{Graph, GraphBuilder};
 
 /// Random simple graph with `n ≤ max_n` vertices and bounded edge count.
@@ -31,7 +29,8 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
 
 /// Random mining parameters in the ranges the paper uses (γ ∈ [0.5, 1.0]).
 fn arb_params() -> impl Strategy<Value = MiningParams> {
-    (5u32..=10, 3usize..=5).prop_map(|(g10, min_size)| MiningParams::new(g10 as f64 / 10.0, min_size))
+    (5u32..=10, 3usize..=5)
+        .prop_map(|(g10, min_size)| MiningParams::new(g10 as f64 / 10.0, min_size))
 }
 
 proptest! {

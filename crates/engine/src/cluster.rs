@@ -432,10 +432,7 @@ fn balancer_loop<A: GThinkerApp>(shared: &SharedState<'_, A>) {
         if rich == poor || rich_count <= poor_count + 1 || rich_count <= avg {
             continue;
         }
-        let to_move = config
-            .batch_size
-            .min((rich_count - poor_count) / 2)
-            .max(1);
+        let to_move = config.batch_size.min((rich_count - poor_count) / 2).max(1);
         let moved = {
             let mut rich_queue = shared.machines[rich].global_queue.lock();
             rich_queue.take_batch(to_move)

@@ -99,7 +99,10 @@ impl EngineConfig {
     /// the cluster constructor.
     pub fn validate(&self) {
         assert!(self.num_machines >= 1, "need at least one machine");
-        assert!(self.threads_per_machine >= 1, "need at least one thread per machine");
+        assert!(
+            self.threads_per_machine >= 1,
+            "need at least one thread per machine"
+        );
         assert!(self.batch_size >= 1, "batch size must be at least 1");
         assert!(
             self.local_queue_capacity >= self.batch_size,
@@ -143,8 +146,7 @@ mod tests {
 
     #[test]
     fn with_decomposition_sets_hyperparameters() {
-        let c = EngineConfig::single_machine(2)
-            .with_decomposition(50, Duration::from_millis(1));
+        let c = EngineConfig::single_machine(2).with_decomposition(50, Duration::from_millis(1));
         assert_eq!(c.tau_split, 50);
         assert_eq!(c.tau_time, Duration::from_millis(1));
     }
@@ -152,17 +154,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "batch")]
     fn validate_rejects_zero_batch() {
-        let mut c = EngineConfig::default();
-        c.batch_size = 0;
+        let c = EngineConfig {
+            batch_size: 0,
+            ..EngineConfig::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "local queue capacity")]
     fn validate_rejects_queue_smaller_than_batch() {
-        let mut c = EngineConfig::default();
-        c.batch_size = 64;
-        c.local_queue_capacity = 32;
+        let c = EngineConfig {
+            batch_size: 64,
+            local_queue_capacity: 32,
+            ..EngineConfig::default()
+        };
         c.validate();
     }
 }

@@ -92,7 +92,7 @@ impl EngineMetrics {
     /// The `k` largest per-task wall times, sorted descending (Figure 2).
     pub fn top_k_task_times(&self, k: usize) -> Vec<TaskTimeRecord> {
         let mut sorted = self.task_times.clone();
-        sorted.sort_by(|a, b| b.elapsed.cmp(&a.elapsed));
+        sorted.sort_by_key(|r| std::cmp::Reverse(r.elapsed));
         sorted.truncate(k);
         sorted
     }
@@ -112,7 +112,7 @@ impl EngineMetrics {
         }
         let mut rows: Vec<(VertexId, Duration, usize)> =
             acc.into_iter().map(|(v, (d, s))| (v, d, s)).collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
 
@@ -178,8 +178,10 @@ mod tests {
 
     #[test]
     fn top_k_sorts_by_elapsed() {
-        let mut m = EngineMetrics::default();
-        m.task_times = vec![record(1, 10, 5), record(2, 20, 50), record(3, 5, 20)];
+        let m = EngineMetrics {
+            task_times: vec![record(1, 10, 5), record(2, 20, 50), record(3, 5, 20)],
+            ..EngineMetrics::default()
+        };
         let top2 = m.top_k_task_times(2);
         assert_eq!(top2.len(), 2);
         assert_eq!(top2[0].root, Some(VertexId::new(2)));
@@ -189,18 +191,20 @@ mod tests {
 
     #[test]
     fn per_root_totals_aggregate_subtasks() {
-        let mut m = EngineMetrics::default();
-        m.task_times = vec![
-            record(7, 100, 30),
-            record(7, 40, 20),
-            record(9, 10, 5),
-            TaskTimeRecord {
-                root: None,
-                subgraph_size: 3,
-                elapsed: Duration::from_millis(1),
-                timings: TaskTimings::default(),
-            },
-        ];
+        let m = EngineMetrics {
+            task_times: vec![
+                record(7, 100, 30),
+                record(7, 40, 20),
+                record(9, 10, 5),
+                TaskTimeRecord {
+                    root: None,
+                    subgraph_size: 3,
+                    elapsed: Duration::from_millis(1),
+                    timings: TaskTimings::default(),
+                },
+            ],
+            ..EngineMetrics::default()
+        };
         let totals = m.per_root_totals();
         assert_eq!(totals.len(), 2);
         assert_eq!(totals[0].0, VertexId::new(7));
@@ -210,14 +214,16 @@ mod tests {
 
     #[test]
     fn simulated_makespan_balances_tasks() {
-        let mut m = EngineMetrics::default();
-        m.task_times = vec![
-            record(1, 1, 40),
-            record(2, 1, 10),
-            record(3, 1, 10),
-            record(4, 1, 10),
-            record(5, 1, 10),
-        ];
+        let m = EngineMetrics {
+            task_times: vec![
+                record(1, 1, 40),
+                record(2, 1, 10),
+                record(3, 1, 10),
+                record(4, 1, 10),
+                record(5, 1, 10),
+            ],
+            ..EngineMetrics::default()
+        };
         // Serial: 80 ms. Two workers: the greedy schedule puts the 40 ms task
         // on one worker and the four 10 ms tasks on the other.
         assert_eq!(m.simulated_makespan(1), Duration::from_millis(80));
@@ -225,7 +231,10 @@ mod tests {
         // More workers cannot beat the longest task.
         assert_eq!(m.simulated_makespan(8), Duration::from_millis(40));
         assert_eq!(m.simulated_makespan(0), Duration::from_millis(80));
-        assert_eq!(EngineMetrics::default().simulated_makespan(4), Duration::ZERO);
+        assert_eq!(
+            EngineMetrics::default().simulated_makespan(4),
+            Duration::ZERO
+        );
     }
 
     #[test]

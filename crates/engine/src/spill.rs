@@ -43,8 +43,15 @@ impl SpillMetrics {
 /// One spilled batch: either a file on disk or an in-memory buffer.
 #[derive(Debug)]
 enum Batch {
-    File { path: PathBuf, bytes: u64, count: usize },
-    Memory { data: Vec<u8>, count: usize },
+    File {
+        path: PathBuf,
+        bytes: u64,
+        count: usize,
+    },
+    Memory {
+        data: Vec<u8>,
+        count: usize,
+    },
 }
 
 /// A FIFO list of spilled task batches.
@@ -67,7 +74,11 @@ pub struct SpillStore {
 impl SpillStore {
     /// Creates a store that writes files into `dir` (created if missing), or
     /// keeps batches in memory when `dir` is `None`.
-    pub fn new(dir: Option<PathBuf>, prefix: impl Into<String>, metrics: Arc<SpillMetrics>) -> Self {
+    pub fn new(
+        dir: Option<PathBuf>,
+        prefix: impl Into<String>,
+        metrics: Arc<SpillMetrics>,
+    ) -> Self {
         if let Some(d) = &dir {
             let _ = fs::create_dir_all(d);
         }
@@ -267,6 +278,9 @@ mod tests {
         let _: Vec<T> = store.refill().unwrap();
         let _: Vec<T> = store.refill().unwrap();
         // Peak is a high watermark: unchanged by refills.
-        assert_eq!(metrics.peak_bytes.load(Ordering::Relaxed), peak_after_second);
+        assert_eq!(
+            metrics.peak_bytes.load(Ordering::Relaxed),
+            peak_after_second
+        );
     }
 }

@@ -208,7 +208,10 @@ mod tests {
     fn frontier_stores_and_returns_lists() {
         let mut f = Frontier::new();
         assert!(f.is_empty());
-        f.insert(VertexId::new(3), Arc::new(vec![VertexId::new(1), VertexId::new(2)]));
+        f.insert(
+            VertexId::new(3),
+            Arc::new(vec![VertexId::new(1), VertexId::new(2)]),
+        );
         assert_eq!(f.len(), 1);
         assert_eq!(f.get(VertexId::new(3)).unwrap().len(), 2);
         assert!(f.get(VertexId::new(9)).is_none());

@@ -256,7 +256,9 @@ mod tests {
     use std::time::Duration;
 
     fn sample_graph() -> Arc<Graph> {
-        Arc::new(Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]).unwrap())
+        Arc::new(
+            Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]).unwrap(),
+        )
     }
 
     #[test]

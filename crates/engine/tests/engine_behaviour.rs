@@ -147,7 +147,10 @@ fn single_machine_processes_every_vertex() {
         out.metrics.tasks_processed,
         64 + g.degree(VertexId::new(0)) as u64
     );
-    assert_eq!(out.metrics.tasks_decomposed, g.degree(VertexId::new(0)) as u64);
+    assert_eq!(
+        out.metrics.tasks_decomposed,
+        g.degree(VertexId::new(0)) as u64
+    );
     assert!(out.metrics.peak_task_bytes > 0);
     assert!(out.metrics.worker_busy.len() == 4);
 }
@@ -198,10 +201,8 @@ fn tiny_queues_force_spilling_without_losing_tasks() {
     config.batch_size = 2;
     config.local_queue_capacity = 2;
     config.global_queue_capacity = 2;
-    config.spill_dir = Some(std::env::temp_dir().join(format!(
-        "qcm_engine_spill_test_{}",
-        std::process::id()
-    )));
+    config.spill_dir =
+        Some(std::env::temp_dir().join(format!("qcm_engine_spill_test_{}", std::process::id())));
     let out = Cluster::new(app, config.clone()).run(g.clone());
     assert_eq!(out.results.len(), expected_rows(&g, 4));
     assert!(
@@ -209,8 +210,7 @@ fn tiny_queues_force_spilling_without_losing_tasks() {
         "tiny queues must trigger spilling"
     );
     assert_eq!(
-        out.metrics.spill_bytes_written,
-        out.metrics.spill_bytes_read,
+        out.metrics.spill_bytes_written, out.metrics.spill_bytes_read,
         "every spilled byte must be read back"
     );
     if let Some(dir) = &config.spill_dir {

@@ -68,8 +68,8 @@ pub fn chung_lu(weights: &[f64], seed: u64) -> Graph {
             continue;
         }
         let mut j = i + 1;
-        let mut p = (sorted_w[i] * sorted_w[i + 1..].first().copied().unwrap_or(0.0) / total_w)
-            .min(1.0);
+        let mut p =
+            (sorted_w[i] * sorted_w[i + 1..].first().copied().unwrap_or(0.0) / total_w).min(1.0);
         while j < n && p > 0.0 {
             if p < 1.0 {
                 // Geometric skip ahead.

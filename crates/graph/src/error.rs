@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn io_error_conversion_preserves_source() {
         use std::error::Error;
-        let e: GraphError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: GraphError = io::Error::other("boom").into();
         assert!(e.source().is_some());
     }
 }

@@ -220,7 +220,7 @@ impl Graph {
                         message: format!("self loop at {v}"),
                     });
                 }
-                if !self.neighbors(w).binary_search(&v).is_ok() {
+                if self.neighbors(w).binary_search(&v).is_err() {
                     return Err(GraphError::Parse {
                         line: 0,
                         message: format!("edge ({v},{w}) is not symmetric"),
@@ -287,7 +287,10 @@ mod tests {
     #[test]
     fn from_edges_rejects_out_of_range() {
         let err = Graph::from_edges(3, [(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]
@@ -311,7 +314,11 @@ mod tests {
         let g = figure4_graph();
         // Γ(d) = {a, c, e, h, i} so d(d) = 5 (paper, Section 3.1).
         assert_eq!(g.degree(VertexId::new(3)), 5);
-        let nbrs: Vec<u32> = g.neighbors(VertexId::new(3)).iter().map(|v| v.raw()).collect();
+        let nbrs: Vec<u32> = g
+            .neighbors(VertexId::new(3))
+            .iter()
+            .map(|v| v.raw())
+            .collect();
         assert_eq!(nbrs, vec![0, 2, 4, 7, 8]);
         // Γ(e) = {a, b, c, d}.
         assert_eq!(g.degree(VertexId::new(4)), 4);

@@ -216,8 +216,8 @@ mod tests {
 
     #[test]
     fn binary_roundtrip_preserves_structure() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
         let g2 = read_binary(buf.as_slice()).unwrap();

@@ -21,9 +21,7 @@ pub fn core_numbers(g: &Graph) -> Vec<u32> {
     if n == 0 {
         return Vec::new();
     }
-    let mut degree: Vec<u32> = (0..n)
-        .map(|v| g.degree(VertexId::from(v)) as u32)
-        .collect();
+    let mut degree: Vec<u32> = (0..n).map(|v| g.degree(VertexId::from(v)) as u32).collect();
     let max_deg = *degree.iter().max().unwrap() as usize;
 
     // Bucket sort vertices by degree.
@@ -97,9 +95,7 @@ pub fn k_core_vertices(g: &Graph, k: usize) -> Vec<VertexId> {
     }
     let mut degree: Vec<usize> = (0..n).map(|v| g.degree(VertexId::from(v))).collect();
     let mut removed = vec![false; n];
-    let mut stack: Vec<u32> = (0..n as u32)
-        .filter(|&v| degree[v as usize] < k)
-        .collect();
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&v| degree[v as usize] < k).collect();
     for &v in &stack {
         removed[v as usize] = true;
     }
@@ -268,7 +264,10 @@ mod tests {
                 .iter()
                 .filter(|w| position[w.index()] > i)
                 .count();
-            assert!(later <= d, "vertex {v} has {later} later neighbors > degeneracy {d}");
+            assert!(
+                later <= d,
+                "vertex {v} has {later} later neighbors > degeneracy {d}"
+            );
         }
     }
 

@@ -234,7 +234,13 @@ impl LocalGraph {
         }
         let n = self.adj.len();
         let mut degree: Vec<usize> = (0..n as u32)
-            .map(|i| if self.alive[i as usize] { self.degree(i) } else { 0 })
+            .map(|i| {
+                if self.alive[i as usize] {
+                    self.degree(i)
+                } else {
+                    0
+                }
+            })
             .collect();
         let mut stack: Vec<u32> = (0..n as u32)
             .filter(|&i| self.alive[i as usize] && degree[i as usize] < k)
@@ -399,7 +405,10 @@ mod tests {
         let (as_graph, mapping) = lg.to_graph();
         assert_eq!(as_graph.num_vertices(), 3);
         assert_eq!(as_graph.num_edges(), 3);
-        assert_eq!(mapping.iter().map(|v| v.raw()).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(
+            mapping.iter().map(|v| v.raw()).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
         as_graph.validate().unwrap();
     }
 

@@ -260,7 +260,10 @@ mod tests {
     #[test]
     fn is_connected_subset_checks() {
         let g = figure4();
-        let subset: Vec<VertexId> = [0u32, 1, 2, 3, 4].iter().map(|&v| VertexId::new(v)).collect();
+        let subset: Vec<VertexId> = [0u32, 1, 2, 3, 4]
+            .iter()
+            .map(|&v| VertexId::new(v))
+            .collect();
         assert!(is_connected_subset(&g, &subset));
         let disconnected: Vec<VertexId> = [5u32, 8].iter().map(|&v| VertexId::new(v)).collect();
         assert!(!is_connected_subset(&g, &disconnected));
@@ -271,7 +274,10 @@ mod tests {
     #[test]
     fn subset_diameter_of_quasi_clique_region() {
         let g = figure4();
-        let subset: Vec<VertexId> = [0u32, 1, 2, 3, 4].iter().map(|&v| VertexId::new(v)).collect();
+        let subset: Vec<VertexId> = [0u32, 1, 2, 3, 4]
+            .iter()
+            .map(|&v| VertexId::new(v))
+            .collect();
         // b and d are not adjacent but share neighbors → diameter 2.
         assert_eq!(subset_diameter(&g, &subset), Some(2));
         let disconnected: Vec<VertexId> = [5u32, 8].iter().map(|&v| VertexId::new(v)).collect();

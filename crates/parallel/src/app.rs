@@ -128,7 +128,10 @@ impl GThinkerApp for QuasiCliqueApp {
     fn task_label(&self, task: &Self::Task) -> TaskLabel {
         TaskLabel {
             root: Some(task.root),
-            subgraph_size: task.subgraph.num_vertices().max(task.s.len() + task.ext.len()),
+            subgraph_size: task
+                .subgraph
+                .num_vertices()
+                .max(task.s.len() + task.ext.len()),
         }
     }
 }

@@ -259,7 +259,7 @@ mod tests {
     fn second_hop_pull_targets_exclude_one_hop_vertices() {
         let g = figure4();
         let root = v(0);
-        let larger: Vec<VertexId> = g.neighbors(root).iter().copied().collect();
+        let larger: Vec<VertexId> = g.neighbors(root).to_vec();
         let mut task = QCTask::spawned(root, larger);
         let f1 = frontier_for(&g, &task.pull_targets.clone());
         assert!(iteration_1(&mut task, &f1, 3));

@@ -20,7 +20,7 @@
 use crate::task::{QCTask, TaskGraph};
 use qcm_core::cover::{find_cover_vertex, move_cover_to_tail};
 use qcm_core::{
-    iterative_bounding, is_quasi_clique_local, recursive_mine, two_hop_local, MiningContext,
+    is_quasi_clique_local, iterative_bounding, recursive_mine, two_hop_local, MiningContext,
     MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
 };
 use qcm_graph::{LocalGraph, VertexId};
@@ -73,8 +73,8 @@ pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
 
     let (graph, index) = task.subgraph.to_local_graph();
     let to_local = |v: &VertexId| index.get(v).copied();
-    let s_local: Vec<u32> = task.s.iter().filter_map(|v| to_local(v)).collect();
-    let mut ext_local: Vec<u32> = task.ext.iter().filter_map(|v| to_local(v)).collect();
+    let s_local: Vec<u32> = task.s.iter().filter_map(&to_local).collect();
+    let mut ext_local: Vec<u32> = task.ext.iter().filter_map(to_local).collect();
     if s_local.len() != task.s.len() {
         // Some S member is missing from the materialised subgraph; nothing to
         // mine (can only happen with an empty/over-pruned subgraph).
@@ -102,7 +102,12 @@ pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
                     if ext_local.len() <= phase.tau_split {
                         recursive_mine(&mut ctx, &s_local, &mut ext_local);
                     } else {
-                        size_threshold_decompose(&mut ctx, &s_local, &mut ext_local, &mut collector);
+                        size_threshold_decompose(
+                            &mut ctx,
+                            &s_local,
+                            &mut ext_local,
+                            &mut collector,
+                        );
                     }
                 }
                 DecompositionStrategy::TimeDelayed => {
@@ -117,7 +122,9 @@ pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
     outcome.results = sink.into_sorted_vec();
     outcome.subtasks = collector.subtasks;
     outcome.materialization_time = collector.materialization_time;
-    outcome.mining_time = started.elapsed().saturating_sub(outcome.materialization_time);
+    outcome.mining_time = started
+        .elapsed()
+        .saturating_sub(outcome.materialization_time);
     outcome
 }
 
@@ -350,7 +357,11 @@ mod tests {
         QCTask::decomposed(root_id, vec![root_id], ext, tg)
     }
 
-    fn phase(strategy: DecompositionStrategy, tau_split: usize, tau_time: Duration) -> MinePhaseParams {
+    fn phase(
+        strategy: DecompositionStrategy,
+        tau_split: usize,
+        tau_time: Duration,
+    ) -> MinePhaseParams {
         MinePhaseParams {
             params: MiningParams::new(0.6, 5),
             config: PruneConfig::all_enabled(),
@@ -381,10 +392,17 @@ mod tests {
     #[test]
     fn in_place_mining_matches_serial_results() {
         let g = figure4();
-        let p = phase(DecompositionStrategy::TimeDelayed, 100, Duration::from_secs(5));
+        let p = phase(
+            DecompositionStrategy::TimeDelayed,
+            100,
+            Duration::from_secs(5),
+        );
         let task = mine_task(&g, 0);
         let (results, processed) = drain(task, &p);
-        assert_eq!(processed, 1, "no decomposition expected before the deadline");
+        assert_eq!(
+            processed, 1,
+            "no decomposition expected before the deadline"
+        );
         let expected = mine_serial(&g, p.params);
         // The task spawned from vertex 0 must find the unique 5-vertex result.
         let maximal = qcm_core::remove_non_maximal(results);
@@ -406,7 +424,11 @@ mod tests {
     #[test]
     fn size_threshold_decomposition_preserves_results() {
         let g = figure4();
-        let p = phase(DecompositionStrategy::SizeThreshold, 2, Duration::from_secs(1));
+        let p = phase(
+            DecompositionStrategy::SizeThreshold,
+            2,
+            Duration::from_secs(1),
+        );
         let task = mine_task(&g, 0);
         let (results, processed) = drain(task, &p);
         assert!(processed > 1, "|ext| = 8 > τ_split = 2 must decompose");
@@ -427,8 +449,7 @@ mod tests {
         // Subtask subgraphs are induced: they never contain vertices outside
         // S' ∪ ext(S').
         for sub in &out.subtasks {
-            let allowed: Vec<VertexId> =
-                sub.s.iter().chain(sub.ext.iter()).copied().collect();
+            let allowed: Vec<VertexId> = sub.s.iter().chain(sub.ext.iter()).copied().collect();
             for (v, nbrs) in &sub.subgraph.adj {
                 assert!(allowed.contains(v));
                 for w in nbrs {
@@ -454,7 +475,11 @@ mod tests {
         }
         let s: Vec<VertexId> = (0..5u32).map(VertexId::new).collect();
         let task = QCTask::decomposed(VertexId::new(0), s.clone(), vec![], tg);
-        let p = phase(DecompositionStrategy::TimeDelayed, 100, Duration::from_secs(1));
+        let p = phase(
+            DecompositionStrategy::TimeDelayed,
+            100,
+            Duration::from_secs(1),
+        );
         let out = run_mine_phase(&task, &p);
         assert_eq!(out.results.len(), 1);
         assert_eq!(out.results[0], s);

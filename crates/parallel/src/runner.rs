@@ -96,7 +96,11 @@ impl ParallelMiner {
 
 /// Convenience function: parallel mining with default engine settings and the
 /// given number of threads on one simulated machine.
-pub fn mine_parallel(graph: &Arc<Graph>, params: MiningParams, threads: usize) -> ParallelMiningOutput {
+pub fn mine_parallel(
+    graph: &Arc<Graph>,
+    params: MiningParams,
+    threads: usize,
+) -> ParallelMiningOutput {
     ParallelMiner::new(params, EngineConfig::single_machine(threads)).mine(graph.clone())
 }
 

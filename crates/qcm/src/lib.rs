@@ -66,6 +66,9 @@ mod tests {
         let serial = mine_serial(&graph, params);
         let parallel = mine_parallel(&graph, params, 2);
         assert_eq!(serial.maximal, parallel.maximal);
-        assert!(!serial.maximal.is_empty(), "planted communities must be found");
+        assert!(
+            !serial.maximal.is_empty(),
+            "planted communities must be found"
+        );
     }
 }

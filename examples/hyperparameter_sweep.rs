@@ -17,7 +17,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "CX_GSE10158".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CX_GSE10158".to_string());
     let spec = qcm::gen::datasets::all_datasets()
         .into_iter()
         .find(|d| d.name.eq_ignore_ascii_case(&name))

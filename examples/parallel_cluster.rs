@@ -77,7 +77,9 @@ fn main() {
          peak task memory {} KiB, spilled {} KiB",
         out.metrics.total_mining_time,
         out.metrics.total_materialization_time,
-        out.metrics.mining_materialization_ratio().unwrap_or(f64::INFINITY),
+        out.metrics
+            .mining_materialization_ratio()
+            .unwrap_or(f64::INFINITY),
         out.metrics.peak_memory_bytes() / 1024,
         out.metrics.spill_bytes_written / 1024
     );

@@ -41,8 +41,14 @@ fn main() {
     let (graph, gamma, min_size) = if args.len() >= 2 {
         let graph = qcm::graph::io::read_edge_list_file(&args[1])
             .unwrap_or_else(|e| panic!("failed to read {}: {e}", args[1]));
-        let gamma: f64 = args.get(2).map(|s| s.parse().expect("gamma")).unwrap_or(0.9);
-        let min_size: usize = args.get(3).map(|s| s.parse().expect("min_size")).unwrap_or(10);
+        let gamma: f64 = args
+            .get(2)
+            .map(|s| s.parse().expect("gamma"))
+            .unwrap_or(0.9);
+        let min_size: usize = args
+            .get(3)
+            .map(|s| s.parse().expect("min_size"))
+            .unwrap_or(10);
         (graph, gamma, min_size)
     } else {
         (figure4(), 0.6, 5)
@@ -82,7 +88,12 @@ fn main() {
     println!("\nResults:");
     for (i, members) in parallel.maximal.iter().enumerate() {
         let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
-        println!("  #{:<3} |S| = {:<3} S = {{{}}}", i + 1, members.len(), ids.join(", "));
+        println!(
+            "  #{:<3} |S| = {:<3} S = {{{}}}",
+            i + 1,
+            members.len(),
+            ids.join(", ")
+        );
         if i >= 19 {
             println!("  … ({} more)", parallel.maximal.len() - 20);
             break;

@@ -42,8 +42,13 @@ fn tiny_queues_with_disk_spill_produce_correct_results() {
         out.metrics.spill_bytes_written > 0,
         "2-slot queues with full decomposition must spill"
     );
-    assert_eq!(out.metrics.spill_bytes_written, out.metrics.spill_bytes_read);
-    let leftover = std::fs::read_dir(&spill_dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(
+        out.metrics.spill_bytes_written,
+        out.metrics.spill_bytes_read
+    );
+    let leftover = std::fs::read_dir(&spill_dir)
+        .map(|d| d.count())
+        .unwrap_or(0);
     assert_eq!(leftover, 0, "spill files must be consumed and removed");
     let _ = std::fs::remove_dir_all(&spill_dir);
 }

@@ -7,9 +7,9 @@
 //! misses no maximal quasi-clique, and the system side (task decomposition,
 //! queues, spilling) must not change the result set either.
 
-use qcm::prelude::*;
 use qcm::core::naive;
 use qcm::parallel::DecompositionStrategy;
+use qcm::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -36,7 +36,9 @@ fn all_configs() -> Vec<(f64, usize)> {
 #[test]
 fn serial_parallel_and_oracle_agree_on_arithmetic_graphs() {
     for (i, (seed, threshold, modulus)) in
-        [(1u64, 11u64, 29u64), (7, 13, 31), (23, 9, 23), (5, 17, 37)].iter().enumerate()
+        [(1u64, 11u64, 29u64), (7, 13, 31), (23, 9, 23), (5, 17, 37)]
+            .iter()
+            .enumerate()
     {
         let g = arithmetic_graph(13, *seed, *threshold, *modulus);
         for (gamma, min_size) in all_configs() {
@@ -70,12 +72,18 @@ fn forced_decomposition_does_not_change_results() {
     config.tau_time = Duration::ZERO;
 
     let time_delayed = ParallelMiner::new(params, config.clone()).mine(g.clone());
-    assert_eq!(time_delayed.maximal, oracle, "time-delayed decomposition lost results");
+    assert_eq!(
+        time_delayed.maximal, oracle,
+        "time-delayed decomposition lost results"
+    );
 
     let size_threshold = ParallelMiner::new(params, config)
         .with_strategy(DecompositionStrategy::SizeThreshold)
         .mine(g.clone());
-    assert_eq!(size_threshold.maximal, oracle, "size-threshold decomposition lost results");
+    assert_eq!(
+        size_threshold.maximal, oracle,
+        "size-threshold decomposition lost results"
+    );
 }
 
 #[test]

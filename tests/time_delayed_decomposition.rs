@@ -11,8 +11,8 @@
 //! * subgraph-materialisation time stays a small fraction of mining time
 //!   (Table 6's ratio).
 
-use qcm::prelude::*;
 use qcm::parallel::{DecompositionStrategy, ParallelMiner};
+use qcm::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,7 +25,11 @@ fn hard_core_graph() -> (Arc<Graph>, MiningParams) {
     (Arc::new(graph), MiningParams::new(0.85, 8))
 }
 
-fn run_with_tau_time(graph: &Arc<Graph>, params: MiningParams, tau_time: Duration) -> ParallelMiningOutput {
+fn run_with_tau_time(
+    graph: &Arc<Graph>,
+    params: MiningParams,
+    tau_time: Duration,
+) -> ParallelMiningOutput {
     let config = EngineConfig::single_machine(4).with_decomposition(30, tau_time);
     ParallelMiner::new(params, config).mine(graph.clone())
 }
@@ -50,7 +54,10 @@ fn zero_timeout_decomposes_aggressively_and_preserves_results() {
         eager.metrics.tasks_decomposed > 0,
         "zero τ_time must decompose expensive tasks"
     );
-    assert_eq!(eager.maximal, lazy.maximal, "decomposition changed the result set");
+    assert_eq!(
+        eager.maximal, lazy.maximal,
+        "decomposition changed the result set"
+    );
     // Decomposition pays a materialisation cost, which must now be non-zero…
     assert!(eager.metrics.total_materialization_time > Duration::ZERO);
     // …but stays far below the mining time (Table 6's point: the overhead is

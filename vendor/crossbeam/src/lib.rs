@@ -1,0 +1,43 @@
+//! Minimal, dependency-free stand-in for
+//! [`crossbeam`](https://crates.io/crates/crossbeam), written for this
+//! workspace's offline build environment.
+//!
+//! Only `crossbeam::thread::scope` is provided, backed by
+//! `std::thread::scope` (stable since Rust 1.63). The one behavioural
+//! difference: crossbeam catches child-thread panics and returns them as
+//! `Err`, while `std::thread::scope` resumes the panic when the scope exits.
+//! Callers here immediately `.expect()` the result, so a child panic aborts
+//! the run either way — the observable behaviour is identical.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the closure of [`scope`]; mirrors
+    /// `crossbeam_utils::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope in which spawned threads may borrow from the caller's
+    /// stack. All threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
