@@ -10,7 +10,7 @@
 //! cargo run --release -p qcm-bench --bin calibrate -- [gamma] [min_size]
 //! ```
 
-use qcm_core::{mine_serial, MiningParams};
+use qcm_core::{MiningParams, SerialMiner};
 use std::time::Instant;
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
         for &p in &[0.45f64, 0.5, 0.55, 0.6, 0.65] {
             let graph = qcm_gen::gnp(size, p, (size as u64) * 1000 + (p * 100.0) as u64);
             let start = Instant::now();
-            let out = mine_serial(&graph, params);
+            let out = SerialMiner::new(params).mine(&graph);
             let elapsed = start.elapsed();
             println!(
                 "{:>6} {:>6.2} {:>12.3} {:>12} {:>10}",

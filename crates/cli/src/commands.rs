@@ -1,9 +1,12 @@
-//! CLI subcommand implementations and a small flag parser.
+//! CLI subcommand implementations and a small, strict flag parser.
+//!
+//! Every subcommand returns the workspace-wide typed [`QcmError`]; `qcm mine`
+//! drives the unified [`Session`] front door, so the CLI gets builder-time
+//! validation, deadlines (`--deadline-ms`) and partial-result labelling for
+//! free.
 
-use qcm_core::{mine_serial, MiningParams, QuasiCliqueSet};
-use qcm_engine::EngineConfig;
+use qcm::{Backend, MiningReport, QcmError, Session};
 use qcm_graph::{io, Graph, GraphStats};
-use qcm_parallel::ParallelMiner;
 use std::collections::HashMap;
 use std::io::Write;
 use std::sync::Arc;
@@ -27,10 +30,47 @@ MINE OPTIONS:
     --machines <n>       simulated machines (default 1)
     --tau-split <n>      big-task threshold τ_split (default 100)
     --tau-time-ms <n>    decomposition timeout τ_time in milliseconds (default 10)
+    --deadline-ms <n>    wall-clock budget; an exceeded deadline returns the
+                         partial results found so far, labelled as such
+    --format <fmt>       output format: text (default) or json
     --serial             use the single-threaded reference miner
     --output <file>      write the result sets to a file (default: print summary only)";
 
+/// Which flags a subcommand accepts.
+struct FlagSpec {
+    /// `--key value` flags.
+    values: &'static [&'static str],
+    /// Bare `--switch` flags.
+    switches: &'static [&'static str],
+}
+
+const MINE_FLAGS: FlagSpec = FlagSpec {
+    values: &[
+        "gamma",
+        "min-size",
+        "threads",
+        "machines",
+        "tau-split",
+        "tau-time-ms",
+        "deadline-ms",
+        "format",
+        "output",
+    ],
+    switches: &["serial"],
+};
+
+const GENERATE_FLAGS: FlagSpec = FlagSpec {
+    values: &["dataset", "output", "seed"],
+    switches: &[],
+};
+
+const STATS_FLAGS: FlagSpec = FlagSpec {
+    values: &[],
+    switches: &[],
+};
+
 /// Parsed command-line flags: `--key value` pairs plus bare switches.
+#[derive(Debug)]
 struct Flags {
     positional: Vec<String>,
     values: HashMap<String, String>,
@@ -38,24 +78,34 @@ struct Flags {
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Self, String> {
+    /// Parses `args` against `spec`, rejecting unknown and duplicate flags.
+    fn parse(args: &[String], spec: &FlagSpec) -> Result<Self, QcmError> {
         let mut positional = Vec::new();
         let mut values = HashMap::new();
-        let mut switches = Vec::new();
+        let mut switches: Vec<String> = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let arg = &args[i];
             if let Some(name) = arg.strip_prefix("--") {
-                // Switches without values.
-                if name == "serial" {
+                if spec.switches.contains(&name) {
+                    if switches.iter().any(|s| s == name) {
+                        return Err(QcmError::InvalidConfig(format!("duplicate flag --{name}")));
+                    }
                     switches.push(name.to_string());
                     i += 1;
                     continue;
                 }
-                let value = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
-                values.insert(name.to_string(), value.clone());
+                if !spec.values.contains(&name) {
+                    return Err(QcmError::InvalidConfig(format!(
+                        "unknown flag --{name} (run `qcm help` for the flag list)"
+                    )));
+                }
+                let value = args.get(i + 1).ok_or_else(|| {
+                    QcmError::InvalidConfig(format!("flag --{name} expects a value"))
+                })?;
+                if values.insert(name.to_string(), value.clone()).is_some() {
+                    return Err(QcmError::InvalidConfig(format!("duplicate flag --{name}")));
+                }
                 i += 2;
             } else {
                 positional.push(arg.clone());
@@ -69,12 +119,16 @@ impl Flags {
         })
     }
 
-    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, QcmError> {
+        Ok(self.get_opt(name)?.unwrap_or(default))
+    }
+
+    fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, QcmError> {
         match self.values.get(name) {
-            None => Ok(default),
-            Some(raw) => raw
-                .parse::<T>()
-                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
+                QcmError::InvalidConfig(format!("invalid value {raw:?} for --{name}"))
+            }),
         }
     }
 
@@ -83,87 +137,169 @@ impl Flags {
     }
 }
 
+/// Output format of `qcm mine`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
 /// `qcm mine <edge_list> …`
-pub fn mine(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
+pub fn mine(args: &[String]) -> Result<(), QcmError> {
+    let flags = Flags::parse(args, &MINE_FLAGS)?;
     let path = flags
         .positional
         .first()
-        .ok_or_else(|| "mine requires an edge-list path".to_string())?;
-    let graph = io::read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        .ok_or_else(|| QcmError::InvalidConfig("mine requires an edge-list path".into()))?;
+    let format = match flags.values.get("format").map(String::as_str) {
+        None | Some("text") => OutputFormat::Text,
+        Some("json") => OutputFormat::Json,
+        Some(other) => {
+            return Err(QcmError::InvalidConfig(format!(
+                "invalid value {other:?} for --format (expected text or json)"
+            )))
+        }
+    };
+    let graph = io::read_edge_list_file(path)?;
     let gamma: f64 = flags.get("gamma", 0.9)?;
     let min_size: usize = flags.get("min-size", 10)?;
-    let params = MiningParams::new(gamma, min_size);
-    println!(
-        "graph: {} vertices, {} edges; mining γ={gamma}, τ_size={min_size}",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
 
-    let (maximal, elapsed) = if flags.has_switch("serial") {
-        let out = mine_serial(&graph, params);
-        (out.maximal, out.elapsed)
+    // Parse and range-check the cluster-shape flags unconditionally so a bad
+    // value is rejected even when --serial makes them unused.
+    let threads: usize = flags.get("threads", default_threads())?;
+    let machines: usize = flags.get("machines", 1usize)?;
+    if threads == 0 {
+        return Err(QcmError::InvalidConfig(
+            "--threads must be at least 1".into(),
+        ));
+    }
+    if machines == 0 {
+        return Err(QcmError::InvalidConfig(
+            "--machines must be at least 1".into(),
+        ));
+    }
+    let backend = if flags.has_switch("serial") {
+        Backend::Serial
     } else {
-        let threads: usize = flags.get("threads", default_threads())?;
-        let machines: usize = flags.get("machines", 1usize)?;
-        let tau_split: usize = flags.get("tau-split", 100usize)?;
-        let tau_time_ms: u64 = flags.get("tau-time-ms", 10u64)?;
-        let config = EngineConfig::cluster(machines, threads)
-            .with_decomposition(tau_split, Duration::from_millis(tau_time_ms));
-        let out = ParallelMiner::new(params, config).mine(Arc::new(graph));
-        (out.maximal, out.metrics.elapsed)
+        Backend::Parallel { threads, machines }
     };
+    let tau_split: usize = flags.get("tau-split", 100usize)?;
+    let tau_time_ms: u64 = flags.get("tau-time-ms", 10u64)?;
+    let mut builder = Session::builder()
+        .gamma(gamma)
+        .min_size(min_size)
+        .backend(backend)
+        .tau_split(tau_split)
+        .tau_time(Duration::from_millis(tau_time_ms));
+    if let Some(ms) = flags.get_opt::<u64>("deadline-ms")? {
+        builder = builder.deadline(Duration::from_millis(ms));
+    }
+    let session = builder.build()?;
 
-    println!(
-        "found {} maximal quasi-cliques in {:.3} s",
-        maximal.len(),
-        elapsed.as_secs_f64()
-    );
-    match flags.values.get("output") {
-        Some(path) => {
-            write_results(&maximal, path)?;
+    if format == OutputFormat::Text {
+        println!(
+            "graph: {} vertices, {} edges; mining γ={gamma}, τ_size={min_size}",
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+    }
+    let graph = Arc::new(graph);
+    let report = session.run(&graph)?;
+
+    match format {
+        OutputFormat::Json => println!("{}", report_to_json(&report, gamma, min_size)),
+        OutputFormat::Text => print_text_report(&report),
+    }
+    if let Some(path) = flags.values.get("output") {
+        write_results(&report, path)?;
+        if format == OutputFormat::Text {
             println!("results written to {path}");
-        }
-        None => {
-            for (i, members) in maximal.iter().take(10).enumerate() {
-                let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
-                println!(
-                    "  #{:<3} |S|={:<3} {{{}}}",
-                    i + 1,
-                    members.len(),
-                    ids.join(", ")
-                );
-            }
-            if maximal.len() > 10 {
-                println!(
-                    "  … ({} more; use --output to save all)",
-                    maximal.len() - 10
-                );
-            }
         }
     }
     Ok(())
 }
 
+fn print_text_report(report: &MiningReport) {
+    println!(
+        "found {} maximal quasi-cliques in {:.3} s",
+        report.maximal.len(),
+        report.elapsed.as_secs_f64()
+    );
+    if !report.is_complete() {
+        println!(
+            "note: run ended early ({:?}); only part of the search space was explored and \
+             some reported sets may not be maximal in the full graph",
+            report.outcome
+        );
+    }
+    for (i, members) in report.maximal.iter().take(10).enumerate() {
+        let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
+        println!(
+            "  #{:<3} |S|={:<3} {{{}}}",
+            i + 1,
+            members.len(),
+            ids.join(", ")
+        );
+    }
+    if report.maximal.len() > 10 {
+        println!(
+            "  … ({} more; use --output to save all)",
+            report.maximal.len() - 10
+        );
+    }
+}
+
+/// Renders the report as a single JSON object (no external dependencies, so
+/// the encoding is hand-rolled; all emitted values are numbers, booleans and
+/// fixed keywords).
+fn report_to_json(report: &MiningReport, gamma: f64, min_size: usize) -> String {
+    let outcome = match report.outcome {
+        qcm::RunOutcome::Complete => "complete",
+        qcm::RunOutcome::Cancelled => "cancelled",
+        qcm::RunOutcome::DeadlineExceeded => "deadline_exceeded",
+    };
+    let sets: Vec<String> = report
+        .maximal
+        .iter()
+        .map(|members| {
+            let ids: Vec<String> = members.iter().map(|v| v.raw().to_string()).collect();
+            format!("[{}]", ids.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"gamma\":{gamma},\"min_size\":{min_size},\"outcome\":\"{outcome}\",\
+         \"complete\":{},\"elapsed_ms\":{},\"raw_reported\":{},\"num_maximal\":{},\
+         \"maximal\":[{}]}}",
+        report.is_complete(),
+        report.elapsed.as_millis(),
+        report.raw_reported,
+        report.maximal.len(),
+        sets.join(",")
+    )
+}
+
 /// `qcm generate --dataset <name> --output <file>`
-pub fn generate(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
+pub fn generate(args: &[String]) -> Result<(), QcmError> {
+    let flags = Flags::parse(args, &GENERATE_FLAGS)?;
     let name = flags
         .values
         .get("dataset")
-        .ok_or_else(|| "generate requires --dataset <name>".to_string())?;
+        .ok_or_else(|| QcmError::InvalidConfig("generate requires --dataset <name>".into()))?;
     let output = flags
         .values
         .get("output")
-        .ok_or_else(|| "generate requires --output <file>".to_string())?;
+        .ok_or_else(|| QcmError::InvalidConfig("generate requires --output <file>".into()))?;
     let mut spec = qcm_gen::datasets::all_datasets()
         .into_iter()
         .find(|d| d.name.eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown dataset {name}; run `qcm datasets` for the list"))?;
+        .ok_or_else(|| {
+            QcmError::InvalidConfig(format!(
+                "unknown dataset {name}; run `qcm datasets` for the list"
+            ))
+        })?;
     spec.seed = flags.get("seed", spec.seed)?;
     let dataset = spec.generate();
-    io::write_edge_list_file(&dataset.graph, output)
-        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    io::write_edge_list_file(&dataset.graph, output)?;
     println!(
         "wrote {} ({} vertices, {} edges, {} planted communities) to {output}",
         spec.name,
@@ -179,19 +315,19 @@ pub fn generate(args: &[String]) -> Result<(), String> {
 }
 
 /// `qcm stats <edge_list>`
-pub fn stats(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
+pub fn stats(args: &[String]) -> Result<(), QcmError> {
+    let flags = Flags::parse(args, &STATS_FLAGS)?;
     let path = flags
         .positional
         .first()
-        .ok_or_else(|| "stats requires an edge-list path".to_string())?;
-    let graph = io::read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        .ok_or_else(|| QcmError::InvalidConfig("stats requires an edge-list path".into()))?;
+    let graph = io::read_edge_list_file(path)?;
     print_stats(&graph);
     Ok(())
 }
 
 /// `qcm datasets`
-pub fn list_datasets() -> Result<(), String> {
+pub fn list_datasets() -> Result<(), QcmError> {
     println!("available synthetic stand-in datasets (see DESIGN.md for the mapping to Table 1):");
     for spec in qcm_gen::datasets::all_datasets() {
         println!(
@@ -222,11 +358,13 @@ fn print_stats(graph: &Graph) {
     );
 }
 
-fn write_results(results: &QuasiCliqueSet, path: &str) -> Result<(), String> {
-    let mut file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-    for members in results.iter() {
+fn write_results(report: &MiningReport, path: &str) -> Result<(), QcmError> {
+    let mut file = std::fs::File::create(path)
+        .map_err(|e| QcmError::Engine(format!("cannot create {path}: {e}")))?;
+    for members in report.maximal.iter() {
         let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
-        writeln!(file, "{}", ids.join(" ")).map_err(|e| format!("write error: {e}"))?;
+        writeln!(file, "{}", ids.join(" "))
+            .map_err(|e| QcmError::Engine(format!("write error: {e}")))?;
     }
     Ok(())
 }
@@ -242,20 +380,24 @@ fn default_threads() -> usize {
 mod tests {
     use super::*;
 
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn flag_parser_handles_values_switches_and_positionals() {
-        let args: Vec<String> = [
-            "input.txt",
-            "--gamma",
-            "0.8",
-            "--serial",
-            "--min-size",
-            "12",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        let flags = Flags::parse(&args).unwrap();
+        let flags = Flags::parse(
+            &args(&[
+                "input.txt",
+                "--gamma",
+                "0.8",
+                "--serial",
+                "--min-size",
+                "12",
+            ]),
+            &MINE_FLAGS,
+        )
+        .unwrap();
         assert_eq!(flags.positional, vec!["input.txt"]);
         assert_eq!(flags.get::<f64>("gamma", 0.9).unwrap(), 0.8);
         assert_eq!(flags.get::<usize>("min-size", 10).unwrap(), 12);
@@ -266,11 +408,58 @@ mod tests {
 
     #[test]
     fn flag_parser_rejects_missing_values_and_bad_numbers() {
-        let args: Vec<String> = ["--gamma"].iter().map(|s| s.to_string()).collect();
-        assert!(Flags::parse(&args).is_err());
-        let args: Vec<String> = ["--gamma", "abc"].iter().map(|s| s.to_string()).collect();
-        let flags = Flags::parse(&args).unwrap();
-        assert!(flags.get::<f64>("gamma", 0.9).is_err());
+        assert!(matches!(
+            Flags::parse(&args(&["--gamma"]), &MINE_FLAGS),
+            Err(QcmError::InvalidConfig(_))
+        ));
+        let flags = Flags::parse(&args(&["--gamma", "abc"]), &MINE_FLAGS).unwrap();
+        assert!(matches!(
+            flags.get::<f64>("gamma", 0.9),
+            Err(QcmError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn flag_parser_rejects_unknown_flags() {
+        let err = Flags::parse(&args(&["--no-such-flag", "1"]), &MINE_FLAGS).unwrap_err();
+        let QcmError::InvalidConfig(msg) = err else {
+            panic!("expected InvalidConfig");
+        };
+        assert!(msg.contains("--no-such-flag"), "{msg}");
+        // A value flag of one command is unknown to another.
+        assert!(Flags::parse(&args(&["--gamma", "0.9"]), &GENERATE_FLAGS).is_err());
+    }
+
+    #[test]
+    fn flag_parser_rejects_duplicate_flags() {
+        let err =
+            Flags::parse(&args(&["--gamma", "0.9", "--gamma", "0.8"]), &MINE_FLAGS).unwrap_err();
+        let QcmError::InvalidConfig(msg) = err else {
+            panic!("expected InvalidConfig");
+        };
+        assert!(msg.contains("duplicate"), "{msg}");
+        assert!(Flags::parse(&args(&["--serial", "--serial"]), &MINE_FLAGS).is_err());
+    }
+
+    #[test]
+    fn mine_rejects_invalid_session_configs_with_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("qcm_cli_badcfg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("tiny.txt");
+        let dataset = qcm_gen::datasets::tiny_test_dataset(5);
+        io::write_edge_list_file(&dataset.graph, &graph_path).unwrap();
+        let path = graph_path.to_string_lossy().into_owned();
+
+        let err = mine(&args(&[&path, "--gamma", "1.5"])).unwrap_err();
+        assert!(matches!(err, QcmError::InvalidConfig(_)));
+        let err = mine(&args(&[&path, "--threads", "0"])).unwrap_err();
+        assert!(matches!(err, QcmError::InvalidConfig(_)));
+        let err = mine(&args(&[&path, "--format", "xml"])).unwrap_err();
+        assert!(matches!(err, QcmError::InvalidConfig(_)));
+        // Cluster-shape flags are validated even when --serial ignores them.
+        let err = mine(&args(&[&path, "--serial", "--threads", "abc"])).unwrap_err();
+        assert!(matches!(err, QcmError::InvalidConfig(_)));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -284,21 +473,24 @@ mod tests {
         let dataset = qcm_gen::datasets::tiny_test_dataset(5);
         io::write_edge_list_file(&dataset.graph, &graph_path).unwrap();
 
-        let args: Vec<String> = vec![graph_path.to_string_lossy().into_owned()];
-        stats(&args).unwrap();
+        stats(&args(&[&graph_path.to_string_lossy()])).unwrap();
 
-        let args: Vec<String> = vec![
-            graph_path.to_string_lossy().into_owned(),
-            "--gamma".into(),
-            format!("{}", dataset.spec.gamma),
-            "--min-size".into(),
-            dataset.spec.min_size.to_string(),
-            "--threads".into(),
-            "2".into(),
-            "--output".into(),
-            results_path.to_string_lossy().into_owned(),
-        ];
-        mine(&args).unwrap();
+        let gamma = format!("{}", dataset.spec.gamma);
+        let min_size = dataset.spec.min_size.to_string();
+        let mine_args = args(&[
+            &graph_path.to_string_lossy(),
+            "--gamma",
+            &gamma,
+            "--min-size",
+            &min_size,
+            "--threads",
+            "2",
+            "--format",
+            "json",
+            "--output",
+            &results_path.to_string_lossy(),
+        ]);
+        mine(&mine_args).unwrap();
         let written = std::fs::read_to_string(&results_path).unwrap();
         assert!(
             !written.trim().is_empty(),
@@ -308,14 +500,56 @@ mod tests {
     }
 
     #[test]
+    fn deadline_zero_still_succeeds_with_partial_results() {
+        let dir = std::env::temp_dir().join(format!("qcm_cli_deadline_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("tiny.txt");
+        let dataset = qcm_gen::datasets::tiny_test_dataset(5);
+        io::write_edge_list_file(&dataset.graph, &graph_path).unwrap();
+        let gamma = format!("{}", dataset.spec.gamma);
+        let min_size = dataset.spec.min_size.to_string();
+        mine(&args(&[
+            &graph_path.to_string_lossy(),
+            "--gamma",
+            &gamma,
+            "--min-size",
+            &min_size,
+            "--serial",
+            "--deadline-ms",
+            "0",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_report_encodes_outcome_and_results() {
+        let dataset = qcm_gen::datasets::tiny_test_dataset(4);
+        let graph = Arc::new(dataset.graph.clone());
+        let session = Session::builder()
+            .gamma(dataset.spec.gamma)
+            .min_size(dataset.spec.min_size)
+            .build()
+            .unwrap();
+        let report = session.run(&graph).unwrap();
+        let json = report_to_json(&report, dataset.spec.gamma, dataset.spec.min_size);
+        assert!(json.contains("\"outcome\":\"complete\""));
+        assert!(json.contains("\"complete\":true"));
+        assert!(json.contains(&format!("\"num_maximal\":{}", report.maximal.len())));
+    }
+
+    #[test]
     fn unknown_dataset_is_an_error() {
-        let args: Vec<String> = vec![
-            "--dataset".into(),
-            "NoSuchGraph".into(),
-            "--output".into(),
-            "/tmp/never_written.txt".into(),
-        ];
-        assert!(generate(&args).is_err());
+        let err = generate(&args(&[
+            "--dataset",
+            "NoSuchGraph",
+            "--output",
+            "/tmp/never_written.txt",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, QcmError::InvalidConfig(_)));
         assert!(list_datasets().is_ok());
     }
 }

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! qcm mine <edge_list> --gamma 0.9 --min-size 10 [--threads 8] [--machines 1]
-//!                      [--tau-split 100] [--tau-time-ms 10] [--serial] [--output results.txt]
+//!                      [--tau-split 100] [--tau-time-ms 10] [--deadline-ms 5000]
+//!                      [--format json|text] [--serial] [--output results.txt]
 //! qcm generate --dataset <name> --output graph.txt        # synthetic stand-in datasets
 //! qcm stats <edge_list>                                    # graph summary statistics
 //! qcm datasets                                             # list available stand-ins
 //! ```
+//!
+//! All subcommands report failures through the workspace-wide typed
+//! [`qcm::QcmError`]; configuration mistakes (unknown flags, out-of-range γ,
+//! zero threads) exit with status 2, runtime failures with status 1.
 
+use qcm::QcmError;
 use std::process::ExitCode;
 
 mod commands;
@@ -28,13 +34,19 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+        other => Err(QcmError::InvalidConfig(format!(
+            "unknown command {other:?}\n{}",
+            commands::USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::from(1)
+        Err(err) => {
+            eprintln!("error: {err}");
+            match err {
+                QcmError::InvalidConfig(_) => ExitCode::from(2),
+                _ => ExitCode::from(1),
+            }
         }
     }
 }

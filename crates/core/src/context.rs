@@ -7,6 +7,7 @@
 //! (Algorithm 10 in `qcm-parallel`) operate through this context, which is
 //! what makes the "algorithm-system codesign" reuse possible.
 
+use crate::cancel::CancelToken;
 use crate::config::PruneConfig;
 use crate::params::MiningParams;
 use crate::quasiclique::is_quasi_clique_local;
@@ -31,6 +32,15 @@ pub struct MiningContext<'a> {
     /// `ext(S')` becomes empty, and skipping the `G(S)` check before a
     /// critical-vertex expansion). Only the Quick baseline sets this.
     pub emulate_quick_omissions: bool,
+    /// Cooperative cancellation: the recursive miners poll this at the top of
+    /// their expansion loops and unwind early when it fires. Defaults to a
+    /// never-firing token.
+    pub cancel: CancelToken,
+    /// True once a poll of `cancel` actually observed the token fired and cut
+    /// the search short. Drivers use this — not a fresh token sample — to
+    /// label the run, so a run that explored everything is never mislabelled
+    /// as partial just because the deadline passed during post-processing.
+    pub interrupted: bool,
 }
 
 impl<'a> MiningContext<'a> {
@@ -47,6 +57,8 @@ impl<'a> MiningContext<'a> {
             sink,
             stats: MiningStats::new(),
             emulate_quick_omissions: false,
+            cancel: CancelToken::never(),
+            interrupted: false,
         }
     }
 
@@ -64,7 +76,23 @@ impl<'a> MiningContext<'a> {
             sink,
             stats: MiningStats::new(),
             emulate_quick_omissions: false,
+            cancel: CancelToken::never(),
+            interrupted: false,
         }
+    }
+
+    /// True if this mining invocation should unwind early. Records the
+    /// observation in [`MiningContext::interrupted`] so the driver can label
+    /// the output as partial.
+    #[inline]
+    pub fn is_cancelled(&mut self) -> bool {
+        if self.interrupted {
+            return true;
+        }
+        if self.cancel.is_cancelled() {
+            self.interrupted = true;
+        }
+        self.interrupted
     }
 
     /// Reports the candidate `s` (local indices) to the sink as global ids.

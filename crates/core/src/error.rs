@@ -1,0 +1,120 @@
+//! The workspace-wide typed error.
+//!
+//! Every fallible step of a `qcm::Session` run — builder validation, graph
+//! loading, cancellation, deadline expiry, engine-side failures — maps to one
+//! variant of [`QcmError`], so callers can match instead of parsing strings.
+
+use crate::cancel::{CancelReason, RunOutcome};
+use qcm_graph::GraphError;
+use std::fmt;
+
+/// Typed errors of the quasi-clique mining front door.
+#[derive(Debug)]
+pub enum QcmError {
+    /// A configuration value failed validation (γ out of range, zero threads,
+    /// unknown CLI flag, …).
+    InvalidConfig(String),
+    /// The input graph could not be loaded or constructed.
+    GraphLoad(GraphError),
+    /// The run was cancelled through its [`crate::CancelToken`].
+    Cancelled,
+    /// The run's deadline passed before the search space was exhausted.
+    DeadlineExceeded,
+    /// An engine/system-level failure (worker panic, result I/O, …).
+    Engine(String),
+}
+
+impl QcmError {
+    /// Maps a fired cancellation reason to its error variant.
+    pub fn from_cancel(reason: CancelReason) -> Self {
+        match reason {
+            CancelReason::Cancelled => QcmError::Cancelled,
+            CancelReason::DeadlineExceeded => QcmError::DeadlineExceeded,
+        }
+    }
+
+    /// Maps a non-complete run outcome to its error variant; `Complete` has no
+    /// error and returns `None`.
+    pub fn from_outcome(outcome: RunOutcome) -> Option<Self> {
+        match outcome {
+            RunOutcome::Complete => None,
+            RunOutcome::Cancelled => Some(QcmError::Cancelled),
+            RunOutcome::DeadlineExceeded => Some(QcmError::DeadlineExceeded),
+        }
+    }
+}
+
+impl fmt::Display for QcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QcmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            QcmError::GraphLoad(e) => write!(f, "failed to load graph: {e}"),
+            QcmError::Cancelled => write!(f, "mining run was cancelled"),
+            QcmError::DeadlineExceeded => write!(f, "mining run hit its deadline"),
+            QcmError::Engine(msg) => write!(f, "engine failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QcmError::GraphLoad(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for QcmError {
+    fn from(e: GraphError) -> Self {
+        QcmError::GraphLoad(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert!(QcmError::InvalidConfig("gamma must be in (0, 1]".into())
+            .to_string()
+            .contains("gamma"));
+        assert!(QcmError::Cancelled.to_string().contains("cancelled"));
+        assert!(QcmError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(QcmError::Engine("worker died".into())
+            .to_string()
+            .contains("worker died"));
+    }
+
+    #[test]
+    fn graph_errors_convert_and_expose_source() {
+        let ge = GraphError::TooManyVertices(5_000_000_000);
+        let err: QcmError = ge.into();
+        assert!(matches!(err, QcmError::GraphLoad(_)));
+        assert!(err.source().is_some());
+        assert!(QcmError::Cancelled.source().is_none());
+    }
+
+    #[test]
+    fn cancel_reasons_map_to_variants() {
+        assert!(matches!(
+            QcmError::from_cancel(CancelReason::Cancelled),
+            QcmError::Cancelled
+        ));
+        assert!(matches!(
+            QcmError::from_cancel(CancelReason::DeadlineExceeded),
+            QcmError::DeadlineExceeded
+        ));
+        assert!(QcmError::from_outcome(RunOutcome::Complete).is_none());
+        assert!(matches!(
+            QcmError::from_outcome(RunOutcome::Cancelled),
+            Some(QcmError::Cancelled)
+        ));
+        assert!(matches!(
+            QcmError::from_outcome(RunOutcome::DeadlineExceeded),
+            Some(QcmError::DeadlineExceeded)
+        ));
+    }
+}

@@ -10,7 +10,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use qcm_core::{mine_serial, MiningParams};
+//! use qcm_core::{MiningParams, SerialMiner};
 //! use qcm_graph::Graph;
 //!
 //! // The illustrative graph of Figure 4 of the paper.
@@ -20,22 +20,29 @@
 //! ]).unwrap();
 //!
 //! // Find all maximal 0.6-quasi-cliques with at least 5 vertices.
-//! let output = mine_serial(&g, MiningParams::new(0.6, 5));
+//! let output = SerialMiner::new(MiningParams::new(0.6, 5)).mine(&g);
 //! assert_eq!(output.maximal.len(), 1); // {a, b, c, d, e}
 //! ```
 //!
+//! Application code should normally go through the unified `qcm::Session`
+//! front door in the `qcm` facade crate, which adds builder-time validation
+//! ([`QcmError`]), deadlines and cancellation ([`CancelToken`]) and streaming
+//! delivery ([`ResultSink`]) on top of these primitives.
+//!
 //! The parallel, task-based version of the algorithm lives in `qcm-parallel`
 //! and runs on the reforged G-thinker-style engine in `qcm-engine`; both reuse
-//! the primitives exported here ([`iterative_bounding`], [`recursive_mine`],
+//! the primitives exported here ([`iterative_bounding()`], [`recursive_mine()`],
 //! [`MiningContext`], the bounds and rules modules), which is what the paper
 //! means by algorithm–system codesign.
 
 pub mod bounds;
+pub mod cancel;
 pub mod config;
 pub mod context;
 pub mod cover;
 pub mod critical;
 pub mod degrees;
+pub mod error;
 pub mod iterative_bounding;
 pub mod maximality;
 pub mod naive;
@@ -48,14 +55,20 @@ pub mod rules;
 pub mod serial;
 pub mod stats;
 
+pub use cancel::{CancelReason, CancelToken, RunOutcome};
 pub use config::PruneConfig;
 pub use context::MiningContext;
+pub use error::QcmError;
 pub use iterative_bounding::iterative_bounding;
 pub use maximality::remove_non_maximal;
 pub use params::{Gamma, MiningParams};
 pub use quasiclique::{is_quasi_clique, is_quasi_clique_local, is_valid_quasi_clique};
 pub use quick::quick_mine;
 pub use recursive_mine::{recursive_mine, two_hop_local};
-pub use results::{CountingSink, QuasiCliqueSet, QuasiCliqueSink};
-pub use serial::{mine_serial, MiningOutput, SerialMiner};
+pub use results::{
+    CandidateForwarder, CollectingSink, CountingSink, QuasiCliqueSet, QuasiCliqueSink, ResultSink,
+};
+#[allow(deprecated)]
+pub use serial::mine_serial;
+pub use serial::{MiningOutput, SerialMiner};
 pub use stats::MiningStats;

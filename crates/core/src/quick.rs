@@ -40,7 +40,7 @@ pub fn quick_mine_with_kcore(graph: &Graph, params: MiningParams) -> MiningOutpu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serial::mine_serial;
+    use crate::serial::SerialMiner;
 
     fn figure4() -> Graph {
         let edges = [
@@ -68,7 +68,7 @@ mod tests {
         let g = figure4();
         for (gamma, min_size) in [(0.6, 4), (0.9, 4), (0.8, 3)] {
             let params = MiningParams::new(gamma, min_size);
-            let fixed = mine_serial(&g, params);
+            let fixed = SerialMiner::new(params).mine(&g);
             let quick = quick_mine(&g, params);
             for r in quick.maximal.iter() {
                 assert!(
@@ -98,7 +98,7 @@ mod tests {
         let g = figure4();
         let params = MiningParams::new(0.9, 4);
         let quick = quick_mine(&g, params);
-        let fixed = mine_serial(&g, params);
+        let fixed = SerialMiner::new(params).mine(&g);
         assert!(quick.stats.nodes_expanded >= fixed.stats.nodes_expanded);
     }
 }

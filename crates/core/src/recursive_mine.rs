@@ -78,6 +78,11 @@ pub fn recursive_mine(ctx: &mut MiningContext<'_>, s: &[u32], ext: &mut Vec<u32>
     let branch_vertices: Vec<u32> = ext[..prefix_len].to_vec();
 
     for &v in &branch_vertices {
+        // Cooperative cancellation: abandon the remaining subtrees. Everything
+        // reported so far stays valid; the run is labelled partial upstream.
+        if ctx.is_cancelled() {
+            return found;
+        }
         // Line 6: not enough vertices left to ever reach τ_size.
         if s.len() + ext.len() < ctx.params.min_size {
             return found;
@@ -245,6 +250,22 @@ mod tests {
         assert!(found);
         assert!(ctx.stats.lookahead_hits >= 1);
         assert!(sink.contains(&ids(&[0, 1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn cancelled_context_stops_the_recursion_without_reports() {
+        let g = figure4_local();
+        let mut sink = QuasiCliqueSet::new();
+        let params = MiningParams::new(0.6, 5);
+        let mut ctx = MiningContext::new(&g, params, &mut sink);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        ctx.cancel = token;
+        let mut ext: Vec<u32> = (1..9).collect();
+        let found = recursive_mine(&mut ctx, &[0], &mut ext);
+        assert!(!found);
+        assert_eq!(ctx.stats.nodes_expanded, 0);
+        assert!(sink.is_empty(), "a pre-cancelled run must not report");
     }
 
     #[test]

@@ -9,12 +9,13 @@
 
 use std::time::{Duration, Instant};
 
+use crate::cancel::{CancelToken, RunOutcome};
 use crate::config::PruneConfig;
 use crate::context::MiningContext;
 use crate::maximality::remove_non_maximal;
 use crate::params::MiningParams;
 use crate::recursive_mine::{recursive_mine, two_hop_local};
-use crate::results::QuasiCliqueSet;
+use crate::results::{QuasiCliqueSet, QuasiCliqueSink};
 use crate::stats::MiningStats;
 use qcm_graph::kcore::k_core_vertices;
 use qcm_graph::{Graph, LocalGraph, VertexId};
@@ -34,6 +35,11 @@ pub struct MiningOutput {
     /// Number of vertices that survived the k-core preprocessing (equal to the
     /// input size when the size-threshold rule is disabled).
     pub kcore_vertices: usize,
+    /// Whether the run completed or was interrupted (cancellation/deadline).
+    /// An interrupted run's `maximal` holds the valid quasi-cliques found
+    /// before the interruption; some may be non-maximal in the full graph (a
+    /// completed run could replace them with supersets).
+    pub outcome: RunOutcome,
 }
 
 /// Single-threaded maximal quasi-clique miner.
@@ -42,6 +48,7 @@ pub struct SerialMiner {
     params: MiningParams,
     config: PruneConfig,
     emulate_quick_omissions: bool,
+    cancel: CancelToken,
 }
 
 impl SerialMiner {
@@ -51,6 +58,7 @@ impl SerialMiner {
             params,
             config: PruneConfig::default(),
             emulate_quick_omissions: false,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -61,6 +69,7 @@ impl SerialMiner {
             params,
             config,
             emulate_quick_omissions: false,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -68,6 +77,14 @@ impl SerialMiner {
     /// omissions (used only by the Quick baseline).
     pub fn emulating_quick_omissions(mut self, enabled: bool) -> Self {
         self.emulate_quick_omissions = enabled;
+        self
+    }
+
+    /// Attaches a cancellation token. The miner polls it between roots and at
+    /// every expansion step; when it fires the run stops and the output is
+    /// labelled with the firing reason.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -79,6 +96,25 @@ impl SerialMiner {
     /// Mines all maximal γ-quasi-cliques of `graph` with at least τ_size
     /// vertices.
     pub fn mine(&self, graph: &Graph) -> MiningOutput {
+        self.mine_impl(graph, None)
+    }
+
+    /// Like [`SerialMiner::mine`], but additionally forwards every raw
+    /// candidate report to `observer` live, as the search finds it. This is
+    /// the streaming seam `qcm::Session::run_streaming` builds on.
+    pub fn mine_with_observer(
+        &self,
+        graph: &Graph,
+        observer: &mut dyn QuasiCliqueSink,
+    ) -> MiningOutput {
+        self.mine_impl(graph, Some(observer))
+    }
+
+    fn mine_impl(
+        &self,
+        graph: &Graph,
+        mut observer: Option<&mut dyn QuasiCliqueSink>,
+    ) -> MiningOutput {
         let start = Instant::now();
         let mut stats = MiningStats::new();
 
@@ -94,13 +130,22 @@ impl SerialMiner {
         let kcore_vertices = survivors.len();
 
         let mut sink = QuasiCliqueSet::new();
+        let mut interrupted = false;
         if !survivors.is_empty() {
             let work = LocalGraph::from_induced(graph, &survivors);
             // Spawn one root per surviving vertex, in id order.
             for v in 0..work.capacity() as u32 {
-                let mut ctx =
-                    MiningContext::with_config(&work, self.params, self.config, &mut sink);
+                if self.cancel.is_cancelled() {
+                    interrupted = true;
+                    break;
+                }
+                let mut tee = TeeSink {
+                    set: &mut sink,
+                    observer: observer.as_deref_mut(),
+                };
+                let mut ctx = MiningContext::with_config(&work, self.params, self.config, &mut tee);
                 ctx.emulate_quick_omissions = self.emulate_quick_omissions;
+                ctx.cancel = self.cancel.clone();
                 ctx.stats.tasks_processed += 1;
                 let mut ext: Vec<u32> =
                     if self.config.diameter && self.params.gamma.diameter_two_applies() {
@@ -114,6 +159,7 @@ impl SerialMiner {
                 let s = vec![v];
                 recursive_mine(&mut ctx, &s, &mut ext);
                 stats.merge(&ctx.stats);
+                interrupted |= ctx.interrupted;
             }
         }
 
@@ -125,11 +171,42 @@ impl SerialMiner {
             stats,
             elapsed: start.elapsed(),
             kcore_vertices,
+            // Label from what the search actually observed: a run that
+            // explored everything stays Complete even if the deadline happens
+            // to pass during post-processing. (A token never un-fires, so an
+            // observed interruption always yields a non-Complete outcome
+            // here.)
+            outcome: if interrupted {
+                self.cancel.run_outcome()
+            } else {
+                RunOutcome::Complete
+            },
         }
     }
 }
 
+/// Feeds every raw report into the canonical result set and, when present, an
+/// external observer.
+struct TeeSink<'a, 'b> {
+    set: &'a mut QuasiCliqueSet,
+    observer: Option<&'a mut (dyn QuasiCliqueSink + 'b)>,
+}
+
+impl QuasiCliqueSink for TeeSink<'_, '_> {
+    fn report(&mut self, members: Vec<VertexId>) {
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.report(members.clone());
+        }
+        self.set.insert(members);
+    }
+}
+
 /// Convenience function: mines `graph` with the default configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified `qcm::Session` front door (Session::builder()…build()?.run(&graph)) \
+            or `SerialMiner::new(params).mine(graph)` directly"
+)]
 pub fn mine_serial(graph: &Graph, params: MiningParams) -> MiningOutput {
     SerialMiner::new(params).mine(graph)
 }
@@ -165,7 +242,7 @@ mod tests {
         let g = figure4();
         for (gamma, min_size) in [(0.6, 5), (0.9, 4), (0.7, 3), (0.5, 4), (1.0, 3)] {
             let params = MiningParams::new(gamma, min_size);
-            let mined = mine_serial(&g, params);
+            let mined = SerialMiner::new(params).mine(&g);
             let oracle = naive::maximal_quasi_cliques(&g, &params);
             assert_eq!(
                 mined.maximal, oracle,
@@ -179,7 +256,7 @@ mod tests {
         let g = figure4();
         // γ = 0.9, τ_size = 4 → k = 3; the periphery (f, g, h, i) is peeled.
         let params = MiningParams::new(0.9, 4);
-        let out = mine_serial(&g, params);
+        let out = SerialMiner::new(params).mine(&g);
         assert_eq!(out.kcore_vertices, 5);
         assert_eq!(out.stats.kcore_removed, 4);
         assert!(out.raw_reported >= out.maximal.len() as u64);
@@ -194,7 +271,7 @@ mod tests {
         let out = miner.mine(&g);
         assert_eq!(out.kcore_vertices, 9);
         // Result set unchanged.
-        let default_out = mine_serial(&g, params);
+        let default_out = SerialMiner::new(params).mine(&g);
         assert_eq!(out.maximal, default_out.maximal);
     }
 
@@ -202,7 +279,7 @@ mod tests {
     fn no_results_when_thresholds_are_too_strict() {
         let g = figure4();
         let params = MiningParams::new(0.95, 6);
-        let out = mine_serial(&g, params);
+        let out = SerialMiner::new(params).mine(&g);
         assert!(out.maximal.is_empty());
         assert_eq!(out.elapsed.as_secs(), 0);
     }
@@ -211,7 +288,7 @@ mod tests {
     fn quick_emulation_is_a_subset_of_the_fixed_algorithm() {
         let g = figure4();
         let params = MiningParams::new(0.9, 4);
-        let fixed = mine_serial(&g, params);
+        let fixed = SerialMiner::new(params).mine(&g);
         let quick = SerialMiner::new(params)
             .emulating_quick_omissions(true)
             .mine(&g);
@@ -221,10 +298,66 @@ mod tests {
     }
 
     #[test]
+    fn pre_cancelled_token_yields_empty_partial_output() {
+        let g = figure4();
+        let params = MiningParams::new(0.6, 5);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = SerialMiner::new(params).with_cancel(token).mine(&g);
+        assert_eq!(out.outcome, RunOutcome::Cancelled);
+        assert!(out.maximal.is_empty());
+        assert_eq!(out.stats.nodes_expanded, 0);
+    }
+
+    #[test]
+    fn zero_deadline_is_labelled_deadline_exceeded() {
+        let g = figure4();
+        let params = MiningParams::new(0.6, 5);
+        let token = CancelToken::never().with_deadline(Some(Duration::ZERO));
+        let out = SerialMiner::new(params).with_cancel(token).mine(&g);
+        assert_eq!(out.outcome, RunOutcome::DeadlineExceeded);
+        // A zero deadline deterministically explores nothing, so the partial
+        // set is empty here. (In general an interrupted run may report sets a
+        // complete run would have replaced with supersets.)
+        assert!(out.maximal.is_empty());
+        let full = SerialMiner::new(params).mine(&g);
+        assert_eq!(full.outcome, RunOutcome::Complete);
+    }
+
+    #[test]
+    fn fired_token_never_observed_by_the_search_stays_complete() {
+        // γ = 0.95, τ_size = 6 → k = 5 peels the whole Figure 4 graph, so the
+        // mining loop never runs and never observes the (already fired)
+        // deadline token. The exploration is trivially exhaustive, so the
+        // outcome must stay Complete — the label reflects what the search
+        // observed, not the token's state at report-assembly time.
+        let g = figure4();
+        let params = MiningParams::new(0.95, 6);
+        let token = CancelToken::never().with_deadline(Some(Duration::ZERO));
+        let out = SerialMiner::new(params).with_cancel(token).mine(&g);
+        assert_eq!(out.kcore_vertices, 0);
+        assert_eq!(out.outcome, RunOutcome::Complete);
+    }
+
+    #[test]
+    fn observer_sees_every_raw_report_live() {
+        let g = figure4();
+        let params = MiningParams::new(0.9, 4);
+        let mut observed: Vec<Vec<VertexId>> = Vec::new();
+        let out = SerialMiner::new(params).mine_with_observer(&g, &mut observed);
+        assert_eq!(observed.len() as u64, out.raw_reported);
+        assert!(out.raw_reported >= out.maximal.len() as u64);
+        // Every maximal result was seen by the observer as a candidate.
+        for r in out.maximal.iter() {
+            assert!(observed.iter().any(|c| c == r));
+        }
+    }
+
+    #[test]
     fn stats_accumulate_across_spawned_roots() {
         let g = figure4();
         let params = MiningParams::new(0.6, 4);
-        let out = mine_serial(&g, params);
+        let out = SerialMiner::new(params).mine(&g);
         assert!(out.stats.tasks_processed >= 1);
         assert!(out.stats.nodes_expanded > 0);
     }

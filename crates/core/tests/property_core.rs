@@ -7,7 +7,7 @@
 //! final result set).
 
 use proptest::prelude::*;
-use qcm_core::{mine_serial, naive, quick_mine, MiningParams, PruneConfig, SerialMiner};
+use qcm_core::{naive, quick_mine, MiningParams, PruneConfig, SerialMiner};
 use qcm_graph::{Graph, GraphBuilder};
 
 /// Random simple graph with `n ≤ max_n` vertices and bounded edge count.
@@ -39,7 +39,7 @@ proptest! {
     /// The serial miner returns exactly the oracle's maximal quasi-cliques.
     #[test]
     fn serial_miner_is_exact((g, params) in (arb_graph(12), arb_params())) {
-        let mined = mine_serial(&g, params);
+        let mined = SerialMiner::new(params).mine(&g);
         let oracle = naive::maximal_quasi_cliques(&g, &params);
         prop_assert_eq!(
             mined.maximal, oracle,
@@ -50,7 +50,7 @@ proptest! {
     /// Every reported maximal set really is a valid quasi-clique.
     #[test]
     fn reported_sets_are_valid((g, params) in (arb_graph(14), arb_params())) {
-        let mined = mine_serial(&g, params);
+        let mined = SerialMiner::new(params).mine(&g);
         for s in mined.maximal.iter() {
             prop_assert!(qcm_core::is_valid_quasi_clique(&g, s, &params));
         }
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn pruning_rules_are_sound((g, params) in (arb_graph(11), arb_params()), rule_idx in 0usize..8) {
         let rule = PruneConfig::rule_names()[rule_idx];
-        let with_all = mine_serial(&g, params);
+        let with_all = SerialMiner::new(params).mine(&g);
         let without =
             SerialMiner::with_config(params, PruneConfig::all_enabled().without(rule)).mine(&g);
         prop_assert_eq!(
@@ -74,7 +74,7 @@ proptest! {
     /// algorithm lacks (its defect is one-sided: it can only lose results).
     #[test]
     fn quick_baseline_is_a_subset((g, params) in (arb_graph(12), arb_params())) {
-        let fixed = mine_serial(&g, params);
+        let fixed = SerialMiner::new(params).mine(&g);
         let quick = quick_mine(&g, params);
         for s in quick.maximal.iter() {
             prop_assert!(fixed.maximal.contains(s));
@@ -103,7 +103,7 @@ proptest! {
     /// ever removes dominated sets).
     #[test]
     fn raw_report_count_upper_bounds_maximal((g, params) in (arb_graph(12), arb_params())) {
-        let mined = mine_serial(&g, params);
+        let mined = SerialMiner::new(params).mine(&g);
         prop_assert!(mined.raw_reported >= mined.maximal.len() as u64);
     }
 }

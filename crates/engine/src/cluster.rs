@@ -26,6 +26,7 @@ use crate::task::{ComputeContext, Frontier, GThinkerApp, TaskTimings};
 use crate::vertex_table::{DataService, FetchMetrics, PartitionedVertexTable};
 
 use parking_lot::Mutex;
+use qcm_core::RunOutcome;
 use qcm_graph::{Graph, VertexId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -62,6 +63,12 @@ struct SharedState<'a, A: GThinkerApp> {
     /// Vertices not yet consumed by any spawn cursor.
     unspawned: AtomicUsize,
     done: AtomicBool,
+    /// True once any task's compute call observed the cancellation token
+    /// fired and truncated its own backtracking. Combined with the
+    /// work-remaining check after shutdown to label the run outcome, so a
+    /// run that drained everything is never mislabelled as partial when the
+    /// deadline passes during metric assembly, and vice versa.
+    interrupted: AtomicBool,
     results: Mutex<Vec<Vec<VertexId>>>,
     task_times: Mutex<Vec<TaskTimeRecord>>,
     tasks_spawned: AtomicU64,
@@ -147,6 +154,7 @@ impl<A: GThinkerApp> Cluster<A> {
             pending_tasks: AtomicUsize::new(0),
             unspawned: AtomicUsize::new(unspawned_total),
             done: AtomicBool::new(false),
+            interrupted: AtomicBool::new(false),
             results: Mutex::new(Vec::new()),
             task_times: Mutex::new(Vec::new()),
             tasks_spawned: AtomicU64::new(0),
@@ -203,6 +211,18 @@ impl<A: GThinkerApp> Cluster<A> {
             ),
             task_times: shared.task_times.into_inner(),
             worker_busy: worker_busy.into_inner(),
+            // Interrupted iff work was actually dropped: a task truncated its
+            // own backtracking, a queued/in-flight task was abandoned, or a
+            // vertex was never spawned. A cancellation that fires after the
+            // pool drained leaves the run Complete.
+            outcome: if shared.interrupted.load(Ordering::Acquire)
+                || shared.pending_tasks.load(Ordering::Acquire) > 0
+                || shared.unspawned.load(Ordering::Acquire) > 0
+            {
+                config.cancel.run_outcome()
+            } else {
+                RunOutcome::Complete
+            },
         };
         EngineOutput { results, metrics }
     }
@@ -227,6 +247,14 @@ fn worker_loop<A: GThinkerApp>(
     let mut busy = Duration::ZERO;
     loop {
         if shared.done.load(Ordering::Acquire) {
+            break;
+        }
+        // Cooperative cancellation (deadline or explicit): stop popping and
+        // tell every other worker to drain out. Results emitted so far are
+        // kept; whether the run counts as interrupted is decided after all
+        // workers exit, from the work that actually remained.
+        if config.cancel.is_cancelled() {
+            shared.done.store(true, Ordering::Release);
             break;
         }
         if let Some(task) = pop_task(shared, machine_id, &mut local_queue) {
@@ -366,6 +394,10 @@ fn process_task<A: GThinkerApp>(
         let mut ctx = ComputeContext::new();
         let more = shared.app.compute(&mut task, &frontier, &mut ctx);
         timings.merge(&ctx.timings);
+        if ctx.interrupted {
+            // The application observed the token and truncated this task.
+            shared.interrupted.store(true, Ordering::Release);
+        }
         if !ctx.results.is_empty() {
             shared.results.lock().extend(ctx.results);
         }

@@ -5,6 +5,7 @@
 //! the spill batch size `C`, the queue/cache capacities and the simulated
 //! cluster shape (number of machines × mining threads per machine).
 
+use qcm_core::CancelToken;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -43,6 +44,10 @@ pub struct EngineConfig {
     /// Simulated per-remote-fetch latency added by the comm layer (0 for the
     /// pure in-process simulation).
     pub fetch_latency: Duration,
+    /// Cooperative cancellation: workers poll this at the top of their pop
+    /// loop and drain out when it fires, so a cancelled or deadline-hit run
+    /// returns the results emitted so far. Defaults to a never-firing token.
+    pub cancel: CancelToken,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +64,7 @@ impl Default for EngineConfig {
             spill_dir: None,
             balance_period: Duration::from_millis(20),
             fetch_latency: Duration::ZERO,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -87,6 +93,12 @@ impl EngineConfig {
     pub fn with_decomposition(mut self, tau_split: usize, tau_time: Duration) -> Self {
         self.tau_split = tau_split;
         self.tau_time = tau_time;
+        self
+    }
+
+    /// Attaches a cancellation token polled by the worker loops.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 

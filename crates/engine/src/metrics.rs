@@ -10,6 +10,7 @@
 //! * Figures 1–3 — the per-task time log ([`TaskTimeRecord`]).
 
 use crate::task::TaskTimings;
+use qcm_core::RunOutcome;
 use qcm_graph::VertexId;
 use std::time::Duration;
 
@@ -68,6 +69,10 @@ pub struct EngineMetrics {
     pub task_times: Vec<TaskTimeRecord>,
     /// Per-worker busy time (used to verify that cores stay busy).
     pub worker_busy: Vec<Duration>,
+    /// Whether the run drained the whole task pool or was interrupted by its
+    /// cancellation token / deadline (in which case the emitted results cover
+    /// only the processed tasks).
+    pub outcome: RunOutcome,
 }
 
 impl EngineMetrics {

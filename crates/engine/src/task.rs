@@ -98,6 +98,10 @@ pub struct ComputeContext<T> {
     pub results: Vec<Vec<VertexId>>,
     /// Timing attribution for this call.
     pub timings: TaskTimings,
+    /// Set by the application when this call observed the run's cancellation
+    /// token fired and cut its work short; the engine aggregates it so the
+    /// run's outcome reflects what was actually truncated.
+    pub interrupted: bool,
 }
 
 impl<T> Default for ComputeContext<T> {
@@ -106,6 +110,7 @@ impl<T> Default for ComputeContext<T> {
             new_tasks: Vec::new(),
             results: Vec::new(),
             timings: TaskTimings::default(),
+            interrupted: false,
         }
     }
 }

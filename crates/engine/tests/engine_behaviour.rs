@@ -258,3 +258,27 @@ fn per_task_time_log_covers_all_tasks() {
     let top = out.metrics.top_k_task_times(5);
     assert!(top.len() <= 5);
 }
+
+#[test]
+fn cancelled_run_drains_workers_and_labels_the_metrics() {
+    use qcm_core::{CancelToken, RunOutcome};
+
+    let g = star_with_ring(50);
+    let app = Arc::new(SummerApp { hub_threshold: 10 });
+    let token = CancelToken::new();
+    token.cancel();
+    let config = EngineConfig::single_machine(3).with_cancel(token);
+    let out = Cluster::new(app.clone(), config).run(g.clone());
+    assert_eq!(out.metrics.outcome, RunOutcome::Cancelled);
+    assert!(out.results.len() <= expected_rows(&g, 10));
+
+    // A zero deadline is labelled DeadlineExceeded; an unfired token completes.
+    let token = CancelToken::never().with_deadline(Some(Duration::ZERO));
+    let config = EngineConfig::single_machine(3).with_cancel(token);
+    let out = Cluster::new(app.clone(), config).run(g.clone());
+    assert_eq!(out.metrics.outcome, RunOutcome::DeadlineExceeded);
+
+    let out = Cluster::new(app, EngineConfig::single_machine(3)).run(g.clone());
+    assert_eq!(out.metrics.outcome, RunOutcome::Complete);
+    assert_eq!(out.results.len(), expected_rows(&g, 10));
+}

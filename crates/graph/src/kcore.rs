@@ -3,7 +3,7 @@
 //! The size-threshold pruning rule (P2 / Theorem 2 of the paper) states that a
 //! vertex with degree `< k = ⌈γ·(τ_size − 1)⌉` cannot belong to any valid
 //! quasi-clique, so the input graph can be shrunk to its k-core before mining.
-//! The paper adopts the O(|E|) peeling algorithm of Batagelj & Zaversnik [13];
+//! The paper adopts the O(|E|) peeling algorithm of Batagelj & Zaversnik \[13\];
 //! this module implements both the targeted `k_core` extraction and the full
 //! core-number decomposition (used by the experiment harness for workload
 //! characterisation and by the generators for calibration).

@@ -3,7 +3,7 @@
 use crate::iterations::{iteration_1, iteration_2};
 use crate::mine::{run_mine_phase, DecompositionStrategy, MinePhaseParams};
 use crate::task::{QCTask, TaskPhase};
-use qcm_core::{MiningParams, PruneConfig};
+use qcm_core::{CancelToken, MiningParams, PruneConfig};
 use qcm_engine::{ComputeContext, Frontier, GThinkerApp, TaskLabel};
 use qcm_graph::VertexId;
 use std::time::Duration;
@@ -22,6 +22,8 @@ pub struct QuasiCliqueApp {
     pub tau_time: Duration,
     /// Decomposition strategy (time-delayed by default, per the paper).
     pub strategy: DecompositionStrategy,
+    /// Cooperative cancellation threaded into every mining-phase context.
+    pub cancel: CancelToken,
 }
 
 impl QuasiCliqueApp {
@@ -34,6 +36,7 @@ impl QuasiCliqueApp {
             tau_split,
             tau_time,
             strategy: DecompositionStrategy::TimeDelayed,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -50,6 +53,14 @@ impl QuasiCliqueApp {
         self
     }
 
+    /// Attaches a cancellation token polled inside the mining phase, so big
+    /// tasks stop mid-backtrack when the run is cancelled or its deadline
+    /// passes.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     fn mine_phase_params(&self) -> MinePhaseParams {
         MinePhaseParams {
             params: self.params,
@@ -57,6 +68,7 @@ impl QuasiCliqueApp {
             tau_split: self.tau_split,
             tau_time: self.tau_time,
             strategy: self.strategy,
+            cancel: self.cancel.clone(),
         }
     }
 }
@@ -111,6 +123,7 @@ impl GThinkerApp for QuasiCliqueApp {
                 }
                 ctx.timings.mining += outcome.mining_time;
                 ctx.timings.materialization += outcome.materialization_time;
+                ctx.interrupted |= outcome.interrupted;
                 false
             }
         }

@@ -17,7 +17,8 @@
 //!
 //! ```
 //! use qcm_core::MiningParams;
-//! use qcm_parallel::mine_parallel;
+//! use qcm_engine::EngineConfig;
+//! use qcm_parallel::ParallelMiner;
 //! use qcm_graph::Graph;
 //! use std::sync::Arc;
 //!
@@ -25,9 +26,14 @@
 //!     (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 4), (2, 3), (2, 4), (3, 4),
 //!     (1, 5), (5, 6), (2, 6), (3, 7), (7, 8), (3, 8),
 //! ]).unwrap());
-//! let output = mine_parallel(&g, MiningParams::new(0.6, 5), 4);
+//! let miner = ParallelMiner::new(MiningParams::new(0.6, 5), EngineConfig::single_machine(4));
+//! let output = miner.mine(g.clone());
 //! assert_eq!(output.maximal.len(), 1);
 //! ```
+//!
+//! Application code should normally go through the unified `qcm::Session`
+//! front door in the `qcm` facade crate, which adds validation, deadlines,
+//! cancellation and streaming on top of [`ParallelMiner`].
 
 pub mod app;
 pub mod iterations;
@@ -37,5 +43,7 @@ pub mod task;
 
 pub use app::QuasiCliqueApp;
 pub use mine::{DecompositionStrategy, MineOutcome, MinePhaseParams};
-pub use runner::{mine_parallel, ParallelMiner, ParallelMiningOutput};
+#[allow(deprecated)]
+pub use runner::mine_parallel;
+pub use runner::{ParallelMiner, ParallelMiningOutput};
 pub use task::{QCTask, TaskGraph, TaskPhase};

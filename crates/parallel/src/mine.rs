@@ -20,8 +20,8 @@
 use crate::task::{QCTask, TaskGraph};
 use qcm_core::cover::{find_cover_vertex, move_cover_to_tail};
 use qcm_core::{
-    is_quasi_clique_local, iterative_bounding, recursive_mine, two_hop_local, MiningContext,
-    MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
+    is_quasi_clique_local, iterative_bounding, recursive_mine, two_hop_local, CancelToken,
+    MiningContext, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
 };
 use qcm_graph::{LocalGraph, VertexId};
 use std::collections::HashMap;
@@ -49,10 +49,13 @@ pub struct MineOutcome {
     pub materialization_time: Duration,
     /// Search/pruning statistics of this task.
     pub stats: MiningStats,
+    /// True if this task's backtracking observed the cancellation token fired
+    /// and stopped early (its subtree coverage is incomplete).
+    pub interrupted: bool,
 }
 
 /// Parameters threaded through the mining phase.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MinePhaseParams {
     /// Mining parameters (γ, τ_size).
     pub params: MiningParams,
@@ -64,6 +67,9 @@ pub struct MinePhaseParams {
     pub tau_time: Duration,
     /// Decomposition strategy.
     pub strategy: DecompositionStrategy,
+    /// Cooperative cancellation polled inside the backtracking loops, so a
+    /// long-running task stops mid-subgraph instead of running to completion.
+    pub cancel: CancelToken,
 }
 
 /// Runs iteration 3 for `task`.
@@ -91,6 +97,7 @@ pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
 
     {
         let mut ctx = MiningContext::with_config(&graph, phase.params, phase.config, &mut sink);
+        ctx.cancel = phase.cancel.clone();
         ctx.stats.tasks_processed = 1;
 
         if ext_local.is_empty() {
@@ -117,6 +124,7 @@ pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
             }
         }
         outcome.stats = ctx.stats;
+        outcome.interrupted = ctx.interrupted;
     }
 
     outcome.results = sink.into_sorted_vec();
@@ -200,6 +208,9 @@ fn size_threshold_decompose(
     };
     let branch: Vec<u32> = ext[..prefix_len].to_vec();
     for &v in &branch {
+        if ctx.is_cancelled() {
+            return;
+        }
         if s.len() + ext.len() < ctx.params.min_size {
             return;
         }
@@ -257,6 +268,11 @@ fn time_delayed(
     };
     let branch: Vec<u32> = ext[..prefix_len].to_vec();
     for &v in &branch {
+        // Cooperative cancellation: abandon the remaining subtrees without
+        // offloading them — the run is ending, not decomposing.
+        if ctx.is_cancelled() {
+            return found;
+        }
         // Line 6.
         if s.len() + ext.len() < ctx.params.min_size {
             return found;
@@ -315,7 +331,7 @@ fn time_delayed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcm_core::mine_serial;
+    use qcm_core::SerialMiner;
     use qcm_graph::Graph;
 
     fn figure4() -> Graph {
@@ -368,6 +384,7 @@ mod tests {
             tau_split,
             tau_time,
             strategy,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -403,7 +420,7 @@ mod tests {
             processed, 1,
             "no decomposition expected before the deadline"
         );
-        let expected = mine_serial(&g, p.params);
+        let expected = SerialMiner::new(p.params).mine(&g);
         // The task spawned from vertex 0 must find the unique 5-vertex result.
         let maximal = qcm_core::remove_non_maximal(results);
         assert_eq!(maximal, expected.maximal);
@@ -417,7 +434,7 @@ mod tests {
         let (results, processed) = drain(task, &p);
         assert!(processed > 1, "zero timeout must force decomposition");
         let maximal = qcm_core::remove_non_maximal(results);
-        let expected = mine_serial(&g, p.params);
+        let expected = SerialMiner::new(p.params).mine(&g);
         assert_eq!(maximal, expected.maximal);
     }
 
@@ -433,7 +450,7 @@ mod tests {
         let (results, processed) = drain(task, &p);
         assert!(processed > 1, "|ext| = 8 > τ_split = 2 must decompose");
         let maximal = qcm_core::remove_non_maximal(results);
-        let expected = mine_serial(&g, p.params);
+        let expected = SerialMiner::new(p.params).mine(&g);
         assert_eq!(maximal, expected.maximal);
     }
 
@@ -457,6 +474,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cancelled_phase_stops_without_offloading_subtasks() {
+        let g = figure4();
+        let mut p = phase(DecompositionStrategy::TimeDelayed, 100, Duration::ZERO);
+        let token = CancelToken::new();
+        token.cancel();
+        p.cancel = token;
+        let task = mine_task(&g, 0);
+        let out = run_mine_phase(&task, &p);
+        assert!(out.subtasks.is_empty(), "a dying run must not decompose");
+        assert!(out.results.is_empty());
     }
 
     #[test]

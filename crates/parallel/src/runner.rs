@@ -7,7 +7,10 @@
 
 use crate::app::QuasiCliqueApp;
 use crate::mine::DecompositionStrategy;
-use qcm_core::{remove_non_maximal, MiningParams, PruneConfig, QuasiCliqueSet};
+use qcm_core::{
+    remove_non_maximal, CancelToken, MiningParams, PruneConfig, QuasiCliqueSet, QuasiCliqueSink,
+    RunOutcome,
+};
 use qcm_engine::{Cluster, EngineConfig, EngineMetrics};
 use qcm_graph::Graph;
 use std::sync::Arc;
@@ -28,6 +31,14 @@ impl ParallelMiningOutput {
     /// Wall-clock time of the run.
     pub fn elapsed(&self) -> Duration {
         self.metrics.elapsed
+    }
+
+    /// Whether the run drained every task or was interrupted by
+    /// cancellation/deadline. An interrupted run's `maximal` holds the valid
+    /// quasi-cliques found before the interruption; some may be non-maximal
+    /// in the full graph (a completed run could replace them with supersets).
+    pub fn outcome(&self) -> RunOutcome {
+        self.metrics.outcome
     }
 }
 
@@ -68,8 +79,37 @@ impl ParallelMiner {
         self
     }
 
+    /// Attaches a cancellation token, polled both by the engine's worker pop
+    /// loops and inside each task's backtracking, so a cancelled or
+    /// deadline-hit run returns the partial results emitted so far.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.engine_config.cancel = cancel;
+        self
+    }
+
     /// Mines all maximal γ-quasi-cliques of `graph` on the simulated cluster.
     pub fn mine(&self, graph: Arc<Graph>) -> ParallelMiningOutput {
+        self.mine_impl(graph, None)
+    }
+
+    /// Like [`ParallelMiner::mine`], but forwards every raw result row to
+    /// `observer` as the engine output is drained (after the cluster run —
+    /// the engine funnels rows through its shared result buffer, so parallel
+    /// candidate streaming is per-run, not per-report). This is the streaming
+    /// seam `qcm::Session::run_streaming` builds on.
+    pub fn mine_with_observer(
+        &self,
+        graph: Arc<Graph>,
+        observer: &mut dyn QuasiCliqueSink,
+    ) -> ParallelMiningOutput {
+        self.mine_impl(graph, Some(observer))
+    }
+
+    fn mine_impl(
+        &self,
+        graph: Arc<Graph>,
+        mut observer: Option<&mut dyn QuasiCliqueSink>,
+    ) -> ParallelMiningOutput {
         let app = Arc::new(
             QuasiCliqueApp::new(
                 self.params,
@@ -77,13 +117,17 @@ impl ParallelMiner {
                 self.engine_config.tau_time,
             )
             .with_strategy(self.strategy)
-            .with_prune_config(self.prune_config),
+            .with_prune_config(self.prune_config)
+            .with_cancel(self.engine_config.cancel.clone()),
         );
         let cluster = Cluster::new(app, self.engine_config.clone());
         let output = cluster.run(graph);
         let raw_reported = output.metrics.results_emitted;
         let mut set = QuasiCliqueSet::new();
         for members in output.results {
+            if let Some(observer) = observer.as_deref_mut() {
+                observer.report(members.clone());
+            }
             set.insert(members);
         }
         ParallelMiningOutput {
@@ -96,6 +140,12 @@ impl ParallelMiner {
 
 /// Convenience function: parallel mining with default engine settings and the
 /// given number of threads on one simulated machine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified `qcm::Session` front door (Session::builder()…backend(Backend::Parallel \
+            { .. }).build()?.run(&graph)) or `ParallelMiner::new(params, config).mine(graph)` \
+            directly"
+)]
 pub fn mine_parallel(
     graph: &Arc<Graph>,
     params: MiningParams,
@@ -107,7 +157,7 @@ pub fn mine_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcm_core::mine_serial;
+    use qcm_core::SerialMiner;
 
     fn figure4() -> Arc<Graph> {
         let edges = [
@@ -135,8 +185,9 @@ mod tests {
         let g = figure4();
         for (gamma, min_size) in [(0.6, 5), (0.9, 4), (0.5, 4)] {
             let params = MiningParams::new(gamma, min_size);
-            let serial = mine_serial(&g, params);
-            let parallel = mine_parallel(&g, params, 4);
+            let serial = SerialMiner::new(params).mine(&g);
+            let parallel =
+                ParallelMiner::new(params, EngineConfig::single_machine(4)).mine(g.clone());
             assert_eq!(
                 parallel.maximal, serial.maximal,
                 "parallel/serial mismatch at gamma={gamma} min_size={min_size}"
@@ -155,17 +206,59 @@ mod tests {
         let size_threshold = ParallelMiner::new(params, config)
             .with_strategy(DecompositionStrategy::SizeThreshold)
             .mine(g.clone());
-        let serial = mine_serial(&g, params);
+        let serial = SerialMiner::new(params).mine(&g);
         assert_eq!(time_delayed.maximal, serial.maximal);
         assert_eq!(size_threshold.maximal, serial.maximal);
         assert!(time_delayed.elapsed() > Duration::ZERO);
     }
 
     #[test]
+    fn pre_cancelled_run_is_labelled_and_partial() {
+        let g = figure4();
+        let params = MiningParams::new(0.6, 5);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = ParallelMiner::new(params, EngineConfig::single_machine(2))
+            .with_cancel(token)
+            .mine(g.clone());
+        assert_eq!(out.outcome(), RunOutcome::Cancelled);
+        assert!(out.maximal.is_empty(), "workers must drain before popping");
+    }
+
+    #[test]
+    fn zero_deadline_run_is_labelled_deadline_exceeded() {
+        let g = figure4();
+        let params = MiningParams::new(0.6, 5);
+        let token = CancelToken::never().with_deadline(Some(Duration::ZERO));
+        let out = ParallelMiner::new(params, EngineConfig::single_machine(2))
+            .with_cancel(token)
+            .mine(g.clone());
+        assert_eq!(out.outcome(), RunOutcome::DeadlineExceeded);
+        // A zero deadline stops workers before any task is popped, so the
+        // partial set is deterministically empty.
+        assert!(out.maximal.is_empty());
+        let full = ParallelMiner::new(params, EngineConfig::single_machine(2)).mine(g.clone());
+        assert_eq!(full.outcome(), RunOutcome::Complete);
+    }
+
+    #[test]
+    fn observer_sees_every_raw_result_row() {
+        let g = figure4();
+        let params = MiningParams::new(0.6, 5);
+        let mut observed: Vec<Vec<qcm_graph::VertexId>> = Vec::new();
+        let out = ParallelMiner::new(params, EngineConfig::single_machine(2))
+            .mine_with_observer(g.clone(), &mut observed);
+        assert_eq!(observed.len() as u64, out.raw_reported);
+        for r in out.maximal.iter() {
+            assert!(observed.iter().any(|c| c == r));
+        }
+    }
+
+    #[test]
     fn multi_machine_matches_single_machine() {
         let g = figure4();
         let params = MiningParams::new(0.9, 4);
-        let single = mine_parallel(&g, params, 2);
+        let single = ParallelMiner::new(params, EngineConfig::single_machine(2)).mine(g.clone());
         let multi = ParallelMiner::new(params, EngineConfig::cluster(3, 2)).mine(g.clone());
         assert_eq!(single.maximal, multi.maximal);
         assert!(multi.raw_reported >= multi.maximal.len() as u64);

@@ -1,14 +1,11 @@
 //! # qcm — maximal quasi-clique mining (facade crate)
 //!
-//! This crate re-exports the public API of the whole workspace so downstream
-//! users can depend on a single crate:
-//!
-//! * [`graph`] — graph substrate ([`graph::Graph`], k-core, I/O);
-//! * [`gen`] — synthetic dataset generators (including the stand-ins for the
-//!   paper's eight evaluation graphs);
-//! * [`core`] — the serial mining algorithm, pruning rules and baselines;
-//! * [`engine`] — the reforged G-thinker-style task engine;
-//! * [`parallel`] — the parallel miner (the paper's full system).
+//! This crate is the front door of the workspace that reproduces *"Scalable
+//! Mining of Maximal Quasi-Cliques: An Algorithm-System Codesign Approach"*
+//! (PVLDB 2020). The one type to know is [`Session`]: a fluent, validated
+//! mining configuration with typed errors ([`QcmError`]), deadlines and
+//! cancellation ([`CancelToken`]), streaming delivery ([`ResultSink`]) and a
+//! unified result ([`MiningReport`]) over both execution backends.
 //!
 //! ## Quick start
 //!
@@ -19,19 +16,89 @@
 //! // Generate a small graph with two planted dense communities.
 //! let dataset = qcm::gen::datasets::tiny_test_dataset(7);
 //! let graph = Arc::new(dataset.graph.clone());
-//! let params = MiningParams::new(dataset.spec.gamma, dataset.spec.min_size);
 //!
-//! // Serial reference run.
-//! let serial = mine_serial(&graph, params);
-//! // Parallel run on 4 threads.
-//! let parallel = mine_parallel(&graph, params, 4);
+//! // One session, two backends, identical results.
+//! let serial = Session::builder()
+//!     .gamma(dataset.spec.gamma)
+//!     .min_size(dataset.spec.min_size)
+//!     .build()?
+//!     .run(&graph)?;
+//! let parallel = Session::builder()
+//!     .gamma(dataset.spec.gamma)
+//!     .min_size(dataset.spec.min_size)
+//!     .backend(Backend::Parallel { threads: 4, machines: 1 })
+//!     .build()?
+//!     .run(&graph)?;
 //! assert_eq!(serial.maximal, parallel.maximal);
+//! assert!(serial.is_complete());
+//! # Ok::<(), qcm::QcmError>(())
 //! ```
+//!
+//! ## Deadlines, cancellation, streaming
+//!
+//! ```
+//! use qcm::prelude::*;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let dataset = qcm::gen::datasets::tiny_test_dataset(7);
+//! let graph = Arc::new(dataset.graph.clone());
+//!
+//! // A deadline-bound run returns a *partial*, well-labelled report.
+//! let session = Session::builder()
+//!     .gamma(dataset.spec.gamma)
+//!     .min_size(dataset.spec.min_size)
+//!     .deadline(Duration::ZERO)
+//!     .build()?;
+//! let report = session.run(&graph)?;
+//! assert_eq!(report.outcome, RunOutcome::DeadlineExceeded);
+//!
+//! // Streaming: candidates and proven-maximal results are pushed into a
+//! // caller-supplied ResultSink as the run progresses.
+//! let session = Session::builder()
+//!     .gamma(dataset.spec.gamma)
+//!     .min_size(dataset.spec.min_size)
+//!     .build()?;
+//! let mut sink = CollectingSink::default();
+//! let report = session.run_streaming(&graph, &mut sink)?;
+//! assert_eq!(sink.maximal.len(), report.maximal.len());
+//! # Ok::<(), qcm::QcmError>(())
+//! ```
+//!
+//! `session.cancel_token()` hands out a clone-able [`CancelToken`] that stops
+//! an in-flight run from another thread.
+//!
+//! ## Layers
+//!
+//! The underlying crates remain available for advanced use:
+//!
+//! * [`graph`] — graph substrate ([`graph::Graph`], k-core, I/O);
+//! * [`gen`] — synthetic dataset generators (including the stand-ins for the
+//!   paper's eight evaluation graphs);
+//! * [`core`] — the serial mining algorithm, pruning rules and baselines;
+//! * [`engine`] — the reforged G-thinker-style task engine;
+//! * [`parallel`] — the parallel miner (the paper's full system).
 //!
 //! The runnable examples in `examples/` (quickstart, community detection,
 //! protein complexes, parallel cluster, hyperparameter sweep) demonstrate the
 //! API on realistic scenarios; the `qcm-bench` crate regenerates every table
 //! and figure of the paper.
+//!
+//! ## Migrating from the 0.1 free functions
+//!
+//! The pre-`Session` entry points `mine_serial` / `mine_parallel` still
+//! compile but are `#[deprecated]` shims: they build a single-use [`Session`]
+//! internally and will be removed once downstream callers migrate. The
+//! mapping is mechanical:
+//!
+//! ```text
+//! mine_serial(&g, params)       →  Session::builder().params(params).build()?.run(&g)?
+//! mine_parallel(&g, params, t)  →  Session::builder().params(params)
+//!                                      .backend(Backend::Parallel { threads: t, machines: 1 })
+//!                                      .build()?.run(&g)?
+//! ```
+
+pub mod session;
 
 pub use qcm_core as core;
 pub use qcm_engine as engine;
@@ -39,18 +106,92 @@ pub use qcm_gen as gen;
 pub use qcm_graph as graph;
 pub use qcm_parallel as parallel;
 
+pub use qcm_core::{CancelReason, CancelToken, CollectingSink, QcmError, ResultSink, RunOutcome};
+pub use session::{Backend, BackendStats, MiningReport, Session, SessionBuilder};
+
+use qcm_core::{MiningOutput, MiningParams};
+use qcm_graph::Graph;
+use qcm_parallel::ParallelMiningOutput;
+use std::sync::Arc;
+
 /// The most commonly used types and functions in one import.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use crate::{mine_parallel, mine_serial};
+    pub use crate::{
+        Backend, BackendStats, CancelReason, CancelToken, CollectingSink, MiningReport, QcmError,
+        ResultSink, RunOutcome, Session, SessionBuilder,
+    };
     pub use qcm_core::{
-        mine_serial, quick_mine, Gamma, MiningOutput, MiningParams, MiningStats, PruneConfig,
-        QuasiCliqueSet, SerialMiner,
+        quick_mine, Gamma, MiningOutput, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
+        SerialMiner,
     };
     pub use qcm_engine::{EngineConfig, EngineMetrics};
     pub use qcm_gen::{DatasetSpec, PlantedGraphSpec, SyntheticDataset};
     pub use qcm_graph::{Graph, GraphBuilder, GraphStats, VertexId};
-    pub use qcm_parallel::{
-        mine_parallel, DecompositionStrategy, ParallelMiner, ParallelMiningOutput,
+    pub use qcm_parallel::{DecompositionStrategy, ParallelMiner, ParallelMiningOutput};
+}
+
+/// Single-threaded mining with the default configuration (a deprecated shim
+/// over [`Session`] with [`Backend::Serial`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::builder().params(params).build()?.run(&graph)? instead"
+)]
+pub fn mine_serial(graph: &Graph, params: MiningParams) -> MiningOutput {
+    let session = Session::builder()
+        .params(params)
+        .backend(Backend::Serial)
+        .build()
+        .expect("MiningParams invariants satisfy Session validation");
+    let report = session.run_serial(graph, session.cancel_token(), None);
+    let (stats, kcore_vertices) = match report.stats {
+        BackendStats::Serial {
+            stats,
+            kcore_vertices,
+        } => (stats, kcore_vertices),
+        BackendStats::Parallel { .. } => unreachable!("serial run produced parallel stats"),
     };
+    MiningOutput {
+        maximal: report.maximal,
+        raw_reported: report.raw_reported,
+        stats,
+        elapsed: report.elapsed,
+        kcore_vertices,
+        outcome: report.outcome,
+    }
+}
+
+/// Parallel mining on one simulated machine (a deprecated shim over
+/// [`Session`] with [`Backend::Parallel`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::builder().params(params).backend(Backend::Parallel { threads, machines: 1 \
+            }).build()?.run(&graph)? instead"
+)]
+pub fn mine_parallel(
+    graph: &Arc<Graph>,
+    params: MiningParams,
+    threads: usize,
+) -> ParallelMiningOutput {
+    let session = Session::builder()
+        .params(params)
+        .backend(Backend::Parallel {
+            threads: threads.max(1),
+            machines: 1,
+        })
+        .build()
+        .expect("MiningParams invariants satisfy Session validation");
+    let report = session.run_parallel(graph, threads.max(1), 1, session.cancel_token(), None);
+    let metrics = match report.stats {
+        BackendStats::Parallel { metrics } => *metrics,
+        BackendStats::Serial { .. } => unreachable!("parallel run produced serial stats"),
+    };
+    ParallelMiningOutput {
+        maximal: report.maximal,
+        raw_reported: report.raw_reported,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -62,13 +203,43 @@ mod tests {
     fn facade_reexports_are_usable_together() {
         let dataset = crate::gen::datasets::tiny_test_dataset(3);
         let graph = Arc::new(dataset.graph.clone());
-        let params = MiningParams::new(dataset.spec.gamma, dataset.spec.min_size);
-        let serial = mine_serial(&graph, params);
-        let parallel = mine_parallel(&graph, params, 2);
+        let base = Session::builder()
+            .gamma(dataset.spec.gamma)
+            .min_size(dataset.spec.min_size);
+        let serial = base.clone().build().unwrap().run(&graph).unwrap();
+        let parallel = base
+            .backend(Backend::Parallel {
+                threads: 2,
+                machines: 1,
+            })
+            .build()
+            .unwrap()
+            .run(&graph)
+            .unwrap();
         assert_eq!(serial.maximal, parallel.maximal);
         assert!(
             !serial.maximal.is_empty(),
             "planted communities must be found"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_session() {
+        let dataset = crate::gen::datasets::tiny_test_dataset(3);
+        let graph = Arc::new(dataset.graph.clone());
+        let params = MiningParams::new(dataset.spec.gamma, dataset.spec.min_size);
+        let serial = crate::mine_serial(&graph, params);
+        let parallel = crate::mine_parallel(&graph, params, 2);
+        assert_eq!(serial.maximal, parallel.maximal);
+        assert!(serial.outcome.is_complete());
+        assert!(parallel.outcome().is_complete());
+        let session = Session::builder()
+            .params(params)
+            .build()
+            .unwrap()
+            .run(&graph)
+            .unwrap();
+        assert_eq!(session.maximal, serial.maximal);
     }
 }

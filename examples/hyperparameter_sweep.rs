@@ -3,8 +3,8 @@
 //! Tables 3 and 4 of the paper study how the timeout τ_time and the big-task
 //! threshold τ_split affect running time and the number of (pre-postprocessing)
 //! reported results. This example runs a small version of that grid on one
-//! dataset stand-in and prints the same two matrices, so users can calibrate
-//! the hyperparameters for their own graphs.
+//! dataset stand-in — one `Session` per cell — and prints the same two
+//! matrices, so users can calibrate the hyperparameters for their own graphs.
 //!
 //! ```text
 //! cargo run --release -p qcm --example hyperparameter_sweep [dataset]
@@ -16,7 +16,7 @@ use qcm::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn main() {
+fn main() -> Result<(), QcmError> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "CX_GSE10158".to_string());
@@ -29,7 +29,6 @@ fn main() {
         });
     let dataset = spec.generate();
     let graph = Arc::new(dataset.graph.clone());
-    let params = MiningParams::new(spec.gamma, spec.min_size);
     println!(
         "dataset {}: {} vertices, {} edges — γ = {}, τ_size = {}\n",
         spec.name,
@@ -48,11 +47,19 @@ fn main() {
         let mut time_row = Vec::new();
         let mut result_row = Vec::new();
         for &tau_split in &tau_splits {
-            let config = EngineConfig::single_machine(8)
-                .with_decomposition(tau_split, Duration::from_millis(tau_time));
-            let out = ParallelMiner::new(params, config).mine(graph.clone());
-            time_row.push(out.elapsed().as_secs_f64());
-            result_row.push(out.raw_reported);
+            let report = Session::builder()
+                .gamma(spec.gamma)
+                .min_size(spec.min_size)
+                .backend(Backend::Parallel {
+                    threads: 8,
+                    machines: 1,
+                })
+                .tau_split(tau_split)
+                .tau_time(Duration::from_millis(tau_time))
+                .build()?
+                .run(&graph)?;
+            time_row.push(report.elapsed.as_secs_f64());
+            result_row.push(report.raw_reported);
         }
         time_rows.push(time_row);
         result_rows.push(result_row);
@@ -79,4 +86,5 @@ fn main() {
          G(S') checks of Algorithm 10); τ_split mainly controls how many tasks are classified \
          as big. This mirrors Tables 3–4 of the paper."
     );
+    Ok(())
 }

@@ -4,17 +4,19 @@
 //! network with ~5k proteins); quasi-cliques there correspond to protein
 //! complexes or functional modules. This example builds a synthetic
 //! interaction network of that scale, compares the paper's fixed algorithm
-//! against the Quick-style baseline (no k-core preprocessing, missed-result
-//! omissions), and prints the workload difference that the k-core shrink of
-//! Theorem 2 buys — the paper's topic (T1).
+//! (driven through `Session`) against the Quick-style baseline (no k-core
+//! preprocessing, missed-result omissions), and prints the workload
+//! difference that the k-core shrink of Theorem 2 buys — the paper's topic
+//! (T1). It also demonstrates streaming delivery through a `ResultSink`.
 //!
 //! ```text
 //! cargo run --release -p qcm --example protein_complexes
 //! ```
 
 use qcm::prelude::*;
+use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), QcmError> {
     // ~5k proteins, sparse power-law interactions, plus a handful of planted
     // "complexes" of 8–12 proteins with high internal connectivity.
     let spec = PlantedGraphSpec {
@@ -41,21 +43,25 @@ fn main() {
         params.min_size,
         params.kcore_threshold()
     );
+    let shared = Arc::new(graph.clone());
 
-    // The paper's algorithm (all pruning rules + k-core preprocessing).
-    let fixed = mine_serial(&graph, params);
+    // The paper's algorithm (all pruning rules + k-core preprocessing),
+    // streaming each complex into a sink as it is proven maximal.
+    let session = Session::builder().params(params).build()?;
+    let mut sink = CollectingSink::default();
+    let fixed = session.run_streaming(&shared, &mut sink)?;
+    let fixed_stats = *fixed.serial_stats().expect("serial backend");
     println!(
-        "paper's algorithm : {:>4} complexes in {:>9.3?} — {} of {} vertices survived the \
-         k-core shrink, {} search nodes expanded",
-        fixed.maximal.len(),
+        "paper's algorithm : {:>4} complexes in {:>9.3?} — {} raw candidates streamed, \
+         {} search nodes expanded",
+        sink.maximal.len(),
         fixed.elapsed,
-        fixed.kcore_vertices,
-        graph.num_vertices(),
-        fixed.stats.nodes_expanded
+        sink.candidates,
+        fixed_stats.nodes_expanded
     );
 
     // Quick-style baseline: no k-core preprocessing, original result-missing
-    // behaviour.
+    // behaviour (kept as a library baseline, not a Session backend).
     let quick = quick_mine(&graph, params);
     println!(
         "Quick baseline    : {:>4} complexes in {:>9.3?} — no k-core shrink ({} vertices kept), \
@@ -85,6 +91,7 @@ fn main() {
     );
     println!(
         "search-space ratio (Quick nodes / fixed nodes): {:.2}×",
-        quick.stats.nodes_expanded as f64 / fixed.stats.nodes_expanded.max(1) as f64
+        quick.stats.nodes_expanded as f64 / fixed_stats.nodes_expanded.max(1) as f64
     );
+    Ok(())
 }

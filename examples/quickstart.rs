@@ -1,4 +1,4 @@
-//! Quickstart: mine maximal quasi-cliques from an edge list.
+//! Quickstart: mine maximal quasi-cliques from an edge list with `Session`.
 //!
 //! ```text
 //! cargo run --release -p qcm --example quickstart [path/to/edge_list.txt] [gamma] [min_size]
@@ -6,8 +6,8 @@
 //!
 //! Without arguments the example builds the paper's Figure 4 graph, mines it
 //! with γ = 0.6 and τ_size = 5, and prints the single maximal quasi-clique
-//! {a, b, c, d, e} — then repeats the run on the parallel engine to show that
-//! both paths return the same answer.
+//! {a, b, c, d, e} — then repeats the run on the parallel backend to show that
+//! both paths return the same answer through one unified API.
 
 use qcm::prelude::*;
 use std::sync::Arc;
@@ -36,11 +36,10 @@ fn figure4() -> Graph {
     .expect("static edge list is valid")
 }
 
-fn main() {
+fn main() -> Result<(), QcmError> {
     let args: Vec<String> = std::env::args().collect();
     let (graph, gamma, min_size) = if args.len() >= 2 {
-        let graph = qcm::graph::io::read_edge_list_file(&args[1])
-            .unwrap_or_else(|e| panic!("failed to read {}: {e}", args[1]));
+        let graph = qcm::graph::io::read_edge_list_file(&args[1])?;
         let gamma: f64 = args
             .get(2)
             .map(|s| s.parse().expect("gamma"))
@@ -54,36 +53,50 @@ fn main() {
         (figure4(), 0.6, 5)
     };
 
-    let params = MiningParams::new(gamma, min_size);
     println!(
         "Mining maximal {gamma}-quasi-cliques with at least {min_size} vertices from a graph \
          with {} vertices and {} edges",
         graph.num_vertices(),
         graph.num_edges()
     );
+    let graph = Arc::new(graph);
 
-    // Serial reference run (Algorithm 2 of the paper).
-    let serial = mine_serial(&graph, params);
+    // Serial reference run (Algorithm 2 of the paper). Invalid configurations
+    // fail here, at build(), with a typed QcmError.
+    let serial = Session::builder()
+        .gamma(gamma)
+        .min_size(min_size)
+        .backend(Backend::Serial)
+        .build()?
+        .run(&graph)?;
+    let stats = serial.serial_stats().expect("serial backend");
     println!(
-        "serial:   {} maximal quasi-cliques in {:?} ({} set-enumeration nodes expanded, \
-         {} vertices survived the k-core preprocessing)",
+        "serial:   {} maximal quasi-cliques in {:?} ({} set-enumeration nodes expanded)",
         serial.maximal.len(),
         serial.elapsed,
-        serial.stats.nodes_expanded,
-        serial.kcore_vertices
+        stats.nodes_expanded,
     );
 
-    // Parallel run on the reforged task engine.
-    let shared = Arc::new(graph);
-    let parallel = mine_parallel(&shared, params, 4);
+    // Parallel run on the reforged task engine — same Session API.
+    let parallel = Session::builder()
+        .gamma(gamma)
+        .min_size(min_size)
+        .backend(Backend::Parallel {
+            threads: 4,
+            machines: 1,
+        })
+        .build()?
+        .run(&graph)?;
+    let metrics = parallel.engine_metrics().expect("parallel backend");
     println!(
         "parallel: {} maximal quasi-cliques in {:?} ({} tasks spawned, {} decomposed)",
         parallel.maximal.len(),
-        parallel.elapsed(),
-        parallel.metrics.tasks_spawned,
-        parallel.metrics.tasks_decomposed
+        parallel.elapsed,
+        metrics.tasks_spawned,
+        metrics.tasks_decomposed
     );
     assert_eq!(serial.maximal, parallel.maximal);
+    assert!(serial.is_complete() && parallel.is_complete());
 
     println!("\nResults:");
     for (i, members) in parallel.maximal.iter().enumerate() {
@@ -99,4 +112,5 @@ fn main() {
             break;
         }
     }
+    Ok(())
 }

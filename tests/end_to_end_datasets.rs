@@ -33,7 +33,16 @@ fn every_dataset_standin_yields_its_planted_communities() {
         let dataset = spec.generate();
         let params = MiningParams::new(spec.gamma, spec.min_size);
         let graph = Arc::new(dataset.graph.clone());
-        let out = mine_parallel(&graph, params, 4);
+        let out = Session::builder()
+            .params(params)
+            .backend(Backend::Parallel {
+                threads: 4,
+                machines: 1,
+            })
+            .build()
+            .unwrap()
+            .run(&graph)
+            .unwrap();
         assert!(
             !out.maximal.is_empty(),
             "{}: no quasi-cliques found at γ={} τ_size={}",
@@ -67,8 +76,22 @@ fn parallel_equals_serial_on_two_shrunk_datasets() {
         let dataset = spec.generate();
         let params = MiningParams::new(spec.gamma, spec.min_size);
         let graph = Arc::new(dataset.graph.clone());
-        let serial = mine_serial(&graph, params);
-        let parallel = mine_parallel(&graph, params, 4);
+        let serial = Session::builder()
+            .params(params)
+            .build()
+            .unwrap()
+            .run(&graph)
+            .unwrap();
+        let parallel = Session::builder()
+            .params(params)
+            .backend(Backend::Parallel {
+                threads: 4,
+                machines: 1,
+            })
+            .build()
+            .unwrap()
+            .run(&graph)
+            .unwrap();
         assert_eq!(
             serial.maximal, parallel.maximal,
             "{}: serial vs parallel mismatch",

@@ -25,7 +25,12 @@ fn test_graph() -> (Arc<Graph>, MiningParams) {
 #[test]
 fn tiny_queues_with_disk_spill_produce_correct_results() {
     let (graph, params) = test_graph();
-    let reference = mine_serial(&graph, params);
+    let reference = Session::builder()
+        .params(params)
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
 
     let spill_dir = std::env::temp_dir().join(format!("qcm_fault_spill_{}", std::process::id()));
     let mut config = EngineConfig::single_machine(4);
@@ -56,7 +61,12 @@ fn tiny_queues_with_disk_spill_produce_correct_results() {
 #[test]
 fn one_entry_vertex_cache_is_only_a_performance_problem() {
     let (graph, params) = test_graph();
-    let reference = mine_serial(&graph, params);
+    let reference = Session::builder()
+        .params(params)
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
     let mut config = EngineConfig::cluster(4, 2);
     config.vertex_cache_capacity = 1;
     config.balance_period = Duration::from_millis(1);
@@ -68,7 +78,12 @@ fn one_entry_vertex_cache_is_only_a_performance_problem() {
 #[test]
 fn more_machines_than_meaningful_work_still_terminates() {
     let (graph, params) = test_graph();
-    let reference = mine_serial(&graph, params);
+    let reference = Session::builder()
+        .params(params)
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
     let mut config = EngineConfig::cluster(8, 1);
     config.balance_period = Duration::from_millis(1);
     let out = ParallelMiner::new(params, config).mine(graph.clone());
@@ -83,7 +98,12 @@ fn stealing_moves_big_tasks_under_skew() {
     // move because queues drained instantly — accept either, but the run must
     // stay correct).
     let (graph, params) = test_graph();
-    let reference = mine_serial(&graph, params);
+    let reference = Session::builder()
+        .params(params)
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
     let mut config = EngineConfig::cluster(4, 1);
     config.tau_split = 1;
     config.tau_time = Duration::ZERO;
@@ -99,14 +119,26 @@ fn stealing_moves_big_tasks_under_skew() {
 fn empty_and_trivial_graphs_are_handled() {
     let params = MiningParams::new(0.9, 3);
     let empty = Arc::new(Graph::empty(0));
-    let out = mine_parallel(&empty, params, 2);
+    let parallel_session = |graph: &Arc<Graph>| {
+        Session::builder()
+            .params(params)
+            .backend(Backend::Parallel {
+                threads: 2,
+                machines: 1,
+            })
+            .build()
+            .unwrap()
+            .run(graph)
+            .unwrap()
+    };
+    let out = parallel_session(&empty);
     assert!(out.maximal.is_empty());
 
     let no_edges = Arc::new(Graph::empty(50));
-    let out = mine_parallel(&no_edges, params, 2);
+    let out = parallel_session(&no_edges);
     assert!(out.maximal.is_empty());
 
     let triangle = Arc::new(Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap());
-    let out = mine_parallel(&triangle, params, 2);
+    let out = parallel_session(&triangle);
     assert_eq!(out.maximal.len(), 1);
 }

@@ -44,13 +44,27 @@ fn serial_parallel_and_oracle_agree_on_arithmetic_graphs() {
         for (gamma, min_size) in all_configs() {
             let params = MiningParams::new(gamma, min_size);
             let oracle = naive::maximal_quasi_cliques(&g, &params);
-            let serial = mine_serial(&g, params);
+            let shared = Arc::new(g.clone());
+            let serial = Session::builder()
+                .params(params)
+                .build()
+                .unwrap()
+                .run(&shared)
+                .unwrap();
             assert_eq!(
                 serial.maximal, oracle,
                 "serial != oracle (graph #{i}, gamma={gamma}, min_size={min_size})"
             );
-            let shared = Arc::new(g.clone());
-            let parallel = mine_parallel(&shared, params, 3);
+            let parallel = Session::builder()
+                .params(params)
+                .backend(Backend::Parallel {
+                    threads: 3,
+                    machines: 1,
+                })
+                .build()
+                .unwrap()
+                .run(&shared)
+                .unwrap();
             assert_eq!(
                 parallel.maximal, oracle,
                 "parallel != oracle (graph #{i}, gamma={gamma}, min_size={min_size})"
@@ -109,8 +123,22 @@ fn planted_communities_are_recovered_exactly() {
     let dataset = qcm::gen::datasets::tiny_test_dataset(42);
     let params = MiningParams::new(dataset.spec.gamma, dataset.spec.min_size);
     let graph = Arc::new(dataset.graph.clone());
-    let serial = mine_serial(&graph, params);
-    let parallel = mine_parallel(&graph, params, 4);
+    let serial = Session::builder()
+        .params(params)
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
+    let parallel = Session::builder()
+        .params(params)
+        .backend(Backend::Parallel {
+            threads: 4,
+            machines: 1,
+        })
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
     assert_eq!(serial.maximal, parallel.maximal);
     for community in &dataset.planted {
         assert!(

@@ -1,4 +1,5 @@
-//! Determinism and schedule-independence of the parallel miner.
+//! Determinism and schedule-independence of the parallel miner, driven
+//! through the unified `Session` front door.
 //!
 //! The paper's system runs the same algorithm under wildly different
 //! schedules (1–512 threads, 2–16 machines, different τ_split/τ_time). These
@@ -10,7 +11,7 @@ use qcm::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn planted_graph(seed: u64) -> (Arc<Graph>, MiningParams) {
+fn planted_graph(seed: u64) -> (Arc<Graph>, SessionBuilder) {
     let spec = PlantedGraphSpec {
         num_vertices: 300,
         background_avg_degree: 5.0,
@@ -21,16 +22,25 @@ fn planted_graph(seed: u64) -> (Arc<Graph>, MiningParams) {
         seed,
     };
     let (graph, _) = qcm::gen::plant_quasi_cliques(&spec);
-    (Arc::new(graph), MiningParams::new(0.8, 7))
+    (Arc::new(graph), Session::builder().gamma(0.8).min_size(7))
 }
 
 #[test]
 fn thread_count_does_not_change_results() {
-    let (graph, params) = planted_graph(1);
-    let reference = mine_serial(&graph, params);
+    let (graph, base) = planted_graph(1);
+    let reference = base.clone().build().unwrap().run(&graph).unwrap();
     assert!(!reference.maximal.is_empty());
     for threads in [1, 2, 4, 8] {
-        let parallel = mine_parallel(&graph, params, threads);
+        let parallel = base
+            .clone()
+            .backend(Backend::Parallel {
+                threads,
+                machines: 1,
+            })
+            .build()
+            .unwrap()
+            .run(&graph)
+            .unwrap();
         assert_eq!(
             parallel.maximal, reference.maximal,
             "result set changed with {threads} threads"
@@ -40,12 +50,20 @@ fn thread_count_does_not_change_results() {
 
 #[test]
 fn machine_count_does_not_change_results() {
-    let (graph, params) = planted_graph(2);
-    let reference = mine_serial(&graph, params);
+    let (graph, base) = planted_graph(2);
+    let reference = base.clone().build().unwrap().run(&graph).unwrap();
     for machines in [1, 2, 4] {
-        let mut config = EngineConfig::cluster(machines, 2);
-        config.balance_period = Duration::from_millis(2);
-        let parallel = ParallelMiner::new(params, config).mine(graph.clone());
+        let parallel = base
+            .clone()
+            .backend(Backend::Parallel {
+                threads: 2,
+                machines,
+            })
+            .balance_period(Duration::from_millis(2))
+            .build()
+            .unwrap()
+            .run(&graph)
+            .unwrap();
         assert_eq!(
             parallel.maximal, reference.maximal,
             "result set changed with {machines} machines"
@@ -55,13 +73,22 @@ fn machine_count_does_not_change_results() {
 
 #[test]
 fn hyperparameters_do_not_change_results() {
-    let (graph, params) = planted_graph(3);
-    let reference = mine_serial(&graph, params);
+    let (graph, base) = planted_graph(3);
+    let reference = base.clone().build().unwrap().run(&graph).unwrap();
     for tau_split in [1usize, 10, 1000] {
         for tau_time_ms in [0u64, 1, 1000] {
-            let config = EngineConfig::single_machine(4)
-                .with_decomposition(tau_split, Duration::from_millis(tau_time_ms));
-            let parallel = ParallelMiner::new(params, config).mine(graph.clone());
+            let parallel = base
+                .clone()
+                .backend(Backend::Parallel {
+                    threads: 4,
+                    machines: 1,
+                })
+                .tau_split(tau_split)
+                .tau_time(Duration::from_millis(tau_time_ms))
+                .build()
+                .unwrap()
+                .run(&graph)
+                .unwrap();
             assert_eq!(
                 parallel.maximal, reference.maximal,
                 "result set changed at tau_split={tau_split}, tau_time={tau_time_ms}ms"
@@ -72,24 +99,58 @@ fn hyperparameters_do_not_change_results() {
 
 #[test]
 fn repeated_runs_are_deterministic() {
-    let (graph, params) = planted_graph(4);
-    let first = mine_parallel(&graph, params, 4);
+    let (graph, base) = planted_graph(4);
+    let session = base
+        .backend(Backend::Parallel {
+            threads: 4,
+            machines: 1,
+        })
+        .build()
+        .unwrap();
+    let first = session.run(&graph).unwrap();
     for _ in 0..3 {
-        let again = mine_parallel(&graph, params, 4);
+        let again = session.run(&graph).unwrap();
         assert_eq!(first.maximal, again.maximal);
     }
 }
 
 #[test]
 fn engine_metrics_are_consistent_with_results() {
-    let (graph, params) = planted_graph(5);
-    let out = mine_parallel(&graph, params, 4);
+    let (graph, base) = planted_graph(5);
+    let out = base
+        .backend(Backend::Parallel {
+            threads: 4,
+            machines: 1,
+        })
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
+    let metrics = out.engine_metrics().expect("parallel backend");
     assert!(out.raw_reported >= out.maximal.len() as u64);
-    assert_eq!(out.metrics.results_emitted, out.raw_reported);
-    assert!(out.metrics.tasks_processed >= out.metrics.tasks_spawned);
-    assert_eq!(
-        out.metrics.task_times.len() as u64,
-        out.metrics.tasks_processed
-    );
-    assert!(out.metrics.worker_busy.len() == 4);
+    assert_eq!(metrics.results_emitted, out.raw_reported);
+    assert!(metrics.tasks_processed >= metrics.tasks_spawned);
+    assert_eq!(metrics.task_times.len() as u64, metrics.tasks_processed);
+    assert!(metrics.worker_busy.len() == 4);
+    assert!(out.is_complete());
+}
+
+#[test]
+fn streaming_and_plain_runs_agree_across_backends() {
+    let (graph, base) = planted_graph(6);
+    for backend in [
+        Backend::Serial,
+        Backend::Parallel {
+            threads: 4,
+            machines: 1,
+        },
+    ] {
+        let session = base.clone().backend(backend).build().unwrap();
+        let plain = session.run(&graph).unwrap();
+        let mut sink = CollectingSink::default();
+        let streamed = session.run_streaming(&graph, &mut sink).unwrap();
+        assert_eq!(plain.maximal, streamed.maximal, "{backend:?}");
+        assert_eq!(sink.candidates, streamed.raw_reported, "{backend:?}");
+        assert_eq!(sink.maximal.len(), streamed.maximal.len(), "{backend:?}");
+    }
 }

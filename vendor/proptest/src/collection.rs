@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Anything usable as a size specifier for [`vec`].
+/// Anything usable as a size specifier for [`vec()`].
 pub trait SizeRange {
     /// Draws a length from the range.
     fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> 
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S, R> {
     element: S,
     size: R,
