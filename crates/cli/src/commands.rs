@@ -18,10 +18,25 @@ qcm — maximal quasi-clique miner (algorithm-system codesign reproduction)
 
 USAGE:
     qcm mine <edge_list> --gamma <0..1> --min-size <n> [options]
+    qcm serve [--workers <n>] [--format json|text] [options]
     qcm generate --dataset <name> --output <file> [--seed <n>]
     qcm stats <edge_list>
+    qcm fingerprint <edge_list>
     qcm datasets
     qcm help
+
+SERVE:
+    runs the multi-tenant mining job service over stdin/stdout: one
+    line-delimited request per line, one response line each. Type `help`
+    inside the session (or see `qcm serve` docs) for the request grammar.
+
+    --workers <n>         worker threads (default 2)
+    --max-queued <n>      admission: max queued jobs (default 64)
+    --max-in-flight <n>   admission: max concurrently mined jobs (default: unbounded)
+    --quota <n>           admission: max unfinished jobs per tenant (default 16)
+    --cache-capacity <n>  result-cache capacity in answers (default 128)
+    --cache-ttl-ms <n>    result-cache time-to-live (default: no expiry)
+    --format <fmt>        response format: text (default) or json
 
 MINE OPTIONS:
     --gamma <f>          minimum degree ratio γ (default 0.9)
@@ -37,11 +52,11 @@ MINE OPTIONS:
     --output <file>      write the result sets to a file (default: print summary only)";
 
 /// Which flags a subcommand accepts.
-struct FlagSpec {
+pub(crate) struct FlagSpec {
     /// `--key value` flags.
-    values: &'static [&'static str],
+    pub(crate) values: &'static [&'static str],
     /// Bare `--switch` flags.
-    switches: &'static [&'static str],
+    pub(crate) switches: &'static [&'static str],
 }
 
 const MINE_FLAGS: FlagSpec = FlagSpec {
@@ -71,15 +86,15 @@ const STATS_FLAGS: FlagSpec = FlagSpec {
 
 /// Parsed command-line flags: `--key value` pairs plus bare switches.
 #[derive(Debug)]
-struct Flags {
-    positional: Vec<String>,
-    values: HashMap<String, String>,
+pub(crate) struct Flags {
+    pub(crate) positional: Vec<String>,
+    pub(crate) values: HashMap<String, String>,
     switches: Vec<String>,
 }
 
 impl Flags {
     /// Parses `args` against `spec`, rejecting unknown and duplicate flags.
-    fn parse(args: &[String], spec: &FlagSpec) -> Result<Self, QcmError> {
+    pub(crate) fn parse(args: &[String], spec: &FlagSpec) -> Result<Self, QcmError> {
         let mut positional = Vec::new();
         let mut values = HashMap::new();
         let mut switches: Vec<String> = Vec::new();
@@ -119,11 +134,11 @@ impl Flags {
         })
     }
 
-    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, QcmError> {
+    pub(crate) fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, QcmError> {
         Ok(self.get_opt(name)?.unwrap_or(default))
     }
 
-    fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, QcmError> {
+    pub(crate) fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, QcmError> {
         match self.values.get(name) {
             None => Ok(None),
             Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
@@ -132,7 +147,7 @@ impl Flags {
         }
     }
 
-    fn has_switch(&self, name: &str) -> bool {
+    pub(crate) fn has_switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
 }
@@ -160,7 +175,7 @@ pub fn mine(args: &[String]) -> Result<(), QcmError> {
             )))
         }
     };
-    let graph = io::read_edge_list_file(path)?;
+    let graph = load_graph(path)?;
     let gamma: f64 = flags.get("gamma", 0.9)?;
     let min_size: usize = flags.get("min-size", 10)?;
 
@@ -291,6 +306,7 @@ pub fn generate(args: &[String]) -> Result<(), QcmError> {
         .ok_or_else(|| QcmError::InvalidConfig("generate requires --output <file>".into()))?;
     let mut spec = qcm_gen::datasets::all_datasets()
         .into_iter()
+        .chain(std::iter::once(qcm_gen::datasets::tiny_test_spec(7)))
         .find(|d| d.name.eq_ignore_ascii_case(name))
         .ok_or_else(|| {
             QcmError::InvalidConfig(format!(
@@ -321,15 +337,51 @@ pub fn stats(args: &[String]) -> Result<(), QcmError> {
         .positional
         .first()
         .ok_or_else(|| QcmError::InvalidConfig("stats requires an edge-list path".into()))?;
-    let graph = io::read_edge_list_file(path)?;
+    let graph = load_graph(path)?;
     print_stats(&graph);
+    Ok(())
+}
+
+/// Loads a graph from either a SNAP-style edge list or a `QCMGRPH` binary
+/// snapshot, sniffing the magic bytes (the snapshot path goes through the
+/// checksummed loader, so corrupt files are rejected with a typed error).
+pub(crate) fn load_graph(path: &str) -> Result<Graph, QcmError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| QcmError::GraphLoad(qcm_graph::GraphError::Io(e)))?;
+    let graph = if bytes.starts_with(b"QCMGRPH") {
+        io::read_binary(bytes.as_slice())?
+    } else {
+        io::read_edge_list(bytes.as_slice())?
+    };
+    Ok(graph)
+}
+
+/// `qcm fingerprint <edge_list>` — prints the stable content hash that keys
+/// the service result cache and graph registries.
+pub fn fingerprint(args: &[String]) -> Result<(), QcmError> {
+    let flags = Flags::parse(args, &STATS_FLAGS)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| QcmError::InvalidConfig("fingerprint requires an edge-list path".into()))?;
+    let graph = load_graph(path)?;
+    println!(
+        "{path}: {} vertices, {} edges, content hash {:#018x}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.content_hash()
+    );
     Ok(())
 }
 
 /// `qcm datasets`
 pub fn list_datasets() -> Result<(), QcmError> {
     println!("available synthetic stand-in datasets (see DESIGN.md for the mapping to Table 1):");
-    for spec in qcm_gen::datasets::all_datasets() {
+    let tiny = qcm_gen::datasets::tiny_test_spec(7);
+    for spec in qcm_gen::datasets::all_datasets()
+        .into_iter()
+        .chain(std::iter::once(tiny))
+    {
         println!(
             "  {:<12} |V|≈{:<7} γ={:<4} τ_size={:<3} τ_split={:<5} τ_time={}ms",
             spec.name,

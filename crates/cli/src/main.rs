@@ -4,8 +4,10 @@
 //! qcm mine <edge_list> --gamma 0.9 --min-size 10 [--threads 8] [--machines 1]
 //!                      [--tau-split 100] [--tau-time-ms 10] [--deadline-ms 5000]
 //!                      [--format json|text] [--serial] [--output results.txt]
+//! qcm serve [--workers 4] [--format json]                  # mining job service on stdin/stdout
 //! qcm generate --dataset <name> --output graph.txt        # synthetic stand-in datasets
 //! qcm stats <edge_list>                                    # graph summary statistics
+//! qcm fingerprint <edge_list>                              # stable content hash (cache key)
 //! qcm datasets                                             # list available stand-ins
 //! ```
 //!
@@ -17,6 +19,7 @@ use qcm::QcmError;
 use std::process::ExitCode;
 
 mod commands;
+mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,8 +30,10 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "mine" => commands::mine(rest),
+        "serve" => serve::serve(rest),
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),
+        "fingerprint" => commands::fingerprint(rest),
         "datasets" => commands::list_datasets(),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

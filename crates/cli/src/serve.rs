@@ -1,0 +1,494 @@
+//! `qcm serve` — the mining job service over stdin/stdout.
+//!
+//! One line-delimited request per input line, exactly one response line per
+//! request, in text (default) or JSON (`--format json`). The request grammar
+//! mirrors the library API:
+//!
+//! ```text
+//! submit <graph_file> [--gamma <f>] [--min-size <n>] [--tenant <s>]
+//!        [--priority low|normal|high] [--deadline-ms <n>] [--nowait]
+//! status <job_id>
+//! cancel <job_id>
+//! fetch <job_id>
+//! metrics
+//! help
+//! quit
+//! ```
+//!
+//! `submit` waits for the job and responds with its result (a repeated query
+//! responds instantly with `cache_hit` true); `submit --nowait` responds with
+//! the job id immediately so `status`/`cancel`/`fetch` can drive the
+//! lifecycle asynchronously. Graph files are loaded once per path (edge list
+//! or checksummed binary snapshot) and reused across submits.
+
+use crate::commands::{load_graph, FlagSpec, Flags};
+use qcm::{QcmError, RunOutcome};
+use qcm_graph::Graph;
+use qcm_service::{
+    AdmissionControl, JobId, JobRequest, JobResult, MiningService, Priority, ServiceConfig,
+    ServiceError,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SERVE_FLAGS: FlagSpec = FlagSpec {
+    values: &[
+        "workers",
+        "max-queued",
+        "max-in-flight",
+        "quota",
+        "cache-capacity",
+        "cache-ttl-ms",
+        "format",
+    ],
+    switches: &[],
+};
+
+const SUBMIT_FLAGS: FlagSpec = FlagSpec {
+    values: &["gamma", "min-size", "tenant", "priority", "deadline-ms"],
+    switches: &["nowait"],
+};
+
+const BARE_FLAGS: FlagSpec = FlagSpec {
+    values: &[],
+    switches: &[],
+};
+
+const SESSION_HELP: &str = "\
+requests (one per line, one response line each):
+  submit <graph_file> [--gamma <f>] [--min-size <n>] [--tenant <s>]
+         [--priority low|normal|high] [--deadline-ms <n>] [--nowait]
+  status <job_id>
+  cancel <job_id>
+  fetch <job_id>
+  metrics
+  help
+  quit";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// How many distinct graphs the serve registry keeps resident at once.
+const GRAPH_REGISTRY_CAP: usize = 64;
+
+/// Graphs loaded so far, keyed by path, with the content hash computed once
+/// at load: repeat submits of a registered path skip both the file read and
+/// the `O(|V| + |E|)` fingerprint scan, so hot (cache-served) requests stay
+/// cheap. Bounded like every other long-lived structure in the service: past
+/// [`GRAPH_REGISTRY_CAP`] paths, the least-recently-used graph is dropped
+/// (in-flight jobs keep their own `Arc`; a later submit just reloads the
+/// file).
+#[derive(Default)]
+struct GraphRegistry {
+    loaded: HashMap<String, (Arc<Graph>, u64, u64)>,
+    tick: u64,
+}
+
+impl GraphRegistry {
+    fn get_or_load(&mut self, path: &str) -> Result<(Arc<Graph>, u64), String> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((graph, fingerprint, last_used)) = self.loaded.get_mut(path) {
+            *last_used = tick;
+            return Ok((graph.clone(), *fingerprint));
+        }
+        let graph = Arc::new(load_graph(path).map_err(|e| e.to_string())?);
+        let fingerprint = graph.content_hash();
+        if self.loaded.len() >= GRAPH_REGISTRY_CAP {
+            if let Some(victim) = self
+                .loaded
+                .iter()
+                .min_by_key(|(_, (_, _, last_used))| *last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.loaded.remove(&victim);
+            }
+        }
+        self.loaded
+            .insert(path.to_string(), (graph.clone(), fingerprint, tick));
+        Ok((graph, fingerprint))
+    }
+}
+
+/// `qcm serve …` — reads requests from stdin until EOF or `quit`, then
+/// drains the service and exits.
+pub fn serve(args: &[String]) -> Result<(), QcmError> {
+    let flags = Flags::parse(args, &SERVE_FLAGS)?;
+    let format = match flags.values.get("format").map(String::as_str) {
+        None | Some("text") => Format::Text,
+        Some("json") => Format::Json,
+        Some(other) => {
+            return Err(QcmError::InvalidConfig(format!(
+                "invalid value {other:?} for --format (expected text or json)"
+            )))
+        }
+    };
+    let workers: usize = flags.get("workers", 2usize)?;
+    if workers == 0 {
+        return Err(QcmError::InvalidConfig(
+            "--workers must be at least 1".into(),
+        ));
+    }
+    let config = ServiceConfig {
+        workers,
+        admission: AdmissionControl {
+            max_queued: flags.get("max-queued", 64usize)?,
+            max_in_flight: flags.get("max-in-flight", usize::MAX)?,
+            per_tenant_quota: flags.get("quota", 16usize)?,
+        },
+        cache_capacity: flags.get("cache-capacity", 128usize)?,
+        cache_ttl: flags
+            .get_opt::<u64>("cache-ttl-ms")?
+            .map(Duration::from_millis),
+        ..ServiceConfig::default()
+    };
+    let service = MiningService::start(config);
+    let mut graphs = GraphRegistry::default();
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if format == Format::Text {
+        let _ = writeln!(
+            out,
+            "qcm serve ready ({workers} workers); `help` lists requests"
+        );
+        let _ = out.flush();
+    }
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| QcmError::Engine(format!("stdin read error: {e}")))?;
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        let Some(verb) = tokens.first() else {
+            continue; // blank line
+        };
+        if matches!(verb.as_str(), "quit" | "exit" | "shutdown") {
+            break;
+        }
+        let response = handle_request(&service, &mut graphs, verb, &tokens[1..], format);
+        let _ = writeln!(out, "{response}");
+        let _ = out.flush();
+    }
+    drop(out);
+    service.shutdown();
+    Ok(())
+}
+
+/// Dispatches one request line; never fails the server — every error becomes
+/// an error response.
+fn handle_request(
+    service: &MiningService,
+    graphs: &mut GraphRegistry,
+    verb: &str,
+    args: &[String],
+    format: Format,
+) -> String {
+    let result = match verb {
+        "submit" => submit(service, graphs, args, format),
+        "status" => status(service, args, format),
+        "cancel" => cancel(service, args, format),
+        "fetch" => fetch(service, args, format),
+        "metrics" => metrics(service, args, format),
+        "help" => Ok(match format {
+            Format::Text => SESSION_HELP.to_string(),
+            Format::Json => format!(
+                "{{\"ok\":true,\"cmd\":\"help\",\"requests\":{}}}",
+                json_string("submit status cancel fetch metrics help quit")
+            ),
+        }),
+        other => Err(format!("unknown request {other:?} (try `help`)")),
+    };
+    match result {
+        Ok(response) => response,
+        Err(message) => match format {
+            Format::Text => format!("error: {message}"),
+            Format::Json => format!("{{\"ok\":false,\"error\":{}}}", json_string(&message)),
+        },
+    }
+}
+
+fn submit(
+    service: &MiningService,
+    graphs: &mut GraphRegistry,
+    args: &[String],
+    format: Format,
+) -> Result<String, String> {
+    let flags = Flags::parse(args, &SUBMIT_FLAGS).map_err(|e| e.to_string())?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("submit requires a graph file path")?;
+    let (graph, fingerprint) = graphs.get_or_load(path)?;
+    let gamma: f64 = flags.get("gamma", 0.9).map_err(|e| e.to_string())?;
+    let min_size: usize = flags.get("min-size", 10).map_err(|e| e.to_string())?;
+    let tenant = flags
+        .values
+        .get("tenant")
+        .cloned()
+        .unwrap_or_else(|| "default".to_string());
+    let priority = match flags.values.get("priority") {
+        None => Priority::Normal,
+        Some(raw) => Priority::parse(raw).ok_or_else(|| format!("invalid priority {raw:?}"))?,
+    };
+    let mut request = JobRequest::new(graph, gamma, min_size)
+        .tenant(tenant)
+        .priority(priority)
+        .fingerprint(fingerprint);
+    if let Some(ms) = flags
+        .get_opt::<u64>("deadline-ms")
+        .map_err(|e| e.to_string())?
+    {
+        request = request.deadline(Duration::from_millis(ms));
+    }
+    let job = service.submit(request).map_err(|e| e.to_string())?;
+    if flags.has_switch("nowait") {
+        let status = service.status(job).map_err(|e| e.to_string())?;
+        return Ok(match format {
+            Format::Text => format!("job {job} {status}"),
+            Format::Json => {
+                format!("{{\"ok\":true,\"cmd\":\"submit\",\"job\":{job},\"status\":\"{status}\"}}")
+            }
+        });
+    }
+    let result = service.fetch(job).map_err(|e| e.to_string())?;
+    Ok(render_result("submit", &result, format))
+}
+
+fn parse_job_id(args: &[String], verb: &str) -> Result<JobId, String> {
+    let flags = Flags::parse(args, &BARE_FLAGS).map_err(|e| e.to_string())?;
+    let raw = flags
+        .positional
+        .first()
+        .ok_or_else(|| format!("{verb} requires a job id"))?;
+    raw.parse::<u64>()
+        .map(JobId::from_raw)
+        .map_err(|_| format!("invalid job id {raw:?}"))
+}
+
+fn status(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
+    let job = parse_job_id(args, "status")?;
+    let status = service.status(job).map_err(|e| e.to_string())?;
+    Ok(match format {
+        Format::Text => format!("job {job} {status}"),
+        Format::Json => {
+            format!("{{\"ok\":true,\"cmd\":\"status\",\"job\":{job},\"status\":\"{status}\"}}")
+        }
+    })
+}
+
+fn cancel(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
+    let job = parse_job_id(args, "cancel")?;
+    let status = service.cancel(job).map_err(|e| e.to_string())?;
+    Ok(match format {
+        Format::Text => format!("job {job} {status}"),
+        Format::Json => {
+            format!("{{\"ok\":true,\"cmd\":\"cancel\",\"job\":{job},\"status\":\"{status}\"}}")
+        }
+    })
+}
+
+fn fetch(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
+    let job = parse_job_id(args, "fetch")?;
+    match service.fetch(job) {
+        Ok(result) => Ok(render_result("fetch", &result, format)),
+        Err(ServiceError::Cancelled(job)) => Ok(match format {
+            Format::Text => format!("job {job} cancelled (never ran, no result)"),
+            Format::Json => {
+                format!("{{\"ok\":true,\"cmd\":\"fetch\",\"job\":{job},\"status\":\"cancelled\"}}")
+            }
+        }),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn metrics(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
+    Flags::parse(args, &BARE_FLAGS).map_err(|e| e.to_string())?;
+    let m = service.metrics();
+    Ok(match format {
+        Format::Text => format!(
+            "queue {} | in-flight {} | submitted {} (rejected {}) | completed {} | \
+             cancelled {} | cache {}/{} hits (entries {}) | mined {} | \
+             latency p50 {:?} p99 {:?}",
+            m.queue_depth,
+            m.in_flight,
+            m.submitted,
+            m.rejected,
+            m.completed,
+            m.cancelled,
+            m.cache_hits,
+            m.cache_hits + m.cache_misses,
+            m.cache_entries,
+            m.jobs_mined,
+            m.p50_latency,
+            m.p99_latency,
+        ),
+        Format::Json => format!(
+            "{{\"ok\":true,\"cmd\":\"metrics\",\"queue_depth\":{},\"in_flight\":{},\
+             \"submitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\
+             \"failed\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
+             \"jobs_mined\":{},\"p50_latency_ms\":{},\"p99_latency_ms\":{}}}",
+            m.queue_depth,
+            m.in_flight,
+            m.submitted,
+            m.rejected,
+            m.completed,
+            m.cancelled,
+            m.failed,
+            m.cache_hits,
+            m.cache_misses,
+            m.cache_entries,
+            m.jobs_mined,
+            m.p50_latency.as_millis(),
+            m.p99_latency.as_millis(),
+        ),
+    })
+}
+
+fn render_result(cmd: &str, result: &JobResult, format: Format) -> String {
+    let outcome = match result.outcome() {
+        RunOutcome::Complete => "complete",
+        RunOutcome::Cancelled => "cancelled",
+        RunOutcome::DeadlineExceeded => "deadline_exceeded",
+    };
+    match format {
+        Format::Text => format!(
+            "job {} {} {} — {} maximal sets, mined in {:?}{}",
+            result.job,
+            if result.cache_hit { "HOT" } else { "cold" },
+            outcome,
+            result.maximal().len(),
+            result.answer.mining_time,
+            if result.is_complete() {
+                ""
+            } else {
+                " (partial)"
+            },
+        ),
+        Format::Json => format!(
+            "{{\"ok\":true,\"cmd\":\"{cmd}\",\"job\":{},\"tenant\":{},\
+             \"outcome\":\"{outcome}\",\"complete\":{},\"cache_hit\":{},\
+             \"num_maximal\":{},\"raw_reported\":{},\"mining_ms\":{}}}",
+            result.job,
+            json_string(&result.tenant),
+            result.is_complete(),
+            result.cache_hit,
+            result.maximal().len(),
+            result.answer.raw_reported,
+            result.answer.mining_time.as_millis(),
+        ),
+    }
+}
+
+/// Minimal JSON string encoding (quotes, backslashes and control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcm_graph::io;
+
+    fn request(
+        service: &MiningService,
+        graphs: &mut GraphRegistry,
+        line: &str,
+        format: Format,
+    ) -> String {
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        handle_request(service, graphs, &tokens[0], &tokens[1..], format)
+    }
+
+    fn with_tiny_graph_file<R>(tag: &str, f: impl FnOnce(&str) -> R) -> R {
+        let dir = std::env::temp_dir().join(format!("qcm_serve_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.txt");
+        let dataset = qcm_gen::datasets::tiny_test_dataset(9);
+        io::write_edge_list_file(&dataset.graph, &path).unwrap();
+        let result = f(&path.to_string_lossy());
+        std::fs::remove_dir_all(&dir).ok();
+        result
+    }
+
+    #[test]
+    fn submit_twice_reports_cache_hit_in_json() {
+        with_tiny_graph_file("hit", |path| {
+            let service = MiningService::start(ServiceConfig::default());
+            let mut graphs = GraphRegistry::default();
+            let line = format!("submit {path} --gamma 0.8 --min-size 6");
+            let cold = request(&service, &mut graphs, &line, Format::Json);
+            assert!(cold.contains("\"ok\":true"), "{cold}");
+            assert!(cold.contains("\"cache_hit\":false"), "{cold}");
+            let hot = request(&service, &mut graphs, &line, Format::Json);
+            assert!(hot.contains("\"cache_hit\":true"), "{hot}");
+            let metrics = request(&service, &mut graphs, "metrics", Format::Json);
+            assert!(metrics.contains("\"cache_hits\":1"), "{metrics}");
+            assert!(metrics.contains("\"jobs_mined\":1"), "{metrics}");
+            service.shutdown();
+        });
+    }
+
+    #[test]
+    fn nowait_submit_supports_status_and_fetch() {
+        with_tiny_graph_file("nowait", |path| {
+            let service = MiningService::start(ServiceConfig::default());
+            let mut graphs = GraphRegistry::default();
+            let line = format!("submit {path} --gamma 0.8 --min-size 6 --nowait --tenant lab");
+            let resp = request(&service, &mut graphs, &line, Format::Json);
+            assert!(resp.contains("\"job\":1"), "{resp}");
+            let fetched = request(&service, &mut graphs, "fetch 1", Format::Json);
+            assert!(fetched.contains("\"tenant\":\"lab\""), "{fetched}");
+            let status = request(&service, &mut graphs, "status 1", Format::Json);
+            assert!(status.contains("\"status\":\"completed\""), "{status}");
+            service.shutdown();
+        });
+    }
+
+    #[test]
+    fn errors_are_responses_not_crashes() {
+        let service = MiningService::start(ServiceConfig::default());
+        let mut graphs = GraphRegistry::default();
+        for (line, needle) in [
+            ("status 99", "unknown job"),
+            ("status abc", "invalid job id"),
+            ("submit /no/such/file.txt", "I/O"),
+            ("frobnicate 1", "unknown request"),
+            ("submit", "requires a graph file"),
+        ] {
+            let text = request(&service, &mut graphs, line, Format::Text);
+            assert!(
+                text.starts_with("error:") && text.contains(needle),
+                "{line} → {text}"
+            );
+            let json = request(&service, &mut graphs, line, Format::Json);
+            assert!(json.starts_with("{\"ok\":false"), "{line} → {json}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

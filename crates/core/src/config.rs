@@ -10,7 +10,7 @@
 //! a small graph").
 
 /// Which pruning rules the miner applies.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PruneConfig {
     /// P1: diameter-based restriction of `ext(S)` to two-hop neighborhoods
     /// (only applied when γ ≥ 0.5).

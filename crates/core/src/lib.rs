@@ -43,6 +43,7 @@ pub mod cover;
 pub mod critical;
 pub mod degrees;
 pub mod error;
+pub mod fingerprint;
 pub mod iterative_bounding;
 pub mod maximality;
 pub mod naive;
@@ -59,6 +60,7 @@ pub use cancel::{CancelReason, CancelToken, RunOutcome};
 pub use config::PruneConfig;
 pub use context::MiningContext;
 pub use error::QcmError;
+pub use fingerprint::QueryKey;
 pub use iterative_bounding::iterative_bounding;
 pub use maximality::remove_non_maximal;
 pub use params::{Gamma, MiningParams};

@@ -11,7 +11,7 @@ use std::fmt;
 
 /// The minimum-degree ratio γ of the quasi-clique definition, stored as an
 /// exact rational number.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Gamma {
     num: u64,
     den: u64,
@@ -47,6 +47,14 @@ impl Gamma {
     /// γ as `f64` (for display and statistics only — never for thresholds).
     pub fn as_f64(&self) -> f64 {
         self.num as f64 / self.den as f64
+    }
+
+    /// The exact reduced rational `(numerator, denominator)`. Because the
+    /// fraction is always stored reduced, equal γ values return identical
+    /// ratios — which makes this the canonical representation for cache keys
+    /// and fingerprints.
+    pub fn as_ratio(&self) -> (u64, u64) {
+        (self.num, self.den)
     }
 
     /// Exact `⌈γ · x⌉`.
@@ -89,7 +97,7 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 
 /// The user-facing mining parameters: the degree threshold γ and the minimum
 /// result size τ_size (Definition 3 of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MiningParams {
     /// Minimum degree ratio γ ∈ (0, 1].
     pub gamma: Gamma,

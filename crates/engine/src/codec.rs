@@ -17,18 +17,37 @@ pub fn put_u64(buf: &mut Vec<u8>, value: u64) {
     buf.extend_from_slice(&value.to_le_bytes());
 }
 
+/// Clamps a slice length to the `u32` framing space.
+///
+/// The length prefix of the wire format is a `u32`; a longer slice cannot be
+/// framed. That would take a >16 GiB task, so it is a logic error — caught by
+/// the `debug_assert!` in development — but the release-mode path must not
+/// silently truncate the *prefix only* (the pre-hardening behaviour: `len as
+/// u32` wrapped, making the frame undecodable). Instead the length saturates
+/// and exactly that many elements are encoded, keeping the frame
+/// self-consistent.
+fn framed_len(len: usize) -> usize {
+    debug_assert!(
+        len <= u32::MAX as usize,
+        "slice of {len} elements exceeds the u32 framing space"
+    );
+    len.min(u32::MAX as usize)
+}
+
 /// Appends a length-prefixed list of `u32`s.
 pub fn put_u32_slice(buf: &mut Vec<u8>, values: &[u32]) {
-    put_u32(buf, values.len() as u32);
-    for &v in values {
+    let len = framed_len(values.len());
+    put_u32(buf, len as u32);
+    for &v in &values[..len] {
         put_u32(buf, v);
     }
 }
 
 /// Appends a length-prefixed list of vertex ids.
 pub fn put_vertices(buf: &mut Vec<u8>, values: &[VertexId]) {
-    put_u32(buf, values.len() as u32);
-    for &v in values {
+    let len = framed_len(values.len());
+    put_u32(buf, len as u32);
+    for &v in &values[..len] {
         put_u32(buf, v.raw());
     }
 }
@@ -102,6 +121,24 @@ mod tests {
             Some(vec![VertexId::new(9), VertexId::new(10)])
         );
         assert_eq!(take_u32_vec(&mut slice), Some(vec![]));
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn large_slices_roundtrip_beyond_u16_lengths() {
+        // Lengths above u16::MAX would break any accidental 16-bit framing
+        // and exercise the checked-cast path with a realistic big task.
+        let values: Vec<u32> = (0..70_000u32).collect();
+        let vertices: Vec<VertexId> = (0..70_000u32).map(VertexId::new).collect();
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &values);
+        put_vertices(&mut buf, &vertices);
+        let mut slice = buf.as_slice();
+        assert_eq!(take_u32_vec(&mut slice).as_deref(), Some(values.as_slice()));
+        assert_eq!(
+            take_vertices(&mut slice).as_deref(),
+            Some(vertices.as_slice())
+        );
         assert!(slice.is_empty());
     }
 

@@ -324,9 +324,11 @@ pub fn all_datasets() -> Vec<DatasetSpec> {
     ]
 }
 
-/// A tiny dataset for unit/integration tests: a 200-vertex background with
-/// two planted communities; mining finishes in milliseconds.
-pub fn tiny_test_dataset(seed: u64) -> SyntheticDataset {
+/// The spec behind [`tiny_test_dataset`]: a 200-vertex background with two
+/// planted communities; mining finishes in milliseconds. Exposed separately
+/// so the CLI (`qcm generate --dataset tiny-test`) and CI smoke scripts can
+/// materialise it to disk.
+pub fn tiny_test_spec(seed: u64) -> DatasetSpec {
     DatasetSpec {
         name: "tiny-test",
         num_vertices: 200,
@@ -342,7 +344,11 @@ pub fn tiny_test_dataset(seed: u64) -> SyntheticDataset {
         tau_time_ms: 5,
         seed,
     }
-    .generate()
+}
+
+/// A tiny dataset for unit/integration tests (see [`tiny_test_spec`]).
+pub fn tiny_test_dataset(seed: u64) -> SyntheticDataset {
+    tiny_test_spec(seed).generate()
 }
 
 #[cfg(test)]

@@ -22,6 +22,12 @@ pub enum GraphError {
     },
     /// The graph exceeded the 32-bit vertex id space.
     TooManyVertices(usize),
+    /// A binary snapshot failed structural validation (unsupported version,
+    /// checksum mismatch, inconsistent header counts).
+    Format {
+        /// Description of the problem.
+        message: String,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -41,6 +47,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::TooManyVertices(n) => {
                 write!(f, "graph has {n} vertices which exceeds the u32 id space")
+            }
+            GraphError::Format { message } => {
+                write!(f, "invalid binary graph snapshot: {message}")
             }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -82,6 +91,11 @@ mod tests {
 
         let e = GraphError::TooManyVertices(5_000_000_000);
         assert!(format!("{e}").contains("u32"));
+
+        let e = GraphError::Format {
+            message: "checksum mismatch".to_string(),
+        };
+        assert!(format!("{e}").contains("checksum mismatch"));
 
         let e = GraphError::Io(io::Error::new(io::ErrorKind::NotFound, "missing"));
         assert!(format!("{e}").contains("I/O"));

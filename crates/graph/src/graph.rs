@@ -186,6 +186,31 @@ impl Graph {
         count
     }
 
+    /// A stable 64-bit fingerprint of the graph's content.
+    ///
+    /// Hashes the vertex count and every CSR offset/neighbor with the
+    /// release-stable FNV-1a hasher ([`crate::hash::Fnv1a64`]), so the same
+    /// graph structure always produces the same value — across processes,
+    /// platforms and releases. Two graphs compare [`PartialEq`]-equal exactly
+    /// when their fingerprints are computed over identical arrays, which makes
+    /// this the cache key of choice for anything memoising per-graph work
+    /// (the service-layer result cache keys on it via `qcm-core`'s
+    /// `QueryKey`).
+    ///
+    /// This is a hash of the *labelled* structure: isomorphic graphs with
+    /// different vertex numberings hash differently. `O(|V| + |E|)`.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::Fnv1a64::new();
+        h.write_u64(self.num_vertices() as u64);
+        for &off in &self.offsets {
+            h.write_u64(off as u64);
+        }
+        for &v in &self.neighbors {
+            h.write_u32(v.raw());
+        }
+        h.finish()
+    }
+
     /// Approximate heap size of the CSR arrays in bytes. Used by the engine's
     /// memory accounting (the "RAM" column of Table 2).
     pub fn memory_bytes(&self) -> usize {
@@ -362,5 +387,26 @@ mod tests {
     fn memory_bytes_is_nonzero_for_nonempty_graph() {
         let g = figure4_graph();
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let g = figure4_graph();
+        // Deterministic across calls and across an equal reconstruction.
+        assert_eq!(g.content_hash(), g.content_hash());
+        assert_eq!(g.content_hash(), figure4_graph().content_hash());
+        // Edge-order of construction does not matter (CSR is canonical).
+        let a = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let b = Graph::from_edges(3, [(1, 2), (0, 1)]).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Any structural change changes the hash.
+        let c = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        assert_ne!(a.content_hash(), c.content_hash());
+        let d = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        assert_ne!(a.content_hash(), d.content_hash());
+        assert_ne!(
+            Graph::empty(0).content_hash(),
+            Graph::empty(1).content_hash()
+        );
     }
 }

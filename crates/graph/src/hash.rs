@@ -1,0 +1,94 @@
+//! Stable content hashing.
+//!
+//! [`Fnv1a64`] is a tiny incremental FNV-1a hasher with a fixed, documented
+//! initial state, used wherever the workspace needs a hash that is stable
+//! across processes, platforms and releases: the binary snapshot checksum in
+//! [`crate::io`] and the graph fingerprint ([`crate::Graph::content_hash`])
+//! that keys the service-layer result cache. `std::hash` is deliberately not
+//! used here — `DefaultHasher` is documented to change between releases and
+//! would silently invalidate on-disk checksums and cross-process cache keys.
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a64 {
+    /// A hasher in the standard FNV-1a initial state.
+    pub fn new() -> Self {
+        Fnv1a64 {
+            state: FNV_OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, value: u32) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot convenience: the FNV-1a hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn integer_writes_are_little_endian_bytes() {
+        let mut a = Fnv1a64::new();
+        a.write_u32(0x0403_0201);
+        a.write_u64(0x0807_0605_0403_0201);
+        let mut b = Fnv1a64::new();
+        b.write(&[1, 2, 3, 4, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

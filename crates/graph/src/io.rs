@@ -96,53 +96,118 @@ pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
     write_edge_list(g, file)
 }
 
-/// Magic header for the binary graph format.
-const BINARY_MAGIC: &[u8; 8] = b"QCMGRPH1";
+/// Shared 7-byte magic prefix of every binary graph snapshot; the eighth byte
+/// is the format version.
+const BINARY_MAGIC: &[u8; 7] = b"QCMGRPH";
+/// Current snapshot version: checksummed, with header sanity checks.
+const BINARY_VERSION: u8 = 2;
+/// The pre-checksum version-1 tag (written as the ASCII digit `1` — version 1
+/// used the 8-byte magic `QCMGRPH1`). Still readable for old snapshots.
+const BINARY_VERSION_LEGACY: u8 = b'1';
 
-/// Writes the graph in a compact little-endian binary format:
-/// `magic | n: u64 | m: u64 | degrees: [u32; n] | neighbors: [u32; sum(deg)]`.
+/// Writes the graph in a compact little-endian binary snapshot:
+/// `"QCMGRPH" | version: u8 | n: u64 | m: u64 | degrees: [u32; n] |
+/// neighbors: [u32; sum(deg)] | checksum: u64`.
+///
+/// The trailing checksum is the FNV-1a hash ([`crate::hash::Fnv1a64`]) of
+/// every byte between the version byte and the checksum itself, so
+/// [`read_binary`] detects truncation and bit corruption instead of
+/// constructing a garbage graph.
 pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
     w.write_all(BINARY_MAGIC)?;
-    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
-    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&[BINARY_VERSION])?;
+    let mut hash = crate::hash::Fnv1a64::new();
+    write_hashed_u64(&mut w, &mut hash, g.num_vertices() as u64)?;
+    write_hashed_u64(&mut w, &mut hash, g.num_edges() as u64)?;
     for v in g.vertices() {
-        w.write_all(&(g.degree(v) as u32).to_le_bytes())?;
+        write_hashed_u32(&mut w, &mut hash, g.degree(v) as u32)?;
     }
     for v in g.vertices() {
         for &u in g.neighbors(v) {
-            w.write_all(&u.raw().to_le_bytes())?;
+            write_hashed_u32(&mut w, &mut hash, u.raw())?;
         }
     }
+    w.write_all(&hash.finish().to_le_bytes())?;
     w.flush()?;
     Ok(())
 }
 
 /// Reads a graph written by [`write_binary`].
+///
+/// Accepts the current checksummed version-2 format and the legacy
+/// pre-checksum version 1. Truncated input, an unsupported version byte,
+/// inconsistent header counts (degree sum ≠ 2·m), out-of-range neighbor ids
+/// and (for version 2) a checksum mismatch all return a [`GraphError`]
+/// instead of panicking or yielding a corrupt graph — this is the safe load
+/// path for service graph registries and cached snapshots.
 pub fn read_binary<R: Read>(reader: R) -> Result<Graph> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
-        return Err(GraphError::Parse {
-            line: 0,
+    if &magic[..7] != BINARY_MAGIC {
+        return Err(GraphError::Format {
             message: "bad magic header for binary graph".to_string(),
         });
     }
-    let n = read_u64(&mut r)? as usize;
-    let declared_edges = read_u64(&mut r)? as usize;
-    let mut degrees = vec![0u32; n];
-    for d in degrees.iter_mut() {
-        *d = read_u32(&mut r)?;
+    let checksummed = match magic[7] {
+        BINARY_VERSION => true,
+        BINARY_VERSION_LEGACY => false,
+        other => {
+            return Err(GraphError::Format {
+                message: format!(
+                    "unsupported binary graph version {other} (supported: 1 and {BINARY_VERSION})"
+                ),
+            })
+        }
+    };
+    let mut hash = crate::hash::Fnv1a64::new();
+    let n64 = read_hashed_u64(&mut r, &mut hash)?;
+    if n64 > u32::MAX as u64 {
+        return Err(GraphError::Format {
+            message: format!("vertex count {n64} exceeds the u32 id space"),
+        });
     }
-    let total: usize = degrees.iter().map(|&d| d as usize).sum();
+    let n = n64 as usize;
+    let declared_edges = read_hashed_u64(&mut r, &mut hash)?;
+    // Cap preallocations: a corrupt header must not trigger a huge upfront
+    // allocation — the reads below fail fast on EOF long before `Vec` growth
+    // reaches a bogus multi-gigabyte count.
+    const PREALLOC_CAP: usize = 1 << 22;
+    let mut degrees: Vec<u32> = Vec::with_capacity(n.min(PREALLOC_CAP));
+    // Checked u64 arithmetic throughout: a corrupt or malicious header must
+    // surface as a Format error, never as an overflow panic (debug) or a
+    // wrapped value that sneaks past the consistency check (release).
+    let mut total_u64 = 0u64;
+    for _ in 0..n {
+        let d = read_hashed_u32(&mut r, &mut hash)?;
+        total_u64 = total_u64
+            .checked_add(d as u64)
+            .ok_or_else(|| GraphError::Format {
+                message: "degree sum overflows u64".to_string(),
+            })?;
+        degrees.push(d);
+    }
+    // An undirected CSR stores every edge twice; verify before reading the
+    // adjacency payload so a corrupt header fails fast.
+    let doubled_edges = declared_edges.checked_mul(2);
+    if doubled_edges != Some(total_u64) {
+        return Err(GraphError::Format {
+            message: format!(
+                "degree sum {total_u64} does not match 2 × declared edge count {declared_edges}"
+            ),
+        });
+    }
+    let total = usize::try_from(total_u64).map_err(|_| GraphError::Format {
+        message: format!("adjacency payload of {total_u64} entries exceeds the address space"),
+    })?;
     let mut offsets = vec![0usize; n + 1];
     for i in 0..n {
         offsets[i + 1] = offsets[i] + degrees[i] as usize;
     }
-    let mut neighbors = Vec::with_capacity(total);
+    let mut neighbors = Vec::with_capacity(total.min(PREALLOC_CAP));
     for _ in 0..total {
-        let v = read_u32(&mut r)?;
+        let v = read_hashed_u32(&mut r, &mut hash)?;
         if v as usize >= n {
             return Err(GraphError::VertexOutOfRange {
                 vertex: v,
@@ -151,28 +216,48 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph> {
         }
         neighbors.push(VertexId::new(v));
     }
-    let g = Graph::from_csr(offsets, neighbors);
-    if g.num_edges() != declared_edges {
-        return Err(GraphError::Parse {
-            line: 0,
-            message: format!(
-                "edge count mismatch: header says {declared_edges}, data has {}",
-                g.num_edges()
-            ),
-        });
+    if checksummed {
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf)?;
+        let declared = u64::from_le_bytes(buf);
+        let computed = hash.finish();
+        if declared != computed {
+            return Err(GraphError::Format {
+                message: format!(
+                    "checksum mismatch: snapshot declares {declared:#018x}, \
+                     payload hashes to {computed:#018x}"
+                ),
+            });
+        }
     }
-    Ok(g)
+    Ok(Graph::from_csr(offsets, neighbors))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+fn write_hashed_u64<W: Write>(w: &mut W, hash: &mut crate::hash::Fnv1a64, v: u64) -> Result<()> {
+    let bytes = v.to_le_bytes();
+    hash.write(&bytes);
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+fn write_hashed_u32<W: Write>(w: &mut W, hash: &mut crate::hash::Fnv1a64, v: u32) -> Result<()> {
+    let bytes = v.to_le_bytes();
+    hash.write(&bytes);
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+fn read_hashed_u64<R: Read>(r: &mut R, hash: &mut crate::hash::Fnv1a64) -> Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
+    hash.write(&buf);
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+fn read_hashed_u32<R: Read>(r: &mut R, hash: &mut crate::hash::Fnv1a64) -> Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
+    hash.write(&buf);
     Ok(u32::from_le_bytes(buf))
 }
 
@@ -228,7 +313,114 @@ mod tests {
     fn binary_rejects_bad_magic() {
         let buf = b"NOTMAGIC\0\0\0\0\0\0\0\0".to_vec();
         let err = read_binary(buf.as_slice()).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { .. }));
+        assert!(matches!(err, GraphError::Format { .. }));
+    }
+
+    #[test]
+    fn binary_rejects_unsupported_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.push(99);
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        let GraphError::Format { message } = err else {
+            panic!("expected Format error");
+        };
+        assert!(message.contains("version 99"), "{message}");
+    }
+
+    #[test]
+    fn binary_rejects_truncation_everywhere() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Cutting the snapshot at any prefix length must yield an error, never
+        // a silently wrong graph.
+        for cut in 0..buf.len() {
+            let err = read_binary(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, GraphError::Io(_) | GraphError::Format { .. }),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_detects_bit_corruption_via_checksum() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let mut clean = Vec::new();
+        write_binary(&g, &mut clean).unwrap();
+        // Flip one payload byte (inside the neighbor section, past the
+        // 8-byte magic and 16-byte header) — the checksum must catch it even
+        // when the result would still be a structurally plausible graph.
+        let mut corrupt = clean.clone();
+        let idx = corrupt.len() - 12; // last neighbor word
+        corrupt[idx] ^= 0x01;
+        let err = read_binary(corrupt.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GraphError::Format { .. } | GraphError::VertexOutOfRange { .. }
+            ),
+            "unexpected {err:?}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_inconsistent_header_counts() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Overstate the declared edge count: degree sum no longer matches.
+        buf[16..24].copy_from_slice(&100u64.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        let GraphError::Format { message } = err else {
+            panic!("expected Format error");
+        };
+        assert!(message.contains("degree sum"), "{message}");
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_edge_count_without_panicking() {
+        // declared_edges = 2^63 + m wraps to 2·m under a naive `m * 2`,
+        // which would sneak past the degree-sum check on checksum-less v1
+        // files; the checked arithmetic must reject it as Format instead.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"QCMGRPH1");
+        buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+        let lying_m = (1u64 << 63) + g.num_edges() as u64;
+        buf.extend_from_slice(&lying_m.to_le_bytes());
+        for v in g.vertices() {
+            buf.extend_from_slice(&(g.degree(v) as u32).to_le_bytes());
+        }
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                buf.extend_from_slice(&u.raw().to_le_bytes());
+            }
+        }
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::Format { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn binary_reads_legacy_version1_snapshots() {
+        // Version 1 had no checksum: `QCMGRPH1 | n | m | degrees | neighbors`.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"QCMGRPH1");
+        buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+        buf.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+        for v in g.vertices() {
+            buf.extend_from_slice(&(g.degree(v) as u32).to_le_bytes());
+        }
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                buf.extend_from_slice(&u.raw().to_le_bytes());
+            }
+        }
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   mapping back to global vertex ids).
 //! * [`traversal`] — BFS, two-hop neighborhoods (the `B(v)` of the paper),
 //!   connected components.
-//! * [`io`] — SNAP-style edge-list parsing and writing.
+//! * [`io`] — SNAP-style edge-list parsing and writing, plus a checksummed
+//!   binary snapshot format.
+//! * [`hash`] — stable FNV-1a hashing behind snapshot checksums and the
+//!   [`Graph::content_hash`] fingerprint that keys the service result cache.
 //! * [`stats`] — degree distributions and summary statistics used by the
 //!   experiment harness.
 //!
@@ -25,6 +28,7 @@
 pub mod builder;
 pub mod error;
 pub mod graph;
+pub mod hash;
 pub mod io;
 pub mod kcore;
 pub mod stats;
@@ -35,6 +39,7 @@ pub mod vertex;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::Graph;
+pub use hash::Fnv1a64;
 pub use kcore::{core_numbers, degeneracy_ordering, k_core};
 pub use stats::GraphStats;
 pub use subgraph::LocalGraph;

@@ -72,12 +72,19 @@
 //!
 //! The underlying crates remain available for advanced use:
 //!
-//! * [`graph`] — graph substrate ([`graph::Graph`], k-core, I/O);
+//! * [`graph`] — graph substrate ([`graph::Graph`], k-core, I/O, stable
+//!   content hashing);
 //! * [`gen`] — synthetic dataset generators (including the stand-ins for the
 //!   paper's eight evaluation graphs);
 //! * [`core`] — the serial mining algorithm, pruning rules and baselines;
 //! * [`engine`] — the reforged G-thinker-style task engine;
 //! * [`parallel`] — the parallel miner (the paper's full system).
+//!
+//! Above this facade sits `qcm-service`: an embeddable multi-tenant mining
+//! *job service* that executes submissions as [`Session`] runs on a worker
+//! pool, memoises completed answers in a result cache keyed by [`QueryKey`]
+//! (graph content hash + parameters + pruning config) and sheds load through
+//! admission control. The CLI exposes it as `qcm serve`.
 //!
 //! The runnable examples in `examples/` (quickstart, community detection,
 //! protein complexes, parallel cluster, hyperparameter sweep) demonstrate the
@@ -106,7 +113,9 @@ pub use qcm_gen as gen;
 pub use qcm_graph as graph;
 pub use qcm_parallel as parallel;
 
-pub use qcm_core::{CancelReason, CancelToken, CollectingSink, QcmError, ResultSink, RunOutcome};
+pub use qcm_core::{
+    CancelReason, CancelToken, CollectingSink, QcmError, QueryKey, ResultSink, RunOutcome,
+};
 pub use session::{Backend, BackendStats, MiningReport, Session, SessionBuilder};
 
 use qcm_core::{MiningOutput, MiningParams};
@@ -124,7 +133,7 @@ pub mod prelude {
     };
     pub use qcm_core::{
         quick_mine, Gamma, MiningOutput, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
-        SerialMiner,
+        QueryKey, SerialMiner,
     };
     pub use qcm_engine::{EngineConfig, EngineMetrics};
     pub use qcm_gen::{DatasetSpec, PlantedGraphSpec, SyntheticDataset};

@@ -1,0 +1,103 @@
+//! Admission control: bounded queueing and per-tenant quotas.
+//!
+//! A service "serving heavy traffic" must shed load instead of queueing
+//! unboundedly — an unbounded queue converts overload into unbounded memory
+//! growth and unbounded latency for everyone. Admission is checked
+//! synchronously at submit and rejects with the typed
+//! [`ServiceError::Overloaded`], so callers learn *immediately* that they
+//! should back off.
+
+use crate::error::ServiceError;
+
+/// The admission limits of a [`crate::MiningService`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionControl {
+    /// Maximum number of jobs waiting in the queue. Submits beyond this are
+    /// rejected.
+    pub max_queued: usize,
+    /// Maximum number of jobs mined concurrently. The worker pool never runs
+    /// more than this many jobs at once, even when more workers are idle
+    /// (lets an operator bound CPU use below the pool size at runtime).
+    pub max_in_flight: usize,
+    /// Maximum number of unfinished (queued + running) jobs any single tenant
+    /// may have. Submits beyond it are rejected for that tenant only.
+    pub per_tenant_quota: usize,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl {
+            max_queued: 64,
+            max_in_flight: usize::MAX,
+            per_tenant_quota: 16,
+        }
+    }
+}
+
+impl AdmissionControl {
+    /// Decides whether a new job of `tenant` may be admitted given the
+    /// current queue depth and the tenant's unfinished-job count.
+    pub fn admit(
+        &self,
+        queued: usize,
+        tenant: &str,
+        tenant_unfinished: usize,
+    ) -> Result<(), ServiceError> {
+        if queued >= self.max_queued {
+            return Err(ServiceError::Overloaded {
+                reason: format!(
+                    "queue is full ({queued} jobs queued, limit {})",
+                    self.max_queued
+                ),
+            });
+        }
+        if tenant_unfinished >= self.per_tenant_quota {
+            return Err(ServiceError::Overloaded {
+                reason: format!(
+                    "tenant {tenant:?} has {tenant_unfinished} unfinished jobs (quota {})",
+                    self.per_tenant_quota
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn control() -> AdmissionControl {
+        AdmissionControl {
+            max_queued: 2,
+            max_in_flight: 1,
+            per_tenant_quota: 3,
+        }
+    }
+
+    #[test]
+    fn admits_under_all_limits() {
+        assert!(control().admit(0, "a", 0).is_ok());
+        assert!(control().admit(1, "a", 2).is_ok());
+    }
+
+    #[test]
+    fn rejects_when_queue_is_full() {
+        let err = control().admit(2, "a", 0).unwrap_err();
+        let ServiceError::Overloaded { reason } = err else {
+            panic!("expected Overloaded");
+        };
+        assert!(reason.contains("queue is full"), "{reason}");
+    }
+
+    #[test]
+    fn rejects_tenant_over_quota_without_blocking_others() {
+        let err = control().admit(1, "greedy", 3).unwrap_err();
+        let ServiceError::Overloaded { reason } = err else {
+            panic!("expected Overloaded");
+        };
+        assert!(reason.contains("greedy"), "{reason}");
+        // Another tenant under quota is still admitted.
+        assert!(control().admit(1, "modest", 0).is_ok());
+    }
+}

@@ -1,0 +1,196 @@
+//! The result cache: completed answers keyed by query fingerprint.
+//!
+//! Repeated queries — the "hot" traffic of a production deployment — are
+//! served straight from memory without re-mining. Entries are keyed by
+//! [`QueryKey`] (graph content hash + γ + τ_size + pruning configuration) and
+//! evicted least-recently-used once the cache is full, or lazily once their
+//! time-to-live expires. Only [`RunOutcome::Complete`](qcm_core::RunOutcome)
+//! answers are ever inserted: a partial (deadline/cancel) result is correct
+//! only for the job that produced it and must never be served as the answer
+//! to the query.
+
+use crate::job::MinedAnswer;
+use qcm_core::QueryKey;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Entry {
+    answer: Arc<MinedAnswer>,
+    inserted: Instant,
+    last_used: u64,
+}
+
+/// An LRU + TTL cache of completed mining answers.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    ttl: Option<Duration>,
+    entries: HashMap<QueryKey, Entry>,
+    /// Logical clock for recency: bumped on every get/insert.
+    tick: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` answers, each valid for `ttl`
+    /// (`None` = no expiry). `capacity == 0` disables caching entirely.
+    pub fn new(capacity: usize, ttl: Option<Duration>) -> Self {
+        ResultCache {
+            capacity,
+            ttl,
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Number of live (non-expired) answers. Expired entries are dropped by
+    /// this call, so the count is exact.
+    pub fn len(&mut self) -> usize {
+        self.purge_expired();
+        self.entries.len()
+    }
+
+    /// True if the cache holds no live answers.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a query, bumping its recency. An expired entry is removed and
+    /// reported as a miss.
+    pub fn get(&mut self, key: &QueryKey) -> Option<Arc<MinedAnswer>> {
+        if self
+            .entries
+            .get(key)
+            .is_some_and(|e| self.is_expired(e.inserted))
+        {
+            self.entries.remove(key);
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.answer.clone())
+    }
+
+    /// Inserts a completed answer, evicting expired entries first and then
+    /// the least-recently-used one if still over capacity.
+    ///
+    /// # Panics
+    /// Debug-asserts that the answer is complete — caching partial answers is
+    /// a correctness bug, see the [module docs](self).
+    pub fn insert(&mut self, key: QueryKey, answer: Arc<MinedAnswer>) {
+        debug_assert!(
+            answer.outcome.is_complete(),
+            "only complete answers may be cached"
+        );
+        if self.capacity == 0 {
+            return;
+        }
+        self.purge_expired();
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                answer,
+                inserted: Instant::now(),
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn is_expired(&self, inserted: Instant) -> bool {
+        self.ttl.is_some_and(|ttl| inserted.elapsed() >= ttl)
+    }
+
+    fn purge_expired(&mut self) {
+        if let Some(ttl) = self.ttl {
+            self.entries.retain(|_, e| e.inserted.elapsed() < ttl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcm_core::{MiningParams, PruneConfig, QuasiCliqueSet, RunOutcome};
+
+    fn key(graph: u64) -> QueryKey {
+        QueryKey::new(graph, MiningParams::new(0.9, 5), PruneConfig::all_enabled())
+    }
+
+    fn answer() -> Arc<MinedAnswer> {
+        Arc::new(MinedAnswer {
+            maximal: QuasiCliqueSet::new(),
+            raw_reported: 0,
+            outcome: RunOutcome::Complete,
+            mining_time: Duration::from_millis(1),
+        })
+    }
+
+    #[test]
+    fn get_hits_and_misses() {
+        let mut cache = ResultCache::new(4, None);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), answer());
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2, None);
+        cache.insert(key(1), answer());
+        cache.insert(key(2), answer());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), answer());
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none(), "LRU entry must be gone");
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict_others() {
+        let mut cache = ResultCache::new(2, None);
+        cache.insert(key(1), answer());
+        cache.insert(key(2), answer());
+        cache.insert(key(2), answer());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut cache = ResultCache::new(4, Some(Duration::ZERO));
+        cache.insert(key(1), answer());
+        // Zero TTL: expired by the time of the lookup.
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.len(), 0);
+
+        let mut cache = ResultCache::new(4, Some(Duration::from_secs(3600)));
+        cache.insert(key(1), answer());
+        assert!(cache.get(&key(1)).is_some(), "well within TTL");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0, None);
+        cache.insert(key(1), answer());
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.is_empty());
+    }
+}

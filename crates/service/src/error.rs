@@ -1,0 +1,107 @@
+//! The typed service error.
+
+use crate::job::JobId;
+use qcm::QcmError;
+use std::fmt;
+
+/// Errors of the mining job service.
+///
+/// Load shedding is a first-class outcome, not a string: an
+/// [`ServiceError::Overloaded`] rejection is returned *synchronously* at
+/// submit time (fail fast), so callers can back off or shed to another
+/// replica instead of queueing unboundedly.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission control rejected the job: the queue is full or the tenant
+    /// exceeded its quota. Retry later or on another instance.
+    Overloaded {
+        /// Human-readable description of the exceeded limit.
+        reason: String,
+    },
+    /// The job's mining configuration failed validation (the underlying
+    /// `Session` builder error).
+    InvalidJob(QcmError),
+    /// No job with this id was ever submitted to this service.
+    UnknownJob(JobId),
+    /// The job was cancelled while still queued, so it never produced a
+    /// result. (A job cancelled *mid-run* is not an error: it completes with
+    /// a partial result labelled `RunOutcome::Cancelled`.)
+    Cancelled(JobId),
+    /// The job's run failed inside the engine.
+    JobFailed {
+        /// The failed job.
+        job: JobId,
+        /// Engine error description.
+        message: String,
+    },
+    /// The service is shutting down and no longer accepts submissions.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
+            ServiceError::InvalidJob(e) => write!(f, "invalid job: {e}"),
+            ServiceError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            ServiceError::Cancelled(id) => {
+                write!(f, "job {id} was cancelled before it started")
+            }
+            ServiceError::JobFailed { job, message } => {
+                write!(f, "job {job} failed: {message}")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::InvalidJob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QcmError> for ServiceError {
+    fn from(e: QcmError) -> Self {
+        ServiceError::InvalidJob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServiceError::Overloaded {
+            reason: "queue full".into(),
+        };
+        assert!(e.to_string().contains("queue full"));
+        assert!(ServiceError::UnknownJob(JobId::from_raw(7))
+            .to_string()
+            .contains('7'));
+        assert!(ServiceError::Cancelled(JobId::from_raw(3))
+            .to_string()
+            .contains("cancelled"));
+        assert!(ServiceError::ShuttingDown.to_string().contains("shut"));
+        assert!(ServiceError::JobFailed {
+            job: JobId::from_raw(1),
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+    }
+
+    #[test]
+    fn invalid_job_wraps_and_exposes_the_qcm_error() {
+        let e: ServiceError = QcmError::InvalidConfig("gamma out of range".into()).into();
+        assert!(matches!(e, ServiceError::InvalidJob(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gamma"));
+        assert!(ServiceError::ShuttingDown.source().is_none());
+    }
+}

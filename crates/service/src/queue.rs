@@ -1,0 +1,209 @@
+//! The pending-job queue: priority bands with per-tenant round-robin.
+//!
+//! Dispatch order is: highest non-empty priority band first; within a band,
+//! tenants take turns (round-robin over tenants with pending work) and each
+//! tenant's own jobs run FIFO. A tenant that floods the queue therefore
+//! delays only its own jobs — other tenants in the same band still get every
+//! n-th dispatch slot.
+
+use crate::job::{JobId, Priority};
+use std::collections::{HashMap, VecDeque};
+
+/// One priority band: FIFO per tenant plus the round-robin rotation.
+///
+/// Invariant: `rotation` contains a tenant exactly once iff that tenant's
+/// queue is non-empty.
+#[derive(Debug, Default)]
+struct Band {
+    rotation: VecDeque<String>,
+    queues: HashMap<String, VecDeque<JobId>>,
+}
+
+impl Band {
+    fn push(&mut self, tenant: &str, job: JobId) {
+        let queue = self.queues.entry(tenant.to_string()).or_default();
+        if queue.is_empty() {
+            self.rotation.push_back(tenant.to_string());
+        }
+        queue.push_back(job);
+    }
+
+    fn pop(&mut self) -> Option<JobId> {
+        let tenant = self.rotation.pop_front()?;
+        let queue = self
+            .queues
+            .get_mut(&tenant)
+            .expect("rotation tenant must have a queue");
+        let job = queue.pop_front().expect("rotation tenant queue non-empty");
+        if queue.is_empty() {
+            self.queues.remove(&tenant);
+        } else {
+            // Served once: go to the back of the rotation.
+            self.rotation.push_back(tenant);
+        }
+        Some(job)
+    }
+
+    fn remove(&mut self, tenant: &str, job: JobId) -> bool {
+        let Some(queue) = self.queues.get_mut(tenant) else {
+            return false;
+        };
+        let Some(pos) = queue.iter().position(|&j| j == job) else {
+            return false;
+        };
+        queue.remove(pos);
+        if queue.is_empty() {
+            self.queues.remove(tenant);
+            if let Some(pos) = self.rotation.iter().position(|t| t == tenant) {
+                self.rotation.remove(pos);
+            }
+        }
+        true
+    }
+}
+
+/// The pending-job queue (see the [module docs](self) for the dispatch
+/// policy).
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    bands: [Band; 3],
+    len: usize,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued jobs across all bands and tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of queued jobs of one tenant (any band).
+    pub fn tenant_depth(&self, tenant: &str) -> usize {
+        self.bands
+            .iter()
+            .filter_map(|b| b.queues.get(tenant))
+            .map(VecDeque::len)
+            .sum()
+    }
+
+    /// Enqueues a job.
+    pub fn push(&mut self, tenant: &str, priority: Priority, job: JobId) {
+        self.bands[priority.band()].push(tenant, job);
+        self.len += 1;
+    }
+
+    /// Dequeues the next job to dispatch, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<JobId> {
+        for band in &mut self.bands {
+            if let Some(job) = band.pop() {
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Removes a specific queued job (used by cancellation). Returns false if
+    /// the job is not in the queue.
+    pub fn remove(&mut self, tenant: &str, priority: Priority, job: JobId) -> bool {
+        let removed = self.bands[priority.band()].remove(tenant, job);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> JobId {
+        JobId::from_raw(raw)
+    }
+
+    #[test]
+    fn higher_priority_band_always_dispatches_first() {
+        let mut q = JobQueue::new();
+        q.push("t", Priority::Low, id(1));
+        q.push("t", Priority::Normal, id(2));
+        q.push("t", Priority::High, id(3));
+        q.push("t", Priority::High, id(4));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some(id(3)));
+        assert_eq!(q.pop(), Some(id(4)));
+        assert_eq!(q.pop(), Some(id(2)));
+        assert_eq!(q.pop(), Some(id(1)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tenants_within_a_band_are_served_round_robin() {
+        let mut q = JobQueue::new();
+        // Tenant a floods; tenant b submits two jobs afterwards.
+        for i in 0..4 {
+            q.push("a", Priority::Normal, id(i));
+        }
+        q.push("b", Priority::Normal, id(10));
+        q.push("b", Priority::Normal, id(11));
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pop()).collect();
+        // a and b alternate until b drains, then a finishes its backlog.
+        assert_eq!(
+            order,
+            vec![id(0), id(10), id(1), id(11), id(2), id(3)],
+            "flooding tenant a must not starve tenant b"
+        );
+    }
+
+    #[test]
+    fn per_tenant_order_is_fifo() {
+        let mut q = JobQueue::new();
+        q.push("a", Priority::Normal, id(1));
+        q.push("a", Priority::Normal, id(2));
+        q.push("a", Priority::Normal, id(3));
+        assert_eq!(q.pop(), Some(id(1)));
+        assert_eq!(q.pop(), Some(id(2)));
+        assert_eq!(q.pop(), Some(id(3)));
+    }
+
+    #[test]
+    fn remove_unlinks_the_job_and_fixes_rotation() {
+        let mut q = JobQueue::new();
+        q.push("a", Priority::Normal, id(1));
+        q.push("b", Priority::Normal, id(2));
+        assert_eq!(q.tenant_depth("a"), 1);
+        assert!(q.remove("a", Priority::Normal, id(1)));
+        assert!(!q.remove("a", Priority::Normal, id(1)), "already gone");
+        assert!(
+            !q.remove("b", Priority::High, id(2)),
+            "wrong band must not match"
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.tenant_depth("a"), 0);
+        // Rotation no longer contains tenant a: pop serves b then drains.
+        assert_eq!(q.pop(), Some(id(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn remove_from_middle_keeps_other_jobs_of_the_tenant() {
+        let mut q = JobQueue::new();
+        q.push("a", Priority::Low, id(1));
+        q.push("a", Priority::Low, id(2));
+        q.push("a", Priority::Low, id(3));
+        assert!(q.remove("a", Priority::Low, id(2)));
+        assert_eq!(q.pop(), Some(id(1)));
+        assert_eq!(q.pop(), Some(id(3)));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,467 @@
+//! Integration tests of the `qcm-service` job lifecycle: caching,
+//! deadlines, admission control and cancellation (the acceptance criteria of
+//! the service subsystem).
+
+use qcm::core::ResultSink;
+use qcm::prelude::{Graph, VertexId};
+use qcm::RunOutcome;
+use qcm_service::{
+    AdmissionControl, JobRequest, JobStatus, MiningService, Priority, ServiceConfig, ServiceError,
+};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A small graph that mines in milliseconds.
+fn easy_graph() -> (Arc<Graph>, f64, usize) {
+    let dataset = qcm::gen::datasets::tiny_test_dataset(11);
+    (
+        Arc::new(dataset.graph.clone()),
+        dataset.spec.gamma,
+        dataset.spec.min_size,
+    )
+}
+
+/// A dense random graph whose full search space is astronomically large at
+/// γ = 0.5, τ_size = 3 — any run over it *must* be stopped by a deadline or a
+/// cancellation, which makes interruption behaviour deterministic to test.
+fn endless_graph() -> (Arc<Graph>, f64, usize) {
+    (Arc::new(qcm::gen::uniform::gnp(120, 0.5, 42)), 0.5, 3)
+}
+
+fn single_worker_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn identical_submits_mine_once_and_hit_the_cache() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig::default());
+
+    let first = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size).tenant("alpha"))
+        .unwrap();
+    let cold = service.fetch(first).unwrap();
+    assert!(!cold.cache_hit);
+    assert!(cold.is_complete());
+    assert!(!cold.maximal().is_empty(), "planted graph has results");
+
+    let second = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size).tenant("beta"))
+        .unwrap();
+    assert_ne!(first, second, "every submit gets a fresh job id");
+    let hot = service.fetch(second).unwrap();
+    assert!(hot.cache_hit, "identical query must be served from cache");
+    assert_eq!(hot.maximal(), cold.maximal());
+    assert_eq!(hot.answer.mining_time, cold.answer.mining_time);
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.cache_hits, 1);
+    assert_eq!(metrics.cache_misses, 1);
+    assert_eq!(metrics.jobs_mined, 1, "the second submit must not re-mine");
+    assert_eq!(metrics.completed, 2);
+    assert_eq!(metrics.cache_hit_rate(), Some(0.5));
+
+    // A *different* query over the same graph is a miss, not a hit.
+    let third = service
+        .submit(JobRequest::new(graph, gamma, min_size + 1))
+        .unwrap();
+    let other = service.fetch(third).unwrap();
+    assert!(!other.cache_hit);
+    assert_eq!(service.metrics().jobs_mined, 2);
+
+    service.shutdown();
+}
+
+#[test]
+fn deadline_hit_completes_with_partial_result_not_error() {
+    let (graph, gamma, min_size) = endless_graph();
+    let service = MiningService::start(single_worker_config());
+    let job = service
+        .submit(JobRequest::new(graph, gamma, min_size).deadline(Duration::from_millis(50)))
+        .unwrap();
+    let result = service.fetch(job).expect("a deadline hit is not an error");
+    assert_eq!(result.outcome(), RunOutcome::DeadlineExceeded);
+    assert!(!result.is_complete());
+    assert_eq!(service.status(job).unwrap(), JobStatus::Completed);
+    // Partial answers must never be served to later identical queries.
+    assert_eq!(service.metrics().cache_entries, 0);
+    service.shutdown();
+}
+
+#[test]
+fn submits_beyond_the_admission_limit_fail_fast() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig {
+        workers: 1,
+        admission: AdmissionControl {
+            max_queued: 3,
+            max_in_flight: usize::MAX,
+            per_tenant_quota: 100,
+        },
+        start_paused: true, // nothing dispatches: the queue fills deterministically
+        ..ServiceConfig::default()
+    });
+    for _ in 0..3 {
+        service
+            .submit(JobRequest::new(graph.clone(), gamma, min_size))
+            .unwrap();
+    }
+    let err = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size))
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Overloaded { .. }),
+        "expected Overloaded, got {err:?}"
+    );
+    assert_eq!(service.metrics().rejected, 1);
+    assert_eq!(service.metrics().queue_depth, 3);
+    drop(service); // abort: queued jobs are discarded
+}
+
+#[test]
+fn per_tenant_quota_rejects_only_the_greedy_tenant() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig {
+        workers: 1,
+        admission: AdmissionControl {
+            max_queued: 100,
+            max_in_flight: usize::MAX,
+            per_tenant_quota: 2,
+        },
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    for _ in 0..2 {
+        service
+            .submit(JobRequest::new(graph.clone(), gamma, min_size).tenant("greedy"))
+            .unwrap();
+    }
+    let err = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size).tenant("greedy"))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::Overloaded { .. }));
+    // Another tenant is unaffected.
+    service
+        .submit(JobRequest::new(graph, gamma, min_size).tenant("modest"))
+        .unwrap();
+    drop(service);
+}
+
+#[test]
+fn cancelling_a_queued_job_prevents_it_from_ever_running() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig {
+        workers: 1,
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let doomed = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size))
+        .unwrap();
+    let survivor = service
+        .submit(JobRequest::new(graph, gamma, min_size + 1))
+        .unwrap();
+    assert_eq!(service.status(doomed).unwrap(), JobStatus::Queued);
+    assert_eq!(service.cancel(doomed).unwrap(), JobStatus::Cancelled);
+
+    service.resume();
+    let result = service.fetch(survivor).unwrap();
+    assert!(result.is_complete());
+    // The cancelled job never ran: exactly one mining run happened, and
+    // fetching the cancelled job reports it produced nothing.
+    assert_eq!(service.metrics().jobs_mined, 1);
+    assert_eq!(service.status(doomed).unwrap(), JobStatus::Cancelled);
+    assert!(matches!(
+        service.fetch(doomed),
+        Err(ServiceError::Cancelled(id)) if id == doomed
+    ));
+    // Cancelling again is a terminal no-op.
+    assert_eq!(service.cancel(doomed).unwrap(), JobStatus::Cancelled);
+    service.shutdown();
+}
+
+#[test]
+fn cancelling_a_running_job_stops_it_via_its_cancel_token() {
+    let (graph, gamma, min_size) = endless_graph();
+    let service = MiningService::start(single_worker_config());
+    let job = service
+        .submit(JobRequest::new(graph, gamma, min_size))
+        .unwrap();
+    // Wait for the worker to pick it up.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.status(job).unwrap() != JobStatus::Running {
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(service.cancel(job).unwrap(), JobStatus::Running);
+    // The run over this graph cannot finish on its own in test time, so a
+    // returned fetch proves the CancelToken stopped it cooperatively.
+    let result = service.fetch(job).unwrap();
+    assert_eq!(result.outcome(), RunOutcome::Cancelled);
+    assert!(!result.is_complete());
+    assert_eq!(service.status(job).unwrap(), JobStatus::Cancelled);
+    assert_eq!(service.metrics().cancelled, 1);
+    service.shutdown();
+}
+
+/// A thread-safe sink for observing streamed results from outside.
+#[derive(Clone, Default)]
+struct SharedSink {
+    maximal: Arc<Mutex<Vec<Vec<VertexId>>>>,
+    candidates: Arc<Mutex<u64>>,
+}
+
+impl ResultSink for SharedSink {
+    fn on_candidate(&mut self, _members: &[VertexId]) {
+        *self.candidates.lock().unwrap() += 1;
+    }
+    fn on_maximal(&mut self, members: &[VertexId]) {
+        self.maximal.lock().unwrap().push(members.to_vec());
+    }
+}
+
+#[test]
+fn streaming_sinks_fire_for_mined_jobs_and_cache_hits() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig::default());
+
+    let cold_sink = SharedSink::default();
+    let job = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size).stream(Box::new(cold_sink.clone())))
+        .unwrap();
+    let cold = service.fetch(job).unwrap();
+    assert_eq!(
+        cold_sink.maximal.lock().unwrap().len(),
+        cold.maximal().len()
+    );
+    assert_eq!(
+        *cold_sink.candidates.lock().unwrap(),
+        cold.answer.raw_reported
+    );
+
+    // A cache hit delivers the maximal sets to the sink at submit time.
+    let hot_sink = SharedSink::default();
+    let job = service
+        .submit(JobRequest::new(graph, gamma, min_size).stream(Box::new(hot_sink.clone())))
+        .unwrap();
+    assert_eq!(
+        hot_sink.maximal.lock().unwrap().len(),
+        cold.maximal().len(),
+        "hit delivery happens before fetch"
+    );
+    let hot = service.fetch(job).unwrap();
+    assert!(hot.cache_hit);
+    service.shutdown();
+}
+
+#[test]
+fn cache_hits_are_served_even_when_admission_would_reject() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig {
+        workers: 1,
+        admission: AdmissionControl {
+            max_queued: 2,
+            max_in_flight: usize::MAX,
+            per_tenant_quota: 100,
+        },
+        ..ServiceConfig::default()
+    });
+    // Warm the cache with one completed query.
+    let warm = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size))
+        .unwrap();
+    service.fetch(warm).unwrap();
+    // Fill the queue with cold jobs while dispatch is paused.
+    service.pause();
+    for bump in 1..=2 {
+        service
+            .submit(JobRequest::new(graph.clone(), gamma, min_size + bump))
+            .unwrap();
+    }
+    let err = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size + 3))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::Overloaded { .. }));
+    // The hot repeat consumes no queue slot and must not be shed.
+    let hot = service
+        .submit(JobRequest::new(graph, gamma, min_size))
+        .unwrap();
+    assert!(service.fetch(hot).unwrap().cache_hit);
+    service.resume();
+    service.shutdown();
+}
+
+/// A sink that panics on the first candidate, for worker-robustness tests.
+struct PanickingSink;
+
+impl ResultSink for PanickingSink {
+    fn on_candidate(&mut self, _members: &[VertexId]) {
+        panic!("sink exploded");
+    }
+    fn on_maximal(&mut self, _members: &[VertexId]) {}
+}
+
+#[test]
+fn panicking_sink_fails_the_job_but_not_the_service() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(single_worker_config());
+    let doomed = service
+        .submit(JobRequest::new(graph.clone(), gamma, min_size).stream(Box::new(PanickingSink)))
+        .unwrap();
+    let err = service.fetch(doomed).unwrap_err();
+    assert!(
+        matches!(&err, ServiceError::JobFailed { message, .. } if message.contains("sink exploded")),
+        "expected JobFailed, got {err:?}"
+    );
+    assert_eq!(service.status(doomed).unwrap(), JobStatus::Failed);
+    assert_eq!(service.metrics().failed, 1);
+    // The single worker survived the panic and keeps serving.
+    let next = service
+        .submit(JobRequest::new(graph, gamma, min_size))
+        .unwrap();
+    assert!(service.fetch(next).unwrap().is_complete());
+    assert_eq!(service.metrics().in_flight, 0);
+    service.shutdown();
+}
+
+#[test]
+fn terminal_jobs_are_evicted_beyond_the_retention_bound() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig {
+        workers: 1,
+        max_finished_jobs: 2,
+        ..ServiceConfig::default()
+    });
+    let mut jobs = Vec::new();
+    for bump in 0..3 {
+        let job = service
+            .submit(JobRequest::new(graph.clone(), gamma, min_size + bump))
+            .unwrap();
+        service.fetch(job).unwrap();
+        jobs.push(job);
+    }
+    // Only the two most recent terminal jobs are retained; the oldest has
+    // been evicted and now reads as unknown (memory stays bounded).
+    assert!(matches!(
+        service.status(jobs[0]),
+        Err(ServiceError::UnknownJob(_))
+    ));
+    assert!(service.status(jobs[1]).is_ok());
+    assert!(service.status(jobs[2]).is_ok());
+    // Eviction does not touch the result cache: the evicted job's answer is
+    // still served to a repeat query.
+    let repeat = service
+        .submit(JobRequest::new(graph, gamma, min_size))
+        .unwrap();
+    assert!(service.fetch(repeat).unwrap().cache_hit);
+    service.shutdown();
+}
+
+#[test]
+fn max_in_flight_one_with_many_workers_drains_and_shuts_down() {
+    // Regression: with max_in_flight < workers, every completion must wake
+    // all waiting workers, or an idle worker can be stranded and shutdown
+    // hangs on join.
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig {
+        workers: 4,
+        admission: AdmissionControl {
+            max_queued: 16,
+            max_in_flight: 1,
+            per_tenant_quota: 16,
+        },
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let jobs: Vec<_> = (0..3)
+        .map(|bump| {
+            service
+                .submit(JobRequest::new(graph.clone(), gamma, min_size + bump))
+                .unwrap()
+        })
+        .collect();
+    service.resume();
+    for job in jobs {
+        let result = service.fetch(job).unwrap();
+        assert!(result.is_complete());
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.completed, 3);
+    service.shutdown(); // must not hang
+}
+
+#[test]
+fn invalid_jobs_and_unknown_ids_return_typed_errors() {
+    let (graph, _, _) = easy_graph();
+    let service = MiningService::start(single_worker_config());
+    let err = service
+        .submit(JobRequest::new(graph.clone(), 1.5, 5))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::InvalidJob(_)));
+    let err = service.submit(JobRequest::new(graph, 0.9, 1)).unwrap_err();
+    assert!(matches!(err, ServiceError::InvalidJob(_)));
+    let ghost = qcm_service::JobId::from_raw(999);
+    assert!(matches!(
+        service.status(ghost),
+        Err(ServiceError::UnknownJob(_))
+    ));
+    assert!(matches!(
+        service.fetch(ghost),
+        Err(ServiceError::UnknownJob(_))
+    ));
+    assert!(matches!(
+        service.cancel(ghost),
+        Err(ServiceError::UnknownJob(_))
+    ));
+    // Invalid submissions never touch the admission/cache counters.
+    assert_eq!(service.metrics().submitted, 0);
+    service.shutdown();
+}
+
+#[test]
+fn mixed_tenant_workload_respects_priorities_and_reports_latency() {
+    let (graph, gamma, min_size) = easy_graph();
+    let service = MiningService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut jobs = Vec::new();
+    for (tenant, priority, bump) in [
+        ("alpha", Priority::Low, 0),
+        ("beta", Priority::Normal, 1),
+        ("alpha", Priority::High, 2),
+    ] {
+        jobs.push(
+            service
+                .submit(
+                    JobRequest::new(graph.clone(), gamma, min_size + bump)
+                        .tenant(tenant)
+                        .priority(priority),
+                )
+                .unwrap(),
+        );
+    }
+    for &job in &jobs {
+        let result = service.fetch(job).unwrap();
+        assert!(result.is_complete());
+    }
+    // A repeat of the (now completed) first query is served hot.
+    let repeat = service
+        .submit(
+            JobRequest::new(graph.clone(), gamma, min_size)
+                .tenant("beta")
+                .priority(Priority::High),
+        )
+        .unwrap();
+    assert!(service.fetch(repeat).unwrap().cache_hit);
+    let metrics = service.metrics();
+    assert_eq!(metrics.queue_depth, 0);
+    assert_eq!(metrics.in_flight, 0);
+    assert_eq!(metrics.completed, 4);
+    assert_eq!(metrics.jobs_mined, 3, "the repeat query must not re-mine");
+    assert!(metrics.p99_latency >= metrics.p50_latency);
+    service.shutdown();
+}
