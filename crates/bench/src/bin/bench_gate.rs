@@ -1,0 +1,242 @@
+//! `bench_gate` — the CI perf regression gate over `BENCH_*.json` artefacts.
+//!
+//! ```text
+//! bench_gate --current BENCH_4.json --baseline bench/baseline.json [--max-regress 0.25]
+//! ```
+//!
+//! For every workload present in both files:
+//!
+//! * **wall time** — the current wall time is normalised by the machines'
+//!   calibration ratio (`calibration_ms` measures a fixed hashing loop), then
+//!   must not exceed the baseline by more than `--max-regress` (default 25%).
+//! * **counters** — for `deterministic` workloads, `edge_queries` and
+//!   `intersections` are reproducible across machines and must not exceed
+//!   the baseline by more than `--max-regress` (an algorithmic regression,
+//!   not noise).
+//! * **speedup** — for `tracked` workloads, the indexed-vs-baseline speedup
+//!   (a within-machine ratio, immune to machine speed) must not fall below
+//!   `baseline_speedup · (1 − max_regress)`.
+//!
+//! Exit code 0 when every check passes, 1 on any regression, 2 on bad input.
+
+use qcm_bench::json::Json;
+use std::process::ExitCode;
+
+struct Check {
+    workload: String,
+    what: String,
+    current: f64,
+    limit: f64,
+    ok: bool,
+}
+
+fn main() -> ExitCode {
+    let mut current_path = None;
+    let mut baseline_path = None;
+    let mut max_regress = 0.25f64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--current" => {
+                i += 1;
+                current_path = args.get(i).cloned();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).cloned();
+            }
+            "--max-regress" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(x) if (0.0..10.0).contains(&x) => max_regress = x,
+                    _ => return usage("--max-regress needs a fraction like 0.25"),
+                }
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let (Some(current_path), Some(baseline_path)) = (current_path, baseline_path) else {
+        return usage("--current and --baseline are required");
+    };
+
+    let current = match load(&current_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_gate: {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load(&baseline_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_gate: {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Comparing a quick-mode run against a full-mode baseline (or vice
+    // versa) is meaningless: the datasets differ by an order of magnitude,
+    // so every check would be vacuously green (or red).
+    let cur_quick = current
+        .get("quick")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let base_quick = baseline
+        .get("quick")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if cur_quick != base_quick {
+        eprintln!(
+            "bench_gate: mode mismatch — current quick={cur_quick} vs baseline \
+             quick={base_quick}; regenerate one side (see BENCH.md)"
+        );
+        return ExitCode::from(2);
+    }
+
+    let cur_cal = number(&current, "calibration_ms").unwrap_or(1.0).max(1e-9);
+    let base_cal = number(&baseline, "calibration_ms").unwrap_or(1.0).max(1e-9);
+    // current machine is `speed` times slower than the baseline machine.
+    let speed = cur_cal / base_cal;
+    eprintln!(
+        "bench_gate: calibration current {cur_cal:.1} ms vs baseline {base_cal:.1} ms \
+         (normalising wall times by {speed:.2}x), tolerance {:.0}%",
+        max_regress * 100.0
+    );
+
+    let empty = Vec::new();
+    let cur_rows = current
+        .get("workloads")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let base_rows = baseline
+        .get("workloads")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+
+    let mut checks: Vec<Check> = Vec::new();
+    let mut matched = 0usize;
+    for base in base_rows {
+        let Some(name) = base.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(cur) = cur_rows
+            .iter()
+            .find(|row| row.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            checks.push(Check {
+                workload: name.to_string(),
+                what: "present in current report".to_string(),
+                current: 0.0,
+                limit: 1.0,
+                ok: false,
+            });
+            continue;
+        };
+        matched += 1;
+        let deterministic = base
+            .get("deterministic")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let tracked = base.get("tracked").and_then(Json::as_bool).unwrap_or(false);
+
+        if let (Some(base_wall), Some(cur_wall)) = (number(base, "wall_ms"), number(cur, "wall_ms"))
+        {
+            // Workloads under 5 ms sit inside scheduler/timer noise; their
+            // regressions are caught by the (exact) counters instead.
+            if base_wall >= 5.0 {
+                let normalised = cur_wall / speed;
+                let limit = base_wall * (1.0 + max_regress);
+                checks.push(Check {
+                    workload: name.to_string(),
+                    what: format!("wall_ms (normalised {normalised:.1})"),
+                    current: normalised,
+                    limit,
+                    ok: normalised <= limit,
+                });
+            }
+        }
+        if deterministic {
+            for counter in ["edge_queries", "intersections"] {
+                if let (Some(base_n), Some(cur_n)) = (number(base, counter), number(cur, counter)) {
+                    let limit = base_n * (1.0 + max_regress);
+                    checks.push(Check {
+                        workload: name.to_string(),
+                        what: counter.to_string(),
+                        current: cur_n,
+                        limit,
+                        ok: cur_n <= limit,
+                    });
+                }
+            }
+        }
+        if tracked {
+            if let (Some(base_speedup), Some(cur_speedup)) =
+                (number(base, "speedup"), number(cur, "speedup"))
+            {
+                let floor = base_speedup * (1.0 - max_regress);
+                checks.push(Check {
+                    workload: name.to_string(),
+                    what: format!("speedup (≥ {floor:.2})"),
+                    current: cur_speedup,
+                    limit: floor,
+                    ok: cur_speedup >= floor,
+                });
+            }
+        }
+    }
+
+    let mut failed = false;
+    for check in &checks {
+        let verdict = if check.ok { "ok  " } else { "FAIL" };
+        failed |= !check.ok;
+        eprintln!(
+            "  [{verdict}] {:<22} {:<28} current {:>12.1} vs limit {:>12.1}",
+            check.workload, check.what, check.current, check.limit
+        );
+    }
+    if matched == 0 {
+        eprintln!("bench_gate: no workloads matched between the two reports");
+        return ExitCode::from(2);
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: PERF REGRESSION — see failing rows above. If the change is \
+             intentional, refresh bench/baseline.json in the same PR (see BENCH.md)."
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "bench_gate: all {} checks passed over {matched} workloads",
+            checks.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Json::parse(&text)
+}
+
+fn number(row: &Json, key: &str) -> Option<f64> {
+    row.get(key).and_then(Json::as_f64)
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("bench_gate: {error}");
+    }
+    eprintln!(
+        "usage: bench_gate --current BENCH_N.json --baseline bench/baseline.json \
+         [--max-regress 0.25]"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

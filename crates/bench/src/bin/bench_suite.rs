@@ -1,0 +1,98 @@
+//! `bench_suite` — runs the paper-table workloads with the hybrid bitset
+//! neighborhood index off and on, and emits the machine-readable
+//! `BENCH_<pr>.json` perf artefact (see BENCH.md for the schema).
+//!
+//! ```text
+//! bench_suite [--output BENCH_4.json] [--quick] [--iters N] [--pr N]
+//! ```
+//!
+//! The default (full) mode runs the scaled stand-in datasets in a few
+//! seconds and is what CI's `perf-smoke` job runs (matching the full-mode
+//! `bench/baseline.json` it gates against with `bench_gate`); `--quick`
+//! switches to the tiny datasets for a fast local smoke run.
+
+use qcm_bench::suite::SuiteReport;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut output = String::from("BENCH_4.json");
+    let mut quick = false;
+    let mut iters = 3usize;
+    let mut pr = 4u64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--output" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => output = path.clone(),
+                    None => return usage("--output needs a path"),
+                }
+            }
+            "--iters" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => iters = n,
+                    _ => return usage("--iters needs a positive integer"),
+                }
+            }
+            "--pr" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => pr = n,
+                    None => return usage("--pr needs an integer"),
+                }
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "bench_suite: running {} workloads ({} mode, {iters} iters per variant)…",
+        qcm_bench::suite::workloads(quick).len(),
+        if quick { "quick" } else { "full" },
+    );
+    let report = SuiteReport::run(pr, quick, iters);
+    for w in &report.workloads {
+        eprintln!(
+            "  {:<22} {:>9.1} ms indexed | {:>9.1} ms baseline | speedup {:>5.2}x | \
+             {} edge queries ({} bitset hits), {} intersections, {} results",
+            w.name,
+            w.wall_ms,
+            w.baseline_wall_ms,
+            w.speedup,
+            w.edge_queries,
+            w.bitset_hits,
+            w.intersections,
+            w.maximal_results
+        );
+    }
+    let json = report.to_json().render();
+    if let Err(e) = std::fs::write(&output, format!("{json}\n")) {
+        eprintln!("bench_suite: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench_suite: wrote {output} (calibration {:.1} ms, peak RSS {} MiB)",
+        report.calibration_ms,
+        report.peak_rss_bytes / (1024 * 1024)
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("bench_suite: {error}");
+    }
+    eprintln!("usage: bench_suite [--output FILE] [--quick] [--iters N] [--pr N]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -13,9 +13,13 @@
 //! (per-experiment index) and the observed numbers are recorded in
 //! EXPERIMENTS.md.
 
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod scaled;
+pub mod suite;
 
+pub use json::Json;
 pub use report::Table;
 pub use runner::{run_dataset, DatasetRun, RunOptions};
+pub use suite::{SuiteReport, WorkloadResult, WorkloadSpec};

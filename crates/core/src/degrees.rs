@@ -13,6 +13,8 @@
 //! computed lazily (see [`compute_ee_degrees`]), exactly as the paper
 //! recommends.
 
+use qcm_graph::bitset::VertexBitSet;
+use qcm_graph::neighborhoods::perf;
 use qcm_graph::LocalGraph;
 
 /// Which side of the candidate a local vertex currently belongs to.
@@ -27,29 +29,53 @@ pub enum Membership {
 }
 
 /// A membership table over the local index space of a task subgraph.
+///
+/// Backed by two [`VertexBitSet`]s so the degree kernels can intersect a hub
+/// vertex's dense neighbor row against either side with word-parallel ANDs
+/// instead of walking the adjacency list.
 #[derive(Clone, Debug)]
 pub struct MembershipTable {
-    table: Vec<Membership>,
+    in_s: VertexBitSet,
+    in_ext: VertexBitSet,
 }
 
 impl MembershipTable {
     /// Builds the table for the given `S` and `ext(S)` (local indices).
     pub fn new(g: &LocalGraph, s: &[u32], ext: &[u32]) -> Self {
-        let mut table = vec![Membership::Neither; g.capacity()];
+        let mut in_s = VertexBitSet::new(g.capacity());
+        let mut in_ext = VertexBitSet::new(g.capacity());
         for &v in s {
-            table[v as usize] = Membership::InS;
+            in_s.insert(v);
         }
         for &u in ext {
-            debug_assert_ne!(table[u as usize], Membership::InS, "S and ext overlap");
-            table[u as usize] = Membership::InExt;
+            debug_assert!(!in_s.contains(u), "S and ext overlap");
+            in_ext.insert(u);
         }
-        MembershipTable { table }
+        MembershipTable { in_s, in_ext }
     }
 
     /// Membership of local vertex `v`.
     #[inline]
     pub fn get(&self, v: u32) -> Membership {
-        self.table[v as usize]
+        if self.in_s.contains(v) {
+            Membership::InS
+        } else if self.in_ext.contains(v) {
+            Membership::InExt
+        } else {
+            Membership::Neither
+        }
+    }
+
+    /// The `S`-side members as a bitset (for word-parallel hub counting).
+    #[inline]
+    pub fn s_bits(&self) -> &VertexBitSet {
+        &self.in_s
+    }
+
+    /// The `ext(S)`-side members as a bitset.
+    #[inline]
+    pub fn ext_bits(&self) -> &VertexBitSet {
+        &self.in_ext
     }
 }
 
@@ -98,14 +124,28 @@ impl Degrees {
 }
 
 /// Computes SS, ES and SE degrees of the candidate `⟨s, ext⟩` over the task
-/// subgraph `g`. `O(Σ_{x∈S∪ext} d(x))`.
+/// subgraph `g`.
+///
+/// Low-degree members walk their adjacency list (`O(d)`); members with a hub
+/// row ([`LocalGraph::build_hub_index`]) are counted by word-parallel AND of
+/// the row against the membership bitsets (`O(capacity / 64)` per member).
+/// Both paths rely on `S`/`ext` members being alive, so a hub row's stale
+/// bits for peeled vertices can never be counted.
 pub fn compute_degrees(g: &LocalGraph, s: &[u32], ext: &[u32]) -> (Degrees, MembershipTable) {
     let membership = MembershipTable::new(g, s, ext);
     let mut s_in_s = vec![0u32; s.len()];
     let mut s_in_ext = vec![0u32; s.len()];
     let mut ext_in_s = vec![0u32; ext.len()];
     for (i, &v) in s.iter().enumerate() {
-        for w in g.neighbors(v) {
+        if let Some(row) = g.hub_row(v) {
+            perf::count_intersections(2);
+            s_in_s[i] = row.intersection_count(membership.s_bits()) as u32;
+            s_in_ext[i] = row.intersection_count(membership.ext_bits()) as u32;
+            continue;
+        }
+        // `raw_neighbors` is safe here: peeled vertices are in neither
+        // membership set, so they contribute to no counter.
+        for &w in g.raw_neighbors(v) {
             match membership.get(w) {
                 Membership::InS => s_in_s[i] += 1,
                 Membership::InExt => s_in_ext[i] += 1,
@@ -114,7 +154,12 @@ pub fn compute_degrees(g: &LocalGraph, s: &[u32], ext: &[u32]) -> (Degrees, Memb
         }
     }
     for (j, &u) in ext.iter().enumerate() {
-        for w in g.neighbors(u) {
+        if let Some(row) = g.hub_row(u) {
+            perf::count_intersections(1);
+            ext_in_s[j] = row.intersection_count(membership.s_bits()) as u32;
+            continue;
+        }
+        for &w in g.raw_neighbors(u) {
             if membership.get(w) == Membership::InS {
                 ext_in_s[j] += 1;
             }
@@ -131,12 +176,18 @@ pub fn compute_degrees(g: &LocalGraph, s: &[u32], ext: &[u32]) -> (Degrees, Memb
 }
 
 /// Computes the EE-degrees `d_ext(S)(u)` for every `u ∈ ext(S)` (aligned with
-/// `ext`). Deferred until Type-I rules actually need them.
+/// `ext`). Deferred until Type-I rules actually need them. Hub members count
+/// by word-parallel AND, exactly like [`compute_degrees`].
 pub fn compute_ee_degrees(g: &LocalGraph, ext: &[u32], membership: &MembershipTable) -> Vec<u32> {
     ext.iter()
         .map(|&u| {
-            g.neighbors(u)
-                .filter(|&w| membership.get(w) == Membership::InExt)
+            if let Some(row) = g.hub_row(u) {
+                perf::count_intersections(1);
+                return row.intersection_count(membership.ext_bits()) as u32;
+            }
+            g.raw_neighbors(u)
+                .iter()
+                .filter(|&&w| membership.get(w) == Membership::InExt)
                 .count() as u32
         })
         .collect()
@@ -224,6 +275,38 @@ mod tests {
         assert_eq!(membership.get(0), Membership::InS);
         assert_eq!(membership.get(3), Membership::InExt);
         assert_eq!(membership.get(7), Membership::Neither);
+    }
+
+    #[test]
+    fn hub_word_parallel_counting_matches_list_walk() {
+        let mut indexed = figure4_local();
+        indexed.build_hub_index(qcm_graph::IndexSpec::Threshold(0));
+        let plain = figure4_local();
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[0, 1], &[2, 3, 4]),
+            (&[], &[0, 1, 2]),
+            (&[0, 1], &[]),
+            (&[3], &[7, 8]),
+            (&[0, 1, 2, 3, 4], &[5, 6, 7, 8]),
+        ];
+        for (s, ext) in cases {
+            let (a, ma) = compute_degrees(&indexed, s, ext);
+            let (b, mb) = compute_degrees(&plain, s, ext);
+            assert_eq!(a, b, "degrees for S={s:?}, ext={ext:?}");
+            assert_eq!(
+                compute_ee_degrees(&indexed, ext, &ma),
+                compute_ee_degrees(&plain, ext, &mb),
+                "EE degrees for S={s:?}, ext={ext:?}"
+            );
+        }
+        // With a peeled vertex: stale hub-row bits must not be counted.
+        let mut peeled_indexed = indexed.clone();
+        peeled_indexed.remove_vertex(4);
+        let mut peeled_plain = plain.clone();
+        peeled_plain.remove_vertex(4);
+        let (a, _) = compute_degrees(&peeled_indexed, &[0, 1], &[2, 3]);
+        let (b, _) = compute_degrees(&peeled_plain, &[0, 1], &[2, 3]);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use maximality::remove_non_maximal;
 pub use params::{Gamma, MiningParams};
 pub use quasiclique::{is_quasi_clique, is_quasi_clique_local, is_valid_quasi_clique};
 pub use quick::quick_mine;
-pub use recursive_mine::{recursive_mine, two_hop_local};
+pub use recursive_mine::{recursive_mine, two_hop_bits, two_hop_local};
 pub use results::{
     CandidateForwarder, CollectingSink, CountingSink, QuasiCliqueSet, QuasiCliqueSink, ResultSink,
 };

@@ -14,42 +14,46 @@ use crate::context::MiningContext;
 use crate::cover::{find_cover_vertex, move_cover_to_tail};
 use crate::iterative_bounding::iterative_bounding;
 use crate::quasiclique::is_quasi_clique_local;
+use qcm_graph::bitset::VertexBitSet;
+use qcm_graph::neighborhoods::perf;
+
+/// Computes the set of local vertices within two hops of `v` in the task
+/// subgraph (the `B(v)` of pruning rule P1) as a bitset, excluding `v`
+/// itself.
+pub fn two_hop_bits(g: &qcm_graph::LocalGraph, v: u32) -> VertexBitSet {
+    let mut seen = VertexBitSet::new(g.capacity());
+    seen.insert(v);
+    let mut first_hop: Vec<u32> = Vec::new();
+    for u in g.neighbors(v) {
+        if seen.insert(u) {
+            first_hop.push(u);
+        }
+    }
+    for &u in &first_hop {
+        for w in g.neighbors(u) {
+            seen.insert(w);
+        }
+    }
+    seen.remove(v);
+    seen
+}
 
 /// Computes the set of local vertices within two hops of `v` in the task
 /// subgraph (the `B(v)` of pruning rule P1), excluding `v` itself. Sorted.
 pub fn two_hop_local(g: &qcm_graph::LocalGraph, v: u32) -> Vec<u32> {
-    let mut seen = vec![false; g.capacity()];
-    seen[v as usize] = true;
-    let mut result: Vec<u32> = Vec::new();
-    for u in g.neighbors(v) {
-        if !seen[u as usize] {
-            seen[u as usize] = true;
-            result.push(u);
-        }
-    }
-    let first_hop = result.len();
-    for i in 0..first_hop {
-        let u = result[i];
-        for w in g.neighbors(u) {
-            if !seen[w as usize] {
-                seen[w as usize] = true;
-                result.push(w);
-            }
-        }
-    }
-    result.sort_unstable();
-    result
+    two_hop_bits(g, v).iter().collect()
 }
 
 /// Restricts `ext` to the two-hop neighborhood of `v` when the diameter rule
 /// applies (γ ≥ 0.5 and the rule is enabled); otherwise returns `ext` as-is.
+///
+/// The membership filter is an `O(1)`-per-candidate bitset probe (the old
+/// path binary-searched a sorted two-hop list per candidate).
 fn shrink_by_diameter(ctx: &MiningContext<'_>, ext: &[u32], v: u32) -> Vec<u32> {
     if ctx.config.diameter && ctx.params.gamma.diameter_two_applies() {
-        let b_v = two_hop_local(ctx.graph, v);
-        ext.iter()
-            .copied()
-            .filter(|u| b_v.binary_search(u).is_ok())
-            .collect()
+        let b_v = two_hop_bits(ctx.graph, v);
+        perf::count_intersections(1);
+        ext.iter().copied().filter(|&u| b_v.contains(u)).collect()
     } else {
         ext.to_vec()
     }

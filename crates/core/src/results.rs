@@ -163,6 +163,13 @@ impl QuasiCliqueSet {
         self.sets.into_iter().collect()
     }
 
+    /// Keeps only the sets for which `keep` returns true (members are passed
+    /// in canonical sorted order). Used by the engine's post-mining result
+    /// validation.
+    pub fn retain_sets(&mut self, mut keep: impl FnMut(&[VertexId]) -> bool) {
+        self.sets.retain(|members| keep(members));
+    }
+
     /// Merges another result set into this one.
     pub fn merge(&mut self, other: QuasiCliqueSet) {
         self.sets.extend(other.sets);

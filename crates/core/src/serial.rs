@@ -18,7 +18,7 @@ use crate::recursive_mine::{recursive_mine, two_hop_local};
 use crate::results::{QuasiCliqueSet, QuasiCliqueSink};
 use crate::stats::MiningStats;
 use qcm_graph::kcore::k_core_vertices;
-use qcm_graph::{Graph, LocalGraph, VertexId};
+use qcm_graph::{Graph, IndexSpec, LocalGraph, VertexId};
 
 /// Everything a mining run produces.
 #[derive(Clone, Debug)]
@@ -49,6 +49,7 @@ pub struct SerialMiner {
     config: PruneConfig,
     emulate_quick_omissions: bool,
     cancel: CancelToken,
+    index: IndexSpec,
 }
 
 impl SerialMiner {
@@ -59,6 +60,7 @@ impl SerialMiner {
             config: PruneConfig::default(),
             emulate_quick_omissions: false,
             cancel: CancelToken::never(),
+            index: IndexSpec::Auto,
         }
     }
 
@@ -70,6 +72,7 @@ impl SerialMiner {
             config,
             emulate_quick_omissions: false,
             cancel: CancelToken::never(),
+            index: IndexSpec::Auto,
         }
     }
 
@@ -85,6 +88,15 @@ impl SerialMiner {
     /// labelled with the firing reason.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Chooses the hybrid bitset neighborhood index built over the working
+    /// subgraph (default [`IndexSpec::Auto`]). [`IndexSpec::Disabled`]
+    /// reproduces the pure binary-search behaviour — results are identical
+    /// either way, only the edge-query cost changes.
+    pub fn with_index(mut self, index: IndexSpec) -> Self {
+        self.index = index;
         self
     }
 
@@ -132,7 +144,10 @@ impl SerialMiner {
         let mut sink = QuasiCliqueSet::new();
         let mut interrupted = false;
         if !survivors.is_empty() {
-            let work = LocalGraph::from_induced(graph, &survivors);
+            let mut work = LocalGraph::from_induced(graph, &survivors);
+            // One hub-index build per run, amortised over every edge query
+            // and degree recomputation of the whole search.
+            work.build_hub_index(self.index);
             // Spawn one root per surviving vertex, in id order.
             for v in 0..work.capacity() as u32 {
                 if self.cancel.is_cancelled() {

@@ -41,6 +41,10 @@ pub struct EngineOutput {
     pub results: Vec<Vec<VertexId>>,
     /// Metrics of the run.
     pub metrics: EngineMetrics,
+    /// The neighborhood index the run's vertex table served edge queries
+    /// through — handed back so post-processing (maximality, result
+    /// validation) reuses it instead of rebuilding.
+    pub index: Option<Arc<qcm_graph::NeighborhoodIndex>>,
 }
 
 /// Per-machine shared state.
@@ -116,7 +120,14 @@ impl<A: GThinkerApp> Cluster<A> {
     pub fn run(&self, graph: Arc<Graph>) -> EngineOutput {
         let start = Instant::now();
         let config = &self.config;
-        let table = PartitionedVertexTable::new(graph, config.num_machines);
+        // Reuse the caller's per-graph index when one was threaded through
+        // (session/service layers build it once per graph); otherwise build
+        // per the configured policy.
+        let index = match &config.shared_index {
+            Some(shared) if Arc::ptr_eq(shared.graph(), &graph) => shared.clone(),
+            _ => Arc::new(qcm_graph::NeighborhoodIndex::build(graph, config.index)),
+        };
+        let table = PartitionedVertexTable::with_index(index.clone(), config.num_machines);
         let spill_metrics = Arc::new(SpillMetrics::default());
         let fetch_metrics = Arc::new(FetchMetrics::default());
 
@@ -224,7 +235,11 @@ impl<A: GThinkerApp> Cluster<A> {
                 RunOutcome::Complete
             },
         };
-        EngineOutput { results, metrics }
+        EngineOutput {
+            results,
+            metrics,
+            index: Some(index),
+        }
     }
 }
 

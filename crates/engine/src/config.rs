@@ -6,7 +6,9 @@
 //! cluster shape (number of machines × mining threads per machine).
 
 use qcm_core::CancelToken;
+use qcm_graph::{IndexSpec, NeighborhoodIndex};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of the simulated cluster and the task scheduler.
@@ -48,6 +50,15 @@ pub struct EngineConfig {
     /// loop and drain out when it fires, so a cancelled or deadline-hit run
     /// returns the results emitted so far. Defaults to a never-firing token.
     pub cancel: CancelToken,
+    /// Hybrid bitset neighborhood-index policy, applied both to the global
+    /// vertex table (unless [`EngineConfig::shared_index`] supplies a
+    /// prebuilt one) and to every mining task's materialised subgraph.
+    pub index: IndexSpec,
+    /// A prebuilt global [`NeighborhoodIndex`] to reuse (built once per
+    /// graph by the session/service layer and shared across jobs). Must wrap
+    /// the same graph the run mines; when `None` the cluster builds one per
+    /// [`EngineConfig::index`].
+    pub shared_index: Option<Arc<NeighborhoodIndex>>,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +76,8 @@ impl Default for EngineConfig {
             balance_period: Duration::from_millis(20),
             fetch_latency: Duration::ZERO,
             cancel: CancelToken::never(),
+            index: IndexSpec::Auto,
+            shared_index: None,
         }
     }
 }
@@ -99,6 +112,19 @@ impl EngineConfig {
     /// Attaches a cancellation token polled by the worker loops.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Chooses the neighborhood-index policy (default [`IndexSpec::Auto`]).
+    pub fn with_index(mut self, index: IndexSpec) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Reuses a prebuilt global neighborhood index instead of building one at
+    /// cluster start.
+    pub fn with_shared_index(mut self, index: Arc<NeighborhoodIndex>) -> Self {
+        self.shared_index = Some(index);
         self
     }
 

@@ -9,24 +9,41 @@
 //! are preserved so the communication-volume and cache-pressure aspects of
 //! the design remain observable.
 
-use qcm_graph::{Graph, VertexId};
+use qcm_graph::{Graph, IndexSpec, NeighborhoodIndex, Neighborhoods, VertexId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Hash partitioning of vertices over machines plus access to adjacency lists.
+/// Hash partitioning of vertices over machines plus access to adjacency
+/// lists and edge queries.
+///
+/// The table serves the shared graph through a [`NeighborhoodIndex`]: hub
+/// vertices answer [`PartitionedVertexTable::has_edge`] with an `O(1)` bitset
+/// probe, everything else falls back to the CSR binary search. The index is
+/// built once per graph — pass a prebuilt one
+/// ([`PartitionedVertexTable::with_index`]) to share it across runs, the way
+/// the session/service layer does for cached jobs.
 #[derive(Clone)]
 pub struct PartitionedVertexTable {
-    graph: Arc<Graph>,
+    index: Arc<NeighborhoodIndex>,
     num_machines: usize,
 }
 
 impl PartitionedVertexTable {
-    /// Creates the table over `graph` partitioned across `num_machines`.
+    /// Creates the table over `graph` partitioned across `num_machines`,
+    /// building a fresh [`IndexSpec::Auto`] neighborhood index.
     pub fn new(graph: Arc<Graph>, num_machines: usize) -> Self {
+        Self::with_index(
+            Arc::new(NeighborhoodIndex::build(graph, IndexSpec::Auto)),
+            num_machines,
+        )
+    }
+
+    /// Creates the table around a prebuilt (shared) neighborhood index.
+    pub fn with_index(index: Arc<NeighborhoodIndex>, num_machines: usize) -> Self {
         assert!(num_machines >= 1);
         PartitionedVertexTable {
-            graph,
+            index,
             num_machines,
         }
     }
@@ -37,6 +54,13 @@ impl PartitionedVertexTable {
         (v.raw() as usize) % self.num_machines
     }
 
+    /// True if `(u, v)` is an edge, via the shared edge-query path of the
+    /// neighborhood index (`O(1)` on hub vertices).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.index.has_edge(u, v)
+    }
+
     /// True if `machine` owns `v`.
     #[inline]
     pub fn is_local(&self, machine: usize, v: VertexId) -> bool {
@@ -45,7 +69,8 @@ impl PartitionedVertexTable {
 
     /// The vertices owned by `machine`, in increasing id order.
     pub fn owned_vertices(&self, machine: usize) -> Vec<VertexId> {
-        self.graph
+        self.index
+            .graph()
             .vertices()
             .filter(|&v| self.owner(v) == machine)
             .collect()
@@ -54,17 +79,42 @@ impl PartitionedVertexTable {
     /// The adjacency list Γ(v) (borrowed from the shared graph).
     #[inline]
     pub fn adjacency(&self, v: VertexId) -> &[VertexId] {
-        self.graph.neighbors(v)
+        self.index.graph().neighbors(v)
     }
 
     /// The underlying shared graph.
     pub fn graph(&self) -> &Arc<Graph> {
-        &self.graph
+        self.index.graph()
+    }
+
+    /// The neighborhood index the table serves edge queries through.
+    pub fn index(&self) -> &Arc<NeighborhoodIndex> {
+        &self.index
     }
 
     /// Number of machines in the partitioning.
     pub fn num_machines(&self) -> usize {
         self.num_machines
+    }
+}
+
+impl Neighborhoods for PartitionedVertexTable {
+    fn vertex_capacity(&self) -> usize {
+        self.index.graph().num_vertices()
+    }
+
+    fn neighbor_count(&self, v: u32) -> usize {
+        self.index.graph().degree(VertexId::new(v))
+    }
+
+    fn adjacent(&self, u: u32, v: u32) -> bool {
+        self.has_edge(VertexId::new(u), VertexId::new(v))
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        for &w in self.adjacency(VertexId::new(v)) {
+            f(w.raw());
+        }
     }
 }
 
@@ -279,6 +329,18 @@ mod tests {
         for v in g.vertices() {
             assert_eq!(table.adjacency(v), g.neighbors(v));
         }
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(table.has_edge(u, v), g.has_edge(u, v));
+                assert_eq!(table.adjacent(u.raw(), v.raw()), g.has_edge(u, v));
+            }
+        }
+        // A prebuilt index (e.g. the service layer's per-graph cache) is
+        // adopted as-is.
+        let shared = Arc::new(NeighborhoodIndex::build(g.clone(), IndexSpec::Threshold(0)));
+        let table = PartitionedVertexTable::with_index(shared.clone(), 2);
+        assert!(Arc::ptr_eq(table.index(), &shared));
+        assert!(table.has_edge(VertexId::new(0), VertexId::new(1)));
     }
 
     #[test]

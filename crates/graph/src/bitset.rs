@@ -1,0 +1,227 @@
+//! Fixed-capacity vertex bitsets.
+//!
+//! [`VertexBitSet`] is the dense-set workhorse of the hybrid neighborhood
+//! index (see [`crate::neighborhoods`]): one bit per vertex of a graph's
+//! (local or global) index space, packed into `u64` words. Membership tests
+//! are `O(1)` and set intersection is word-parallel — 64 candidate vertices
+//! per AND instruction — which is what turns the miner's `O(log d)`
+//! binary-search edge queries and `O(|A| + |B|)` sorted-merge intersections
+//! into `O(1)` / `O(n / 64)` operations on high-degree (hub) vertices.
+
+/// A fixed-capacity set of `u32` vertex ids backed by packed `u64` words.
+///
+/// The capacity is fixed at construction. Mutators ([`VertexBitSet::insert`],
+/// [`VertexBitSet::remove`]) panic on ids `>= capacity` in every build — an
+/// id landing in the last word's slack bits would otherwise silently corrupt
+/// [`VertexBitSet::len`]/[`VertexBitSet::iter`]. Read paths
+/// ([`VertexBitSet::contains`]) only debug-assert: a slack bit can never be
+/// set, so an in-allocation out-of-range read harmlessly answers `false`,
+/// and the hot edge-query loop stays a single word probe.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct VertexBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl VertexBitSet {
+    /// Creates an empty set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        VertexBitSet {
+            words: vec![0u64; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set holding exactly the given ids (need not be sorted).
+    pub fn from_members(capacity: usize, members: &[u32]) -> Self {
+        let mut set = VertexBitSet::new(capacity);
+        for &v in members {
+            set.insert(v);
+        }
+        set
+    }
+
+    /// The fixed id capacity (one past the largest storable id).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True if `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        let i = v as usize;
+        debug_assert!(i < self.capacity, "id {v} out of range {}", self.capacity);
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    /// Inserts `v`; returns true if it was newly added.
+    ///
+    /// # Panics
+    /// Panics if `v >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, v: u32) -> bool {
+        let i = v as usize;
+        assert!(i < self.capacity, "id {v} out of range {}", self.capacity);
+        let word = &mut self.words[i >> 6];
+        let mask = 1u64 << (i & 63);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `v`; returns true if it was present.
+    ///
+    /// # Panics
+    /// Panics if `v >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, v: u32) -> bool {
+        let i = v as usize;
+        assert!(i < self.capacity, "id {v} out of range {}", self.capacity);
+        let word = &mut self.words[i >> 6];
+        let mask = 1u64 << (i & 63);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Removes every member (keeps the capacity).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of members (popcount over all words).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `|self ∩ other|` by word-parallel AND + popcount. The sets must have
+    /// the same capacity.
+    pub fn intersection_count(&self, other: &VertexBitSet) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `self ← self ∩ other` (word-parallel). The sets must have the same
+    /// capacity.
+    pub fn intersect_with(&mut self, other: &VertexBitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self ← self ∪ other` (word-parallel). The sets must have the same
+    /// capacity.
+    pub fn union_with(&mut self, other: &VertexBitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates the members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = (wi as u32) << 6;
+            BitIter { word, base }
+        })
+    }
+
+    /// Heap footprint of the word array in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Iterator over the set bits of one word (lowest first).
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = VertexBitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports not-fresh");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 130);
+    }
+
+    #[test]
+    fn from_members_and_iter_are_sorted() {
+        let s = VertexBitSet::from_members(200, &[150, 3, 64, 3, 65]);
+        let got: Vec<u32> = s.iter().collect();
+        assert_eq!(got, vec![3, 64, 65, 150]);
+    }
+
+    #[test]
+    fn intersection_matches_sorted_merge() {
+        let a = VertexBitSet::from_members(256, &[1, 5, 64, 70, 128, 200]);
+        let b = VertexBitSet::from_members(256, &[5, 64, 71, 128, 255]);
+        assert_eq!(a.intersection_count(&b), 3);
+        let mut c = a.clone();
+        c.intersect_with(&b);
+        let got: Vec<u32> = c.iter().collect();
+        assert_eq!(got, vec![5, 64, 128]);
+        let mut d = a.clone();
+        d.union_with(&b);
+        assert_eq!(d.len(), a.len() + b.len() - 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let s = VertexBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn memory_is_one_bit_per_capacity_slot() {
+        let s = VertexBitSet::new(1024);
+        assert_eq!(s.memory_bytes(), 1024 / 8);
+        // Capacity rounds up to the next word.
+        assert_eq!(VertexBitSet::new(65).memory_bytes(), 16);
+    }
+}

@@ -122,19 +122,43 @@ impl Graph {
         self.offsets[i + 1] - self.offsets[i]
     }
 
-    /// Returns true if `(u, v)` is an edge. `O(log d(u))`.
+    /// Returns true if `(u, v)` is an edge. `O(log d)` over the shorter
+    /// adjacency list. This is the **shared edge-query path**: every
+    /// membership probe in the crate (including [`Graph::validate`]) routes
+    /// through here or through a [`crate::NeighborhoodIndex`] wrapping it, so
+    /// the perf counters see each query exactly once and indexed callers get
+    /// the bitset fast path everywhere.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         if u == v {
             return false;
         }
+        crate::neighborhoods::perf::count_edge_queries(1);
+        self.has_edge_csr(u, v)
+    }
+
+    /// The raw CSR binary search behind [`Graph::has_edge`], uncounted — used
+    /// by [`crate::NeighborhoodIndex`] (which already counted the query) as
+    /// its non-hub fallback.
+    #[inline]
+    pub(crate) fn has_edge_csr(&self, u: VertexId, v: VertexId) -> bool {
         // Search the shorter adjacency list.
         let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
         } else {
             (v, u)
         };
-        self.neighbors(a).binary_search(&b).is_ok()
+        self.adjacency_contains(a, b)
+    }
+
+    /// Directed membership primitive: true if `v` appears in Γ(u). This is
+    /// the one place the crate binary-searches an adjacency slice for
+    /// membership; [`Graph::has_edge`] and [`Graph::validate`] both build on
+    /// it (`validate` needs the *directed* form — a symmetric query could
+    /// answer from the other endpoint's list and mask an asymmetric CSR).
+    #[inline]
+    fn adjacency_contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Iterator over all undirected edges, each reported once with
@@ -245,7 +269,10 @@ impl Graph {
                         message: format!("self loop at {v}"),
                     });
                 }
-                if self.neighbors(w).binary_search(&v).is_err() {
+                // Shared directed-membership path (kept directed on purpose:
+                // the symmetric `has_edge` probes the shorter list and would
+                // mask an asymmetric CSR).
+                if !self.adjacency_contains(w, v) {
                     return Err(GraphError::Parse {
                         line: 0,
                         message: format!("edge ({v},{w}) is not symmetric"),

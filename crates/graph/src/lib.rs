@@ -14,6 +14,12 @@
 //!   mapping back to global vertex ids).
 //! * [`traversal`] — BFS, two-hop neighborhoods (the `B(v)` of the paper),
 //!   connected components.
+//! * [`bitset`] — fixed-capacity [`VertexBitSet`] with word-parallel set
+//!   operations, the scratch type of the hybrid index and the mining kernels.
+//! * [`neighborhoods`] — the [`Neighborhoods`] edge-query trait shared by all
+//!   backends and the hybrid [`NeighborhoodIndex`] (CSR + bitset rows for
+//!   high-degree vertices, `O(1)` hub edge queries), plus the process-wide
+//!   [`neighborhoods::perf`] counters the benchmark pipeline reports.
 //! * [`io`] — SNAP-style edge-list parsing and writing, plus a checksummed
 //!   binary snapshot format.
 //! * [`hash`] — stable FNV-1a hashing behind snapshot checksums and the
@@ -25,22 +31,26 @@
 //! evaluation graphs top out at ~1.4M vertices and 32-bit ids keep adjacency
 //! lists and task subgraphs compact.
 
+pub mod bitset;
 pub mod builder;
 pub mod error;
 pub mod graph;
 pub mod hash;
 pub mod io;
 pub mod kcore;
+pub mod neighborhoods;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
 pub mod vertex;
 
+pub use bitset::VertexBitSet;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use hash::Fnv1a64;
 pub use kcore::{core_numbers, degeneracy_ordering, k_core};
+pub use neighborhoods::{IndexSpec, NeighborhoodIndex, Neighborhoods};
 pub use stats::GraphStats;
 pub use subgraph::LocalGraph;
 pub use vertex::VertexId;

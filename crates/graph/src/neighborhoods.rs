@@ -1,0 +1,499 @@
+//! The hybrid bitset neighborhood index and the shared edge-query trait.
+//!
+//! Sorted CSR adjacency lists give `O(log d)` edge queries, which is what
+//! every backend of the miner paid per `has_edge` before this module existed.
+//! Fast in-memory graph analytics engines get their speed from *dense*
+//! adjacency structures tuned for repeated set operations: a bitset row per
+//! high-degree vertex makes `has_edge` on hubs a single word probe and turns
+//! candidate-set intersection into word-parallel ANDs.
+//!
+//! Storing a bitset row for **every** vertex would cost `O(|V|² / 8)` bytes,
+//! so the index is hybrid: only vertices whose degree reaches a threshold get
+//! a row, everything else keeps the CSR binary search. With the
+//! [`IndexSpec::Auto`] threshold (`max(16, |V| / 64)`) a hub's row is at most
+//! ~2× the size of its adjacency slice, bounding the whole index at ~2× the
+//! CSR footprint while covering exactly the vertices where `log d` hurts
+//! most (the ones every dense candidate set keeps probing).
+//!
+//! The three consumers share one abstraction, [`Neighborhoods`]: the serial
+//! miner and the parallel mining tasks query their task-local
+//! [`crate::LocalGraph`] (which carries its own hub rows), and the engine's
+//! partitioned vertex table serves the global [`Graph`] through a
+//! process-wide [`NeighborhoodIndex`] built once per graph and shared across
+//! jobs.
+
+use crate::bitset::VertexBitSet;
+use crate::graph::Graph;
+use crate::vertex::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How (and whether) to build a bitset neighborhood index over a graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum IndexSpec {
+    /// No bitset rows: every edge query takes the CSR binary-search path.
+    Disabled,
+    /// Pick the threshold from the graph size: `max(16, |V| / 64)`, which
+    /// bounds the index at roughly twice the CSR footprint.
+    #[default]
+    Auto,
+    /// Give a bitset row to every vertex of degree `>= t`. `Threshold(0)`
+    /// indexes every vertex (useful in equivalence tests).
+    Threshold(usize),
+}
+
+impl IndexSpec {
+    /// Resolves the spec against a vertex count: `None` means "build no
+    /// index", `Some(t)` means "row for every vertex of degree ≥ t".
+    pub fn resolve(self, num_vertices: usize) -> Option<usize> {
+        match self {
+            IndexSpec::Disabled => None,
+            IndexSpec::Auto => Some(auto_threshold(num_vertices)),
+            IndexSpec::Threshold(t) => Some(t),
+        }
+    }
+}
+
+/// The [`IndexSpec::Auto`] hub threshold for an `n`-vertex graph.
+///
+/// A bitset row costs `n / 8` bytes; a vertex of degree `d` already stores
+/// `4d` adjacency bytes. Requiring `d ≥ n / 64` keeps every row within ~2× of
+/// the adjacency slice it shadows; the floor of 16 stops tiny graphs from
+/// indexing everything for no measurable gain.
+pub fn auto_threshold(n: usize) -> usize {
+    (n / 64).max(16)
+}
+
+/// Uniform edge-query interface over every graph representation the miner
+/// touches: the global CSR [`Graph`], the task-local
+/// [`crate::LocalGraph`], the hub-indexed [`NeighborhoodIndex`] and the
+/// engine's partitioned vertex table. Having one trait means the mining
+/// kernels (expansion loop, bounds, maximality checks) are written once and
+/// every backend inherits the bitset fast path.
+///
+/// Vertex ids are raw `u32`s in the representation's own index space (local
+/// indices for a `LocalGraph`, global ids elsewhere).
+pub trait Neighborhoods {
+    /// One past the largest addressable vertex id.
+    fn vertex_capacity(&self) -> usize;
+
+    /// Degree of `v` (alive neighbors only, for representations with vertex
+    /// removal).
+    fn neighbor_count(&self, v: u32) -> usize;
+
+    /// True if `{u, v}` is an edge. Implementations route this through their
+    /// bitset fast path when one side has a hub row.
+    fn adjacent(&self, u: u32, v: u32) -> bool;
+
+    /// Calls `f` for every neighbor of `v`, in increasing id order.
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32));
+
+    /// Appends `candidates ∩ Γ(v)` to `out`, preserving the order of
+    /// `candidates`. Counted as one intersection in [`perf`].
+    fn intersect_neighbors(&self, v: u32, candidates: &[u32], out: &mut Vec<u32>) {
+        perf::count_intersections(1);
+        out.extend(candidates.iter().copied().filter(|&u| self.adjacent(v, u)));
+    }
+}
+
+/// A hub-indexed view of an immutable [`Graph`]: shared CSR plus bitset rows
+/// for every vertex of degree ≥ the resolved threshold.
+///
+/// Build it **once per graph** (it is `O(|V| + Σ_{hubs} d)` and allocates up
+/// to ~2× the CSR size) and share the [`Arc`] across sessions and jobs — the
+/// service layer caches one per graph fingerprint, and the engine's vertex
+/// table serves adjacency and edge queries straight from it.
+#[derive(Clone, Debug)]
+pub struct NeighborhoodIndex {
+    graph: Arc<Graph>,
+    /// Resolved hub threshold; `usize::MAX` when the spec was `Disabled`.
+    threshold: usize,
+    /// `rows[v]` is the dense neighbor row of `v` when `d(v) ≥ threshold`.
+    rows: Vec<Option<VertexBitSet>>,
+    hub_count: usize,
+}
+
+impl NeighborhoodIndex {
+    /// Builds the index over `graph` per `spec`.
+    pub fn build(graph: Arc<Graph>, spec: IndexSpec) -> Self {
+        let n = graph.num_vertices();
+        let threshold = match spec.resolve(n) {
+            None => {
+                return NeighborhoodIndex {
+                    graph,
+                    threshold: usize::MAX,
+                    rows: Vec::new(),
+                    hub_count: 0,
+                }
+            }
+            Some(t) => t,
+        };
+        let mut rows: Vec<Option<VertexBitSet>> = vec![None; n];
+        let mut hub_count = 0usize;
+        for v in graph.vertices() {
+            if graph.degree(v) >= threshold {
+                let mut row = VertexBitSet::new(n);
+                for &w in graph.neighbors(v) {
+                    row.insert(w.raw());
+                }
+                rows[v.index()] = Some(row);
+                hub_count += 1;
+            }
+        }
+        NeighborhoodIndex {
+            graph,
+            threshold,
+            rows,
+            hub_count,
+        }
+    }
+
+    /// The underlying shared graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The resolved hub degree threshold (`usize::MAX` when disabled).
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of vertices that received a bitset row.
+    pub fn hub_count(&self) -> usize {
+        self.hub_count
+    }
+
+    /// True if `v` has a bitset row.
+    #[inline]
+    pub fn is_hub(&self, v: VertexId) -> bool {
+        self.rows.get(v.index()).is_some_and(|row| row.is_some())
+    }
+
+    /// The dense neighbor row of `v`, when it is a hub.
+    #[inline]
+    pub fn hub_row(&self, v: VertexId) -> Option<&VertexBitSet> {
+        self.rows.get(v.index()).and_then(|row| row.as_ref())
+    }
+
+    /// True if `(u, v)` is an edge: `O(1)` when either endpoint is a hub,
+    /// CSR binary search otherwise.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        perf::count_edge_queries(1);
+        if let Some(row) = self.hub_row(u) {
+            perf::count_bitset_hits(1);
+            return row.contains(v.raw());
+        }
+        if let Some(row) = self.hub_row(v) {
+            perf::count_bitset_hits(1);
+            return row.contains(u.raw());
+        }
+        self.graph.has_edge_csr(u, v)
+    }
+
+    /// Number of common neighbors of `u` and `v`: word-parallel AND when both
+    /// are hubs, hybrid probe otherwise.
+    pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        perf::count_intersections(1);
+        match (self.hub_row(u), self.hub_row(v)) {
+            (Some(a), Some(b)) => a.intersection_count(b),
+            (Some(a), None) => self
+                .graph
+                .neighbors(v)
+                .iter()
+                .filter(|w| a.contains(w.raw()))
+                .count(),
+            (None, Some(b)) => self
+                .graph
+                .neighbors(u)
+                .iter()
+                .filter(|w| b.contains(w.raw()))
+                .count(),
+            (None, None) => self.graph.common_neighbor_count(u, v),
+        }
+    }
+
+    /// Heap footprint of the bitset rows in bytes (excludes the shared CSR).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<Option<VertexBitSet>>()
+            + self
+                .rows
+                .iter()
+                .flatten()
+                .map(VertexBitSet::memory_bytes)
+                .sum::<usize>()
+    }
+}
+
+impl Neighborhoods for NeighborhoodIndex {
+    fn vertex_capacity(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn neighbor_count(&self, v: u32) -> usize {
+        self.graph.degree(VertexId::new(v))
+    }
+
+    fn adjacent(&self, u: u32, v: u32) -> bool {
+        self.has_edge(VertexId::new(u), VertexId::new(v))
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        for &w in self.graph.neighbors(VertexId::new(v)) {
+            f(w.raw());
+        }
+    }
+}
+
+impl Neighborhoods for Graph {
+    fn vertex_capacity(&self) -> usize {
+        self.num_vertices()
+    }
+
+    fn neighbor_count(&self, v: u32) -> usize {
+        self.degree(VertexId::new(v))
+    }
+
+    fn adjacent(&self, u: u32, v: u32) -> bool {
+        self.has_edge(VertexId::new(u), VertexId::new(v))
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        for &w in self.neighbors(VertexId::new(v)) {
+            f(w.raw());
+        }
+    }
+}
+
+/// Process-wide counters of the neighborhood kernels, read by the benchmark
+/// suite (`BENCH_*.json`'s `edge_queries` / `bitset_hits` / `intersections`
+/// columns) and the service metrics.
+///
+/// The counters are relaxed atomics: increments cost a few nanoseconds and
+/// never synchronise, so they are left on unconditionally. Reset them with
+/// [`perf::reset`] before a measured region and read them with
+/// [`perf::snapshot`] after.
+pub mod perf {
+    use super::{AtomicU64, Ordering};
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counter lanes per logical counter. Each thread hashes to one lane, so
+    /// parallel miners bump different cache lines instead of ping-ponging a
+    /// single one through every core; `snapshot` sums the lanes.
+    const LANES: usize = 8;
+
+    // One cache line per lane: no false sharing between lanes or counters.
+    #[repr(align(64))]
+    struct PaddedCounter(AtomicU64);
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: PaddedCounter = PaddedCounter(AtomicU64::new(0));
+
+    struct Striped([PaddedCounter; LANES]);
+
+    impl Striped {
+        fn add(&self, n: u64) {
+            self.0[lane()].0.fetch_add(n, Ordering::Relaxed);
+        }
+
+        fn sum(&self) -> u64 {
+            self.0
+                .iter()
+                .map(|lane| lane.0.load(Ordering::Relaxed))
+                .sum()
+        }
+
+        fn reset(&self) {
+            for lane in &self.0 {
+                lane.0.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    static EDGE_QUERIES: Striped = Striped([ZERO; LANES]);
+    static BITSET_HITS: Striped = Striped([ZERO; LANES]);
+    static INTERSECTIONS: Striped = Striped([ZERO; LANES]);
+
+    /// This thread's counter lane (assigned round-robin on first use).
+    #[inline]
+    fn lane() -> usize {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static LANE: usize = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % LANES;
+        }
+        LANE.with(|lane| *lane)
+    }
+
+    /// A point-in-time copy of the counters.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct PerfSnapshot {
+        /// `has_edge`-style membership probes across all representations.
+        pub edge_queries: u64,
+        /// Edge queries answered by a bitset row (`O(1)` fast path).
+        pub bitset_hits: u64,
+        /// Candidate-set / neighborhood intersections performed.
+        pub intersections: u64,
+    }
+
+    impl PerfSnapshot {
+        /// Counter deltas `self − earlier` (saturating, for reset races).
+        pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
+            PerfSnapshot {
+                edge_queries: self.edge_queries.saturating_sub(earlier.edge_queries),
+                bitset_hits: self.bitset_hits.saturating_sub(earlier.bitset_hits),
+                intersections: self.intersections.saturating_sub(earlier.intersections),
+            }
+        }
+    }
+
+    /// Adds `n` edge queries.
+    #[inline]
+    pub fn count_edge_queries(n: u64) {
+        EDGE_QUERIES.add(n);
+    }
+
+    /// Adds `n` bitset fast-path hits.
+    #[inline]
+    pub fn count_bitset_hits(n: u64) {
+        BITSET_HITS.add(n);
+    }
+
+    /// Adds `n` intersections.
+    #[inline]
+    pub fn count_intersections(n: u64) {
+        INTERSECTIONS.add(n);
+    }
+
+    /// Reads all counters (sum over lanes).
+    pub fn snapshot() -> PerfSnapshot {
+        PerfSnapshot {
+            edge_queries: EDGE_QUERIES.sum(),
+            bitset_hits: BITSET_HITS.sum(),
+            intersections: INTERSECTIONS.sum(),
+        }
+    }
+
+    /// Zeroes all counters (benchmark harness only — concurrent miners will
+    /// keep counting).
+    pub fn reset() {
+        EDGE_QUERIES.reset();
+        BITSET_HITS.reset();
+        INTERSECTIONS.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure4() -> Arc<Graph> {
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (1, 5),
+            (5, 6),
+            (2, 6),
+            (3, 7),
+            (7, 8),
+            (3, 8),
+        ];
+        Arc::new(Graph::from_edges(9, edges.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn auto_threshold_has_floor_and_scales() {
+        assert_eq!(auto_threshold(0), 16);
+        assert_eq!(auto_threshold(1_000), 16);
+        assert_eq!(auto_threshold(6_400), 100);
+        assert_eq!(IndexSpec::Auto.resolve(6_400), Some(100));
+        assert_eq!(IndexSpec::Disabled.resolve(6_400), None);
+        assert_eq!(IndexSpec::Threshold(3).resolve(6_400), Some(3));
+    }
+
+    #[test]
+    fn index_agrees_with_csr_on_every_pair() {
+        let g = figure4();
+        for spec in [
+            IndexSpec::Disabled,
+            IndexSpec::Auto,
+            IndexSpec::Threshold(0),
+            IndexSpec::Threshold(3),
+            IndexSpec::Threshold(100),
+        ] {
+            let idx = NeighborhoodIndex::build(g.clone(), spec);
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    assert_eq!(
+                        idx.has_edge(u, v),
+                        g.has_edge(u, v),
+                        "spec {spec:?}, pair ({u}, {v})"
+                    );
+                    assert_eq!(
+                        idx.common_neighbor_count(u, v),
+                        g.common_neighbor_count(u, v),
+                        "spec {spec:?}, pair ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_splits_hubs_from_the_rest() {
+        let g = figure4();
+        // Degrees: a=4 b=4 c=5 d=5 e=4 f=2 g=2 h=2 i=2.
+        let idx = NeighborhoodIndex::build(g.clone(), IndexSpec::Threshold(4));
+        assert_eq!(idx.hub_count(), 5);
+        assert!(idx.is_hub(VertexId::new(0)));
+        assert!(!idx.is_hub(VertexId::new(5)));
+        assert!(idx.memory_bytes() > 0);
+        assert_eq!(idx.threshold(), 4);
+
+        let disabled = NeighborhoodIndex::build(g, IndexSpec::Disabled);
+        assert_eq!(disabled.hub_count(), 0);
+        assert_eq!(disabled.threshold(), usize::MAX);
+        assert!(disabled.has_edge(VertexId::new(0), VertexId::new(1)));
+    }
+
+    #[test]
+    fn neighborhoods_trait_is_uniform_across_representations() {
+        let g = figure4();
+        let idx = NeighborhoodIndex::build(g.clone(), IndexSpec::Threshold(0));
+        let reps: [&dyn Neighborhoods; 2] = [g.as_ref(), &idx];
+        for rep in reps {
+            assert_eq!(rep.vertex_capacity(), 9);
+            assert_eq!(rep.neighbor_count(3), 5);
+            assert!(rep.adjacent(0, 4));
+            assert!(!rep.adjacent(0, 8));
+            let mut seen = Vec::new();
+            rep.for_each_neighbor(3, &mut |w| seen.push(w));
+            assert_eq!(seen, vec![0, 2, 4, 7, 8]);
+            let mut out = Vec::new();
+            rep.intersect_neighbors(3, &[1, 2, 4, 6, 8], &mut out);
+            assert_eq!(out, vec![2, 4, 8]);
+        }
+    }
+
+    #[test]
+    fn perf_counters_accumulate_and_reset() {
+        let g = figure4();
+        let idx = NeighborhoodIndex::build(g, IndexSpec::Threshold(0));
+        let before = perf::snapshot();
+        idx.has_edge(VertexId::new(0), VertexId::new(1));
+        idx.common_neighbor_count(VertexId::new(0), VertexId::new(2));
+        let delta = perf::snapshot().since(&before);
+        assert!(delta.edge_queries >= 1);
+        assert!(delta.bitset_hits >= 1);
+        assert!(delta.intersections >= 1);
+    }
+}

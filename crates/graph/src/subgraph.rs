@@ -7,25 +7,40 @@
 //! space (`0..n_local`) plus a mapping back to the global [`VertexId`]s, so
 //! that result sets can be reported in terms of the original graph.
 
+use crate::bitset::VertexBitSet;
 use crate::graph::Graph;
+use crate::neighborhoods::{perf, IndexSpec, Neighborhoods};
 use crate::vertex::VertexId;
+
+/// Local index of every kept global id, or `u32::MAX` for dropped ones — the
+/// `O(|V|)` rank array that replaces per-edge binary searches during subgraph
+/// induction.
+fn rank_table(universe: usize, kept: &[VertexId]) -> Vec<u32> {
+    let mut rank = vec![u32::MAX; universe];
+    for (local, &v) in kept.iter().enumerate() {
+        rank[v.index()] = local as u32;
+    }
+    rank
+}
 
 /// Returns the subgraph of `g` induced by `vertices` together with the
 /// local→global id mapping.
 ///
 /// `vertices` must be sorted by id and duplicate-free (callers in this crate
 /// always satisfy this; the function debug-asserts it). Runs in
-/// `O(Σ_{v∈vertices} d(v) · log |vertices|)`.
+/// `O(|V| + Σ_{v∈vertices} d(v))` via a rank array.
 pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
     debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
     let mapping: Vec<VertexId> = vertices.to_vec();
+    let rank = rank_table(g.num_vertices(), &mapping);
     let n = mapping.len();
     let mut offsets = vec![0usize; n + 1];
     let mut neighbors: Vec<VertexId> = Vec::new();
     for (local, &v) in mapping.iter().enumerate() {
         for &w in g.neighbors(v) {
-            if let Ok(local_w) = mapping.binary_search(&w) {
-                neighbors.push(VertexId::from(local_w));
+            let local_w = rank[w.index()];
+            if local_w != u32::MAX {
+                neighbors.push(VertexId::new(local_w));
             }
         }
         offsets[local + 1] = neighbors.len();
@@ -39,7 +54,14 @@ pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> (Graph, Vec<VertexI
 /// Unlike [`Graph`], a `LocalGraph` supports *vertex removal* (needed by the
 /// per-task k-core shrinking of Algorithms 6–7) and records the global id of
 /// every local vertex.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// A `LocalGraph` optionally carries a **hybrid hub index**
+/// ([`LocalGraph::build_hub_index`]): a [`VertexBitSet`] row per high-degree
+/// vertex, giving the mining kernels `O(1)` [`LocalGraph::has_edge`] on hubs
+/// and word-parallel degree counting. The index is derived data — two local
+/// graphs compare equal iff their structure (adjacency, global ids, alive
+/// flags) matches, regardless of indexing.
+#[derive(Clone, Debug)]
 pub struct LocalGraph {
     /// `adj[i]` is the sorted list of local neighbor indices of local vertex `i`.
     adj: Vec<Vec<u32>>,
@@ -49,7 +71,27 @@ pub struct LocalGraph {
     alive: Vec<bool>,
     /// Number of alive vertices.
     alive_count: usize,
+    /// `hub_rows[i]` is the dense neighbor row of local vertex `i` when its
+    /// *raw* degree reached the hub threshold at index-build time. Rows keep
+    /// bits of peeled neighbors (queries check `alive` separately, and edges
+    /// are never removed — only vertices die), so removal needs no row
+    /// maintenance. Empty when no index is built.
+    hub_rows: Vec<Option<VertexBitSet>>,
+    /// The resolved threshold the rows were built with (`None` = no index).
+    hub_threshold: Option<usize>,
 }
+
+impl PartialEq for LocalGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The hub index is derived data and deliberately excluded.
+        self.adj == other.adj
+            && self.global == other.global
+            && self.alive == other.alive
+            && self.alive_count == other.alive_count
+    }
+}
+
+impl Eq for LocalGraph {}
 
 impl LocalGraph {
     /// Creates a local graph with the given global ids and no edges.
@@ -60,19 +102,23 @@ impl LocalGraph {
             global: global_ids,
             alive: vec![true; n],
             alive_count: n,
+            hub_rows: Vec::new(),
+            hub_threshold: None,
         }
     }
 
     /// Builds a `LocalGraph` as the subgraph of `g` induced by `vertices`
-    /// (sorted, duplicate-free).
+    /// (sorted, duplicate-free). `O(|V| + Σ d)` via a rank array.
     pub fn from_induced(g: &Graph, vertices: &[VertexId]) -> Self {
         debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
+        let rank = rank_table(g.num_vertices(), vertices);
         let mut lg = LocalGraph::new(vertices.to_vec());
         for (local, &v) in vertices.iter().enumerate() {
-            let mut list: Vec<u32> = Vec::new();
+            let mut list: Vec<u32> = Vec::with_capacity(g.degree(v));
             for &w in g.neighbors(v) {
-                if let Ok(local_w) = vertices.binary_search(&w) {
-                    list.push(local_w as u32);
+                let local_w = rank[w.index()];
+                if local_w != u32::MAX {
+                    list.push(local_w);
                 }
             }
             lg.adj[local] = list;
@@ -84,9 +130,16 @@ impl LocalGraph {
     /// *local* indices of the parent (sorted, duplicate-free). This is the
     /// subgraph-materialisation step of task decomposition (Algorithm 8
     /// line 19): the child task's graph is induced by `S' ∪ ext(S')`.
+    ///
+    /// The child carries no hub index — the mining driver decides whether the
+    /// child is big enough to warrant one.
     pub fn induce_from_local(&self, keep: &[u32]) -> LocalGraph {
         debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
         let global: Vec<VertexId> = keep.iter().map(|&i| self.global[i as usize]).collect();
+        let mut rank = vec![u32::MAX; self.adj.len()];
+        for (new_idx, &old_idx) in keep.iter().enumerate() {
+            rank[old_idx as usize] = new_idx as u32;
+        }
         let mut child = LocalGraph::new(global);
         for (new_idx, &old_idx) in keep.iter().enumerate() {
             let mut list: Vec<u32> = Vec::new();
@@ -94,13 +147,89 @@ impl LocalGraph {
                 if !self.alive[w as usize] {
                     continue;
                 }
-                if let Ok(new_w) = keep.binary_search(&w) {
-                    list.push(new_w as u32);
+                let new_w = rank[w as usize];
+                if new_w != u32::MAX {
+                    list.push(new_w);
                 }
             }
             child.adj[new_idx] = list;
         }
         child
+    }
+
+    /// Builds the hybrid hub index: every vertex whose raw adjacency length
+    /// reaches the threshold resolved from `spec` gets a dense
+    /// [`VertexBitSet`] neighbor row, making [`LocalGraph::has_edge`] `O(1)`
+    /// on hubs and letting the degree kernels count by word-parallel AND.
+    ///
+    /// Returns the resolved threshold (`None` when `spec` is
+    /// [`IndexSpec::Disabled`], which also drops any existing index).
+    /// Rebuilding replaces the previous index. Incremental mutation
+    /// ([`LocalGraph::add_vertex`] / [`LocalGraph::add_edge`]) invalidates
+    /// the index; vertex removal does not (rows keep dead neighbors and
+    /// queries check liveness).
+    pub fn build_hub_index(&mut self, spec: IndexSpec) -> Option<usize> {
+        let n = self.adj.len();
+        let threshold = match spec.resolve(n) {
+            None => {
+                self.hub_rows = Vec::new();
+                self.hub_threshold = None;
+                return None;
+            }
+            Some(t) => t,
+        };
+        let mut rows: Vec<Option<VertexBitSet>> = vec![None; n];
+        for (i, list) in self.adj.iter().enumerate() {
+            if list.len() >= threshold {
+                let mut row = VertexBitSet::new(n);
+                for &w in list {
+                    row.insert(w);
+                }
+                rows[i] = Some(row);
+            }
+        }
+        self.hub_rows = rows;
+        self.hub_threshold = Some(threshold);
+        Some(threshold)
+    }
+
+    /// The threshold the current hub index was built with (`None` = no
+    /// index).
+    #[inline]
+    pub fn hub_threshold(&self) -> Option<usize> {
+        self.hub_threshold
+    }
+
+    /// Number of vertices carrying a bitset row.
+    pub fn hub_count(&self) -> usize {
+        self.hub_rows.iter().flatten().count()
+    }
+
+    /// The dense neighbor row of local vertex `i`, when it is a hub. Bits may
+    /// include peeled neighbors; callers intersecting with sets of known-alive
+    /// vertices (the degree kernels) need no extra filtering.
+    #[inline]
+    pub fn hub_row(&self, i: u32) -> Option<&VertexBitSet> {
+        self.hub_rows.get(i as usize).and_then(|r| r.as_ref())
+    }
+
+    /// Heap bytes of the hub index (0 when none is built).
+    pub fn hub_index_memory_bytes(&self) -> usize {
+        self.hub_rows.capacity() * std::mem::size_of::<Option<VertexBitSet>>()
+            + self
+                .hub_rows
+                .iter()
+                .flatten()
+                .map(VertexBitSet::memory_bytes)
+                .sum::<usize>()
+    }
+
+    /// Drops the hub index (used by mutating builders).
+    fn invalidate_hub_index(&mut self) {
+        if self.hub_threshold.is_some() {
+            self.hub_rows = Vec::new();
+            self.hub_threshold = None;
+        }
     }
 
     /// Number of local vertices ever added (including removed ones).
@@ -179,9 +308,26 @@ impl LocalGraph {
     }
 
     /// True if alive vertices `a` and `b` are adjacent.
+    ///
+    /// This is the shared edge-query path of the mining hot loop: `O(1)` via
+    /// the bitset row when either endpoint is an indexed hub
+    /// ([`LocalGraph::build_hub_index`]), `O(log d)` over the shorter
+    /// adjacency list otherwise.
+    #[inline]
     pub fn has_edge(&self, a: u32, b: u32) -> bool {
         if a == b || !self.alive[a as usize] || !self.alive[b as usize] {
             return false;
+        }
+        perf::count_edge_queries(1);
+        if let Some(row) = self.hub_row(a) {
+            perf::count_bitset_hits(1);
+            // Both endpoints are alive (checked above), so a stale bit for a
+            // peeled vertex can never be observed here.
+            return row.contains(b);
+        }
+        if let Some(row) = self.hub_row(b) {
+            perf::count_bitset_hits(1);
+            return row.contains(a);
         }
         let (s, l) = if self.adj[a as usize].len() <= self.adj[b as usize].len() {
             (a, b)
@@ -199,6 +345,9 @@ impl LocalGraph {
             return;
         }
         debug_assert!((a as usize) < self.adj.len() && (b as usize) < self.adj.len());
+        // Structural growth invalidates the derived hub index; builders call
+        // `build_hub_index` once construction is done.
+        self.invalidate_hub_index();
         if let Err(pos) = self.adj[a as usize].binary_search(&b) {
             self.adj[a as usize].insert(pos, b);
         }
@@ -210,6 +359,7 @@ impl LocalGraph {
     /// Appends a new local vertex with the given global id and returns its
     /// local index.
     pub fn add_vertex(&mut self, global: VertexId) -> u32 {
+        self.invalidate_hub_index();
         let idx = self.adj.len() as u32;
         self.adj.push(Vec::new());
         self.global.push(global);
@@ -309,11 +459,32 @@ impl LocalGraph {
             + self.global.len() * std::mem::size_of::<VertexId>()
             + self.alive.len()
             + self.adj.len() * std::mem::size_of::<Vec<u32>>()
+            + self.hub_index_memory_bytes()
     }
 
     /// Global ids of all alive vertices, in local-index order.
     pub fn alive_global_ids(&self) -> Vec<VertexId> {
         self.vertices().map(|i| self.global_id(i)).collect()
+    }
+}
+
+impl Neighborhoods for LocalGraph {
+    fn vertex_capacity(&self) -> usize {
+        self.capacity()
+    }
+
+    fn neighbor_count(&self, v: u32) -> usize {
+        self.degree(v)
+    }
+
+    fn adjacent(&self, u: u32, v: u32) -> bool {
+        self.has_edge(u, v)
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        for w in self.neighbors(v) {
+            f(w);
+        }
     }
 }
 
@@ -422,6 +593,71 @@ mod tests {
         assert_eq!(child.capacity(), 4);
         // c's edges must be gone; a-b, a-d, a-e, b-e, d-e remain.
         assert_eq!(child.num_edges(), 5);
+    }
+
+    #[test]
+    fn hub_index_agrees_with_binary_search_under_removal() {
+        let g = figure4();
+        let vs: Vec<VertexId> = g.vertices().collect();
+        let plain = LocalGraph::from_induced(&g, &vs);
+        for threshold in [0usize, 2, 4, 100] {
+            let mut indexed = plain.clone();
+            indexed.build_hub_index(IndexSpec::Threshold(threshold));
+            assert_eq!(indexed.hub_threshold(), Some(threshold));
+            assert_eq!(plain, indexed, "hub index must not affect equality");
+            for a in 0..9u32 {
+                for b in 0..9u32 {
+                    assert_eq!(
+                        indexed.has_edge(a, b),
+                        plain.has_edge(a, b),
+                        "threshold {threshold}, pair ({a}, {b})"
+                    );
+                }
+            }
+            // Peel a hub and a leaf: rows keep stale bits, queries must not.
+            let mut peeled_plain = plain.clone();
+            let mut peeled_indexed = indexed.clone();
+            for v in [3u32, 6] {
+                peeled_plain.remove_vertex(v);
+                peeled_indexed.remove_vertex(v);
+            }
+            for a in 0..9u32 {
+                for b in 0..9u32 {
+                    assert_eq!(
+                        peeled_indexed.has_edge(a, b),
+                        peeled_plain.has_edge(a, b),
+                        "post-removal threshold {threshold}, pair ({a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_index_auto_and_disabled_and_invalidation() {
+        let g = figure4();
+        let vs: Vec<VertexId> = g.vertices().collect();
+        let mut lg = LocalGraph::from_induced(&g, &vs);
+        assert_eq!(lg.hub_threshold(), None);
+        assert_eq!(lg.hub_index_memory_bytes(), 0);
+        lg.build_hub_index(IndexSpec::Threshold(4));
+        assert_eq!(lg.hub_count(), 5); // c, d have degree 5; a, b, e have 4
+        assert!(lg.hub_index_memory_bytes() > 0);
+        assert!(lg.hub_row(3).is_some());
+        assert!(lg.hub_row(5).is_none());
+        // Disabled drops the index.
+        lg.build_hub_index(IndexSpec::Disabled);
+        assert_eq!(lg.hub_threshold(), None);
+        assert_eq!(lg.hub_count(), 0);
+        // Structural growth invalidates a built index.
+        lg.build_hub_index(IndexSpec::Threshold(0));
+        assert!(lg.hub_threshold().is_some());
+        let i = lg.add_vertex(VertexId::new(99));
+        assert_eq!(lg.hub_threshold(), None);
+        lg.build_hub_index(IndexSpec::Threshold(0));
+        lg.add_edge(0, i);
+        assert_eq!(lg.hub_threshold(), None);
+        assert!(lg.has_edge(0, i));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Property-based tests for the hybrid bitset neighborhood index: on random
+//! graphs, across the degree-threshold boundary, edge queries and
+//! intersections through the index must agree **exactly** with the plain CSR
+//! binary-search path.
+
+use proptest::prelude::*;
+use qcm_graph::{
+    bitset::VertexBitSet, subgraph::LocalGraph, Graph, GraphBuilder, IndexSpec, NeighborhoodIndex,
+    Neighborhoods, VertexId,
+};
+use std::sync::Arc;
+
+/// Strategy producing a random simple graph with up to `max_n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(200)).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new();
+                b.set_min_vertices(n);
+                for (a, x) in edges {
+                    b.add_edge_raw(a, x);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// Thresholds straddling every interesting boundary: disabled, auto, 0 (all
+/// vertices indexed), tiny values around real degrees, and one far above the
+/// maximum degree (no vertex indexed).
+fn arb_spec() -> impl Strategy<Value = IndexSpec> {
+    (0usize..15).prop_map(|k| match k {
+        0 => IndexSpec::Disabled,
+        1 => IndexSpec::Auto,
+        2 => IndexSpec::Threshold(usize::MAX),
+        t => IndexSpec::Threshold(t - 3),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn index_edge_queries_agree_with_csr(g in arb_graph(24), spec in arb_spec()) {
+        let g = Arc::new(g);
+        let idx = NeighborhoodIndex::build(g.clone(), spec);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    idx.has_edge(u, v),
+                    g.has_edge(u, v),
+                    "spec {:?}, pair ({}, {})", spec, u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_intersections_agree_with_sorted_merge(g in arb_graph(20), spec in arb_spec()) {
+        let g = Arc::new(g);
+        let idx = NeighborhoodIndex::build(g.clone(), spec);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    idx.common_neighbor_count(u, v),
+                    g.common_neighbor_count(u, v),
+                    "spec {:?}, pair ({}, {})", spec, u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_graph_hub_index_agrees_across_threshold_boundary(
+        g in arb_graph(20),
+        threshold in 0usize..10,
+        removals in proptest::collection::vec(0u32..20, 0..6),
+    ) {
+        let all: Vec<VertexId> = g.vertices().collect();
+        let plain = LocalGraph::from_induced(&g, &all);
+        let mut indexed = plain.clone();
+        indexed.build_hub_index(IndexSpec::Threshold(threshold));
+        // The index is derived data: structural equality must hold.
+        prop_assert_eq!(&plain, &indexed);
+
+        let mut plain = plain;
+        let n = plain.capacity() as u32;
+        for r in removals {
+            let r = r % n;
+            plain.remove_vertex(r);
+            indexed.remove_vertex(r);
+        }
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    indexed.has_edge(a, b),
+                    plain.has_edge(a, b),
+                    "threshold {}, pair ({}, {})", threshold, a, b
+                );
+                prop_assert_eq!(indexed.degree(a), plain.degree(a));
+            }
+        }
+    }
+
+    #[test]
+    fn trait_intersect_neighbors_matches_filter(
+        g in arb_graph(16),
+        spec in arb_spec(),
+        candidates in proptest::collection::vec(0u32..16, 0..12),
+    ) {
+        let g = Arc::new(g);
+        let idx = NeighborhoodIndex::build(g.clone(), spec);
+        let candidates: Vec<u32> =
+            candidates.into_iter().filter(|&c| (c as usize) < g.num_vertices()).collect();
+        for v in g.vertices() {
+            let mut via_index = Vec::new();
+            idx.intersect_neighbors(v.raw(), &candidates, &mut via_index);
+            let expected: Vec<u32> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| g.has_edge(v, VertexId::new(c)))
+                .collect();
+            prop_assert_eq!(via_index, expected, "spec {:?}, v {}", spec, v);
+        }
+    }
+
+    #[test]
+    fn bitset_ops_match_naive_sets(
+        a_raw in proptest::collection::vec(0u32..128, 0..40),
+        b_raw in proptest::collection::vec(0u32..128, 0..40),
+    ) {
+        let a: std::collections::BTreeSet<u32> = a_raw.iter().copied().collect();
+        let b: std::collections::BTreeSet<u32> = b_raw.iter().copied().collect();
+        let sa = VertexBitSet::from_members(128, &a_raw);
+        let sb = VertexBitSet::from_members(128, &b_raw);
+        prop_assert_eq!(sa.len(), a.len());
+        prop_assert_eq!(sa.intersection_count(&sb), a.intersection(&b).count());
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        let got: Vec<u32> = inter.iter().collect();
+        let expected: Vec<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(got, expected);
+        let mut uni = sa.clone();
+        uni.union_with(&sb);
+        prop_assert_eq!(uni.len(), a.union(&b).count());
+    }
+}

@@ -5,7 +5,7 @@ use crate::mine::{run_mine_phase, DecompositionStrategy, MinePhaseParams};
 use crate::task::{QCTask, TaskPhase};
 use qcm_core::{CancelToken, MiningParams, PruneConfig};
 use qcm_engine::{ComputeContext, Frontier, GThinkerApp, TaskLabel};
-use qcm_graph::VertexId;
+use qcm_graph::{IndexSpec, VertexId};
 use std::time::Duration;
 
 /// The maximal quasi-clique mining application, parameterised by the mining
@@ -24,6 +24,9 @@ pub struct QuasiCliqueApp {
     pub strategy: DecompositionStrategy,
     /// Cooperative cancellation threaded into every mining-phase context.
     pub cancel: CancelToken,
+    /// Hybrid bitset neighborhood index built over each mining task's
+    /// materialised subgraph (Auto by default).
+    pub index: IndexSpec,
 }
 
 impl QuasiCliqueApp {
@@ -37,6 +40,7 @@ impl QuasiCliqueApp {
             tau_time,
             strategy: DecompositionStrategy::TimeDelayed,
             cancel: CancelToken::never(),
+            index: IndexSpec::Auto,
         }
     }
 
@@ -61,6 +65,13 @@ impl QuasiCliqueApp {
         self
     }
 
+    /// Chooses the per-task hub index policy (default [`IndexSpec::Auto`]);
+    /// results are identical with the index on or off.
+    pub fn with_index(mut self, index: IndexSpec) -> Self {
+        self.index = index;
+        self
+    }
+
     fn mine_phase_params(&self) -> MinePhaseParams {
         MinePhaseParams {
             params: self.params,
@@ -69,6 +80,7 @@ impl QuasiCliqueApp {
             tau_time: self.tau_time,
             strategy: self.strategy,
             cancel: self.cancel.clone(),
+            index: self.index,
         }
     }
 }

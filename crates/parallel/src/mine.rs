@@ -20,10 +20,11 @@
 use crate::task::{QCTask, TaskGraph};
 use qcm_core::cover::{find_cover_vertex, move_cover_to_tail};
 use qcm_core::{
-    is_quasi_clique_local, iterative_bounding, recursive_mine, two_hop_local, CancelToken,
+    is_quasi_clique_local, iterative_bounding, recursive_mine, two_hop_bits, CancelToken,
     MiningContext, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
 };
-use qcm_graph::{LocalGraph, VertexId};
+use qcm_graph::neighborhoods::perf;
+use qcm_graph::{IndexSpec, LocalGraph, VertexId};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -70,6 +71,8 @@ pub struct MinePhaseParams {
     /// Cooperative cancellation polled inside the backtracking loops, so a
     /// long-running task stops mid-subgraph instead of running to completion.
     pub cancel: CancelToken,
+    /// Hub-index policy for the task's materialised subgraph.
+    pub index: IndexSpec,
 }
 
 /// Runs iteration 3 for `task`.
@@ -77,7 +80,11 @@ pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
     let started = Instant::now();
     let mut outcome = MineOutcome::default();
 
-    let (graph, index) = task.subgraph.to_local_graph();
+    let (mut graph, index) = task.subgraph.to_local_graph();
+    // One hub-index build per task, amortised over the whole backtracking
+    // below (and over the induced child subgraphs' construction).
+    graph.build_hub_index(phase.index);
+    let graph = graph;
     let to_local = |v: &VertexId| index.get(v).copied();
     let s_local: Vec<u32> = task.s.iter().filter_map(&to_local).collect();
     let mut ext_local: Vec<u32> = task.ext.iter().filter_map(to_local).collect();
@@ -181,11 +188,9 @@ impl SubtaskCollector<'_> {
 /// diameter rule applies.
 fn shrink_by_diameter(ctx: &MiningContext<'_>, ext: &[u32], v: u32) -> Vec<u32> {
     if ctx.config.diameter && ctx.params.gamma.diameter_two_applies() {
-        let b_v = two_hop_local(ctx.graph, v);
-        ext.iter()
-            .copied()
-            .filter(|u| b_v.binary_search(u).is_ok())
-            .collect()
+        let b_v = two_hop_bits(ctx.graph, v);
+        perf::count_intersections(1);
+        ext.iter().copied().filter(|&u| b_v.contains(u)).collect()
     } else {
         ext.to_vec()
     }
@@ -385,6 +390,7 @@ mod tests {
             tau_time,
             strategy,
             cancel: CancelToken::never(),
+            index: IndexSpec::Auto,
         }
     }
 

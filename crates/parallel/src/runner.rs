@@ -7,6 +7,7 @@
 
 use crate::app::QuasiCliqueApp;
 use crate::mine::DecompositionStrategy;
+use qcm_core::quasiclique::is_valid_quasi_clique_over;
 use qcm_core::{
     remove_non_maximal, CancelToken, MiningParams, PruneConfig, QuasiCliqueSet, QuasiCliqueSink,
     RunOutcome,
@@ -118,6 +119,7 @@ impl ParallelMiner {
             )
             .with_strategy(self.strategy)
             .with_prune_config(self.prune_config)
+            .with_index(self.engine_config.index)
             .with_cancel(self.engine_config.cancel.clone()),
         );
         let cluster = Cluster::new(app, self.engine_config.clone());
@@ -130,8 +132,24 @@ impl ParallelMiner {
             }
             set.insert(members);
         }
+        let mut maximal = remove_non_maximal(set);
+        // Trust-but-verify: re-check every answer against the global graph
+        // through the run's shared neighborhood index (the same edge-query
+        // path the vertex table serves). The distributed search assembled
+        // these sets from task-local subgraphs; a validation failure here
+        // means an engine bug, and dropping the set beats publishing — or
+        // cache-poisoning, at the service layer — a wrong answer.
+        if let Some(index) = &output.index {
+            let nbhd: &dyn qcm_graph::Neighborhoods = index.as_ref();
+            maximal.retain_sets(|members| {
+                let raw: Vec<u32> = members.iter().map(|v| v.raw()).collect();
+                let valid = is_valid_quasi_clique_over(nbhd, &raw, &self.params);
+                debug_assert!(valid, "engine emitted an invalid result {members:?}");
+                valid
+            });
+        }
         ParallelMiningOutput {
-            maximal: remove_non_maximal(set),
+            maximal,
             raw_reported,
             metrics: output.metrics,
         }

@@ -116,7 +116,8 @@ pub use qcm_parallel as parallel;
 pub use qcm_core::{
     CancelReason, CancelToken, CollectingSink, QcmError, QueryKey, ResultSink, RunOutcome,
 };
-pub use session::{Backend, BackendStats, MiningReport, Session, SessionBuilder};
+pub use qcm_graph::{IndexSpec, NeighborhoodIndex, Neighborhoods, VertexBitSet};
+pub use session::{Backend, BackendStats, MiningReport, PreparedGraph, Session, SessionBuilder};
 
 use qcm_core::{MiningOutput, MiningParams};
 use qcm_graph::Graph;
@@ -131,6 +132,7 @@ pub mod prelude {
         Backend, BackendStats, CancelReason, CancelToken, CollectingSink, MiningReport, QcmError,
         ResultSink, RunOutcome, Session, SessionBuilder,
     };
+    pub use crate::{IndexSpec, PreparedGraph};
     pub use qcm_core::{
         quick_mine, Gamma, MiningOutput, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
         QueryKey, SerialMiner,
@@ -191,7 +193,7 @@ pub fn mine_parallel(
         })
         .build()
         .expect("MiningParams invariants satisfy Session validation");
-    let report = session.run_parallel(graph, threads.max(1), 1, session.cancel_token(), None);
+    let report = session.run_parallel(graph, None, threads.max(1), 1, session.cancel_token(), None);
     let metrics = match report.stats {
         BackendStats::Parallel { metrics } => *metrics,
         BackendStats::Serial { .. } => unreachable!("parallel run produced serial stats"),

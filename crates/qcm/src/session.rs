@@ -34,7 +34,7 @@ use qcm_core::{
     QuasiCliqueSet, ResultSink, RunOutcome, SerialMiner,
 };
 use qcm_engine::{EngineConfig, EngineMetrics};
-use qcm_graph::Graph;
+use qcm_graph::{Graph, IndexSpec, NeighborhoodIndex};
 use qcm_parallel::{DecompositionStrategy, ParallelMiner};
 use std::sync::Arc;
 use std::time::Duration;
@@ -151,6 +151,7 @@ pub struct SessionBuilder {
     tau_time: Duration,
     balance_period: Option<Duration>,
     cancel: Option<CancelToken>,
+    index: IndexSpec,
 }
 
 impl Default for SessionBuilder {
@@ -167,6 +168,7 @@ impl Default for SessionBuilder {
             tau_time: engine_defaults.tau_time,
             balance_period: None,
             cancel: None,
+            index: IndexSpec::Auto,
         }
     }
 }
@@ -246,6 +248,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Hybrid bitset neighborhood-index policy (default [`IndexSpec::Auto`]).
+    ///
+    /// The index accelerates the mining hot path (`O(1)` edge queries on
+    /// high-degree vertices, word-parallel degree counting) without changing
+    /// results; [`IndexSpec::Disabled`] reproduces the pure binary-search
+    /// behaviour. See [`Session::prepare`] to build the global index once and
+    /// reuse it across runs.
+    pub fn neighborhood_index(mut self, index: IndexSpec) -> Self {
+        self.index = index;
+        self
+    }
+
     /// Validates the configuration and builds the [`Session`].
     ///
     /// # Errors
@@ -298,6 +312,7 @@ impl SessionBuilder {
             // one, while a session-owned token must be cancellable.
             #[allow(clippy::unwrap_or_default)]
             cancel: self.cancel.unwrap_or_else(CancelToken::new),
+            index: self.index,
         })
     }
 }
@@ -317,6 +332,48 @@ pub struct Session {
     tau_time: Duration,
     balance_period: Option<Duration>,
     cancel: CancelToken,
+    index: IndexSpec,
+}
+
+/// A graph bundled with its neighborhood index, built **once** and reusable
+/// across any number of [`Session`] runs (and, at the service layer, across
+/// cached jobs over the same graph).
+///
+/// Building the index is `O(|V| + Σ_{hubs} d)` and allocates up to ~2× the
+/// CSR size; for one-off runs [`Session::run`] handles it internally, but a
+/// server answering repeated queries over the same graph should prepare once
+/// and call [`Session::run_prepared`].
+#[derive(Clone, Debug)]
+pub struct PreparedGraph {
+    graph: Arc<Graph>,
+    index: Arc<NeighborhoodIndex>,
+}
+
+impl PreparedGraph {
+    /// Builds the index over `graph` per `spec`.
+    pub fn build(graph: Arc<Graph>, spec: IndexSpec) -> Self {
+        let index = Arc::new(NeighborhoodIndex::build(graph.clone(), spec));
+        PreparedGraph { graph, index }
+    }
+
+    /// Adopts an already-built index (must wrap the same `Arc`'d graph).
+    pub fn from_parts(graph: Arc<Graph>, index: Arc<NeighborhoodIndex>) -> Self {
+        assert!(
+            Arc::ptr_eq(index.graph(), &graph),
+            "PreparedGraph index must wrap the same graph"
+        );
+        PreparedGraph { graph, index }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The shared neighborhood index.
+    pub fn index(&self) -> &Arc<NeighborhoodIndex> {
+        &self.index
+    }
 }
 
 impl Session {
@@ -342,12 +399,39 @@ impl Session {
         self.cancel.clone()
     }
 
+    /// The configured neighborhood-index policy.
+    pub fn index_spec(&self) -> IndexSpec {
+        self.index
+    }
+
+    /// Builds the session's neighborhood index over `graph` once, for reuse
+    /// across many [`Session::run_prepared`] calls.
+    pub fn prepare(&self, graph: Arc<Graph>) -> PreparedGraph {
+        PreparedGraph::build(graph, self.index)
+    }
+
     /// Mines `graph` and returns the unified report. Interruption
     /// (cancellation / deadline) is reported in [`MiningReport::outcome`],
     /// not as an error — chain [`MiningReport::into_result`] to treat partial
     /// runs as failures.
     pub fn run(&self, graph: &Arc<Graph>) -> Result<MiningReport, QcmError> {
-        self.run_impl(graph, None)
+        self.run_impl(graph, None, None)
+    }
+
+    /// Like [`Session::run`], but reuses the prepared graph's index instead
+    /// of building one for the run.
+    pub fn run_prepared(&self, prepared: &PreparedGraph) -> Result<MiningReport, QcmError> {
+        self.run_impl(&prepared.graph, Some(&prepared.index), None)
+    }
+
+    /// Like [`Session::run_streaming`], but reuses the prepared graph's
+    /// index.
+    pub fn run_prepared_streaming(
+        &self,
+        prepared: &PreparedGraph,
+        sink: &mut dyn ResultSink,
+    ) -> Result<MiningReport, QcmError> {
+        self.run_impl(&prepared.graph, Some(&prepared.index), Some(sink))
     }
 
     /// Mines `graph`, pushing results into `sink` as the run progresses:
@@ -361,12 +445,13 @@ impl Session {
         graph: &Arc<Graph>,
         sink: &mut dyn ResultSink,
     ) -> Result<MiningReport, QcmError> {
-        self.run_impl(graph, Some(sink))
+        self.run_impl(graph, None, Some(sink))
     }
 
     fn run_impl(
         &self,
         graph: &Arc<Graph>,
+        shared_index: Option<&Arc<NeighborhoodIndex>>,
         mut sink: Option<&mut dyn ResultSink>,
     ) -> Result<MiningReport, QcmError> {
         // Arm the per-run token: session cancellation plus this run's
@@ -374,9 +459,14 @@ impl Session {
         let run_token = self.cancel.with_deadline(self.deadline);
         let report = match self.backend {
             Backend::Serial => self.run_serial(graph.as_ref(), run_token, sink.as_deref_mut()),
-            Backend::Parallel { threads, machines } => {
-                self.run_parallel(graph, threads, machines, run_token, sink.as_deref_mut())
-            }
+            Backend::Parallel { threads, machines } => self.run_parallel(
+                graph,
+                shared_index,
+                threads,
+                machines,
+                run_token,
+                sink.as_deref_mut(),
+            ),
         };
         if let Some(sink) = sink {
             for members in report.maximal.iter() {
@@ -392,7 +482,9 @@ impl Session {
         cancel: CancelToken,
         sink: Option<&'a mut (dyn ResultSink + 'b)>,
     ) -> MiningReport {
-        let miner = SerialMiner::with_config(self.params, self.prune).with_cancel(cancel);
+        let miner = SerialMiner::with_config(self.params, self.prune)
+            .with_index(self.index)
+            .with_cancel(cancel);
         let output = match sink {
             None => miner.mine(graph),
             Some(sink) => {
@@ -415,6 +507,7 @@ impl Session {
     pub(crate) fn run_parallel<'a, 'b>(
         &self,
         graph: &Arc<Graph>,
+        shared_index: Option<&Arc<NeighborhoodIndex>>,
         threads: usize,
         machines: usize,
         cancel: CancelToken,
@@ -422,7 +515,11 @@ impl Session {
     ) -> MiningReport {
         let mut config = EngineConfig::cluster(machines, threads)
             .with_decomposition(self.tau_split, self.tau_time)
-            .with_cancel(cancel);
+            .with_cancel(cancel)
+            .with_index(self.index);
+        if let Some(index) = shared_index {
+            config = config.with_shared_index(index.clone());
+        }
         if let Some(period) = self.balance_period {
             config.balance_period = period;
         }

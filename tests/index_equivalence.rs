@@ -1,0 +1,129 @@
+//! Backend-equivalence tests for the hybrid bitset neighborhood index: the
+//! serial and parallel backends must produce **byte-identical** result sets
+//! whether the index is disabled, auto, or forced onto every vertex — the
+//! index may only change how fast edge queries run, never what is mined.
+
+use qcm::prelude::*;
+use std::sync::Arc;
+
+fn datasets() -> Vec<Arc<qcm::graph::Graph>> {
+    let tiny = qcm::gen::datasets::tiny_test_dataset(7);
+    let planted = qcm_bench_dataset(&qcm::gen::datasets::cx_gse1730());
+    vec![Arc::new(tiny.graph), Arc::new(planted)]
+}
+
+/// A strongly reduced planted dataset (a few hundred vertices) so the matrix
+/// of backends × index specs below stays fast.
+fn qcm_bench_dataset(spec: &qcm::gen::DatasetSpec) -> qcm::graph::Graph {
+    let mut spec = spec.clone();
+    spec.num_vertices = spec.num_vertices.min(300);
+    spec.max_degree = spec.max_degree.min(40.0);
+    spec.planted_sizes.truncate(2);
+    spec.generate().graph
+}
+
+fn run(graph: &Arc<qcm::graph::Graph>, backend: Backend, index: IndexSpec) -> Vec<Vec<u32>> {
+    let report = Session::builder()
+        .gamma(0.85)
+        .min_size(5)
+        .backend(backend)
+        .neighborhood_index(index)
+        .build()
+        .expect("valid session")
+        .run(graph)
+        .expect("run succeeds");
+    assert!(report.is_complete());
+    report
+        .maximal
+        .into_sorted_vec()
+        .into_iter()
+        .map(|set| set.into_iter().map(|v| v.raw()).collect())
+        .collect()
+}
+
+#[test]
+fn serial_results_are_identical_with_index_on_and_off() {
+    for graph in datasets() {
+        let specs = [
+            IndexSpec::Disabled,
+            IndexSpec::Auto,
+            IndexSpec::Threshold(0),
+            IndexSpec::Threshold(4),
+        ];
+        let reference = run(&graph, Backend::Serial, IndexSpec::Disabled);
+        for spec in specs {
+            assert_eq!(
+                run(&graph, Backend::Serial, spec),
+                reference,
+                "serial results diverged under {spec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_results_are_identical_with_index_on_and_off() {
+    for graph in datasets() {
+        let reference = run(&graph, Backend::Serial, IndexSpec::Disabled);
+        for spec in [
+            IndexSpec::Disabled,
+            IndexSpec::Auto,
+            IndexSpec::Threshold(0),
+        ] {
+            let parallel = run(
+                &graph,
+                Backend::Parallel {
+                    threads: 4,
+                    machines: 1,
+                },
+                spec,
+            );
+            assert_eq!(
+                parallel, reference,
+                "parallel results diverged from serial under {spec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn prepared_graph_runs_match_unprepared_runs() {
+    for graph in datasets() {
+        let session = Session::builder()
+            .gamma(0.85)
+            .min_size(5)
+            .backend(Backend::Parallel {
+                threads: 4,
+                machines: 1,
+            })
+            .build()
+            .unwrap();
+        let prepared = session.prepare(graph.clone());
+        assert!(Arc::ptr_eq(prepared.graph(), &graph));
+        let via_prepared = session.run_prepared(&prepared).unwrap();
+        let direct = session.run(&graph).unwrap();
+        assert_eq!(via_prepared.maximal, direct.maximal);
+        // Reuse across runs: same PreparedGraph, second run, same answer.
+        let again = session.run_prepared(&prepared).unwrap();
+        assert_eq!(again.maximal, direct.maximal);
+    }
+}
+
+#[test]
+fn prepared_index_reports_its_shape() {
+    let graph = Arc::new(qcm::gen::datasets::tiny_test_dataset(7).graph);
+    let prepared = PreparedGraph::build(graph.clone(), IndexSpec::Threshold(2));
+    let index = prepared.index();
+    assert_eq!(index.threshold(), 2);
+    assert!(index.hub_count() > 0);
+    assert!(index.memory_bytes() > 0);
+    // Disabled index: no hubs, queries still correct.
+    let off = PreparedGraph::build(graph.clone(), IndexSpec::Disabled);
+    assert_eq!(off.index().hub_count(), 0);
+    for u in graph.vertices() {
+        for v in graph.vertices() {
+            assert_eq!(off.index().has_edge(u, v), graph.has_edge(u, v));
+            assert_eq!(index.has_edge(u, v), graph.has_edge(u, v));
+        }
+    }
+}
