@@ -1,7 +1,7 @@
 //! `bench_gate` — the CI perf regression gate over `BENCH_*.json` artefacts.
 //!
 //! ```text
-//! bench_gate --current BENCH_4.json --baseline bench/baseline.json [--max-regress 0.25]
+//! bench_gate --current BENCH_5.json --baseline bench/baseline.json [--max-regress 0.25]
 //! ```
 //!
 //! For every workload present in both files:
@@ -9,10 +9,11 @@
 //! * **wall time** — the current wall time is normalised by the machines'
 //!   calibration ratio (`calibration_ms` measures a fixed hashing loop), then
 //!   must not exceed the baseline by more than `--max-regress` (default 25%).
-//! * **counters** — for `deterministic` workloads, `edge_queries` and
-//!   `intersections` are reproducible across machines and must not exceed
-//!   the baseline by more than `--max-regress` (an algorithmic regression,
-//!   not noise).
+//! * **counters** — for `deterministic` workloads, `edge_queries`,
+//!   `intersections` and `allocations_avoided` are reproducible across
+//!   machines and must not exceed the baseline by more than `--max-regress`
+//!   (an algorithmic regression, not noise). A row missing a counter (older
+//!   baseline schema) skips that check.
 //! * **speedup** — for `tracked` workloads, the indexed-vs-baseline speedup
 //!   (a within-machine ratio, immune to machine speed) must not fall below
 //!   `baseline_speedup · (1 − max_regress)`.
@@ -160,7 +161,7 @@ fn main() -> ExitCode {
             }
         }
         if deterministic {
-            for counter in ["edge_queries", "intersections"] {
+            for counter in ["edge_queries", "intersections", "allocations_avoided"] {
                 if let (Some(base_n), Some(cur_n)) = (number(base, counter), number(cur, counter)) {
                     let limit = base_n * (1.0 + max_regress);
                     checks.push(Check {

@@ -1,9 +1,10 @@
-//! `bench_suite` — runs the paper-table workloads with the hybrid bitset
-//! neighborhood index off and on, and emits the machine-readable
-//! `BENCH_<pr>.json` perf artefact (see BENCH.md for the schema).
+//! `bench_suite` — runs the paper-table workloads along each one's variant
+//! axis (index off/on, scratch arena fresh/pooled, work stealing off/on) and
+//! emits the machine-readable `BENCH_<pr>.json` perf artefact (see BENCH.md
+//! for the schema).
 //!
 //! ```text
-//! bench_suite [--output BENCH_4.json] [--quick] [--iters N] [--pr N]
+//! bench_suite [--output BENCH_5.json] [--quick] [--iters N] [--pr N]
 //! ```
 //!
 //! The default (full) mode runs the scaled stand-in datasets in a few
@@ -15,10 +16,10 @@ use qcm_bench::suite::SuiteReport;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut output = String::from("BENCH_4.json");
+    let mut output = String::from("BENCH_5.json");
     let mut quick = false;
     let mut iters = 3usize;
-    let mut pr = 4u64;
+    let mut pr = 5u64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -60,15 +61,21 @@ fn main() -> ExitCode {
     let report = SuiteReport::run(pr, quick, iters);
     for w in &report.workloads {
         eprintln!(
-            "  {:<22} {:>9.1} ms indexed | {:>9.1} ms baseline | speedup {:>5.2}x | \
-             {} edge queries ({} bitset hits), {} intersections, {} results",
+            "  {:<22} [{:<7}] {:>9.1} ms optimised | {:>9.1} ms baseline | speedup {:>5.2}x | \
+             {} edge queries ({} bitset hits), {} intersections, {} allocs avoided \
+             ({} fresh), {} steals ({} misses), {} results",
             w.name,
+            w.variant,
             w.wall_ms,
             w.baseline_wall_ms,
             w.speedup,
             w.edge_queries,
             w.bitset_hits,
             w.intersections,
+            w.allocations_avoided,
+            w.scratch_fresh_allocs,
+            w.steals,
+            w.steal_failures,
             w.maximal_results
         );
     }

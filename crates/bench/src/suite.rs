@@ -1,12 +1,23 @@
 //! The machine-readable benchmark suite behind `bench_suite` / `bench_gate`.
 //!
-//! Each workload mines a seeded synthetic dataset twice — once with the
-//! hybrid bitset neighborhood index disabled (the pre-index binary-search
-//! baseline) and once with [`IndexSpec::Auto`] — and records wall time for
-//! both, the kernel counters ([`qcm_graph::neighborhoods::perf`]) of the
-//! indexed run, and the index shape. The resulting `BENCH_<pr>.json` is the
-//! artefact CI's `perf-smoke` job uploads and gates against
-//! `bench/baseline.json` (see BENCH.md for the schema and refresh workflow).
+//! Each workload mines a seeded synthetic dataset twice along its *variant
+//! axis* — a baseline variant and an optimised variant of the same binary —
+//! and records wall time for both, the kernel counters
+//! ([`qcm_graph::neighborhoods::perf`]) of the optimised run, and the index
+//! shape. Three axes exist:
+//!
+//! * [`VariantAxis::Index`] — hybrid bitset neighborhood index off vs
+//!   [`IndexSpec::Auto`] (the PR-4 rows);
+//! * [`VariantAxis::Scratch`] — fresh-allocation recursion
+//!   ([`ScratchMode::Fresh`], the pre-arena hot path) vs the pooled
+//!   [`qcm_core::MiningScratch`] arena;
+//! * [`VariantAxis::Steal`] — work stealing disabled (`steal_batch = 0`,
+//!   the single-global-queue era's behaviour) vs the per-worker deque steal
+//!   protocol.
+//!
+//! The resulting `BENCH_<pr>.json` is the artefact CI's `perf-smoke` job
+//! uploads and gates against `bench/baseline.json` (see BENCH.md for the
+//! schema and refresh workflow).
 //!
 //! Wall times are machine-dependent, so the report also carries a
 //! `calibration_ms` measurement of a fixed hashing loop; the gate normalises
@@ -14,7 +25,7 @@
 //! deterministic counters exactly.
 
 use crate::json::{object, Json};
-use qcm_core::{MiningParams, PruneConfig, SerialMiner};
+use qcm_core::{MiningParams, PruneConfig, ScratchMode, SerialMiner};
 use qcm_engine::EngineConfig;
 use qcm_gen::DatasetSpec;
 use qcm_graph::neighborhoods::{perf, IndexSpec};
@@ -44,6 +55,29 @@ impl WorkloadBackend {
     }
 }
 
+/// Which optimisation a workload's baseline/current pair measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VariantAxis {
+    /// Baseline: `IndexSpec::Disabled` (binary-search edge queries).
+    Index,
+    /// Baseline: `ScratchMode::Fresh` (allocation-per-tree-node recursion).
+    /// Serial backend only.
+    Scratch,
+    /// Baseline: `steal_batch = 0` (no intra-machine work stealing).
+    /// Parallel backend only.
+    Steal,
+}
+
+impl VariantAxis {
+    fn label(&self) -> &'static str {
+        match self {
+            VariantAxis::Index => "index",
+            VariantAxis::Scratch => "scratch",
+            VariantAxis::Steal => "steal",
+        }
+    }
+}
+
 /// One benchmark workload: a seeded dataset plus the backend to mine it on.
 #[derive(Clone, Debug)]
 pub struct WorkloadSpec {
@@ -53,17 +87,68 @@ pub struct WorkloadSpec {
     pub dataset: DatasetSpec,
     /// Backend to run.
     pub backend: WorkloadBackend,
+    /// The optimisation this workload's speedup measures.
+    pub variant: VariantAxis,
+    /// Pruning-rule configuration both variants mine with.
+    pub prune: PruneConfig,
     /// True when wall time *and* kernel counters are reproducible across
     /// machines (serial runs). Parallel runs decompose by wall-clock τ_time,
     /// so their counters vary and only time is gated.
     pub deterministic: bool,
-    /// True for workloads whose indexed-vs-baseline speedup the gate tracks.
+    /// True for workloads whose baseline-vs-optimised speedup the gate
+    /// tracks.
     pub tracked: bool,
 }
 
-/// The standard suite: an edge-query-heavy serial workload (the tracked
-/// one), an intersection-heavy serial workload (γ ≥ 0.5 keeps the diameter
-/// rule and its two-hop intersections on), and a parallel smoke workload.
+/// The deep-recursion arena workload: a dense planted block under a loose γ
+/// keeps the pruning rules comparatively quiet, so the search expands many
+/// cheap tree nodes — exactly the regime where per-node allocation used to
+/// dominate. Serial and fully deterministic; the gate tracks its
+/// pooled-vs-fresh speedup and its exact `allocations_avoided` count.
+fn deep_recursion_spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "DeepRecursion",
+        num_vertices: 500,
+        avg_degree: 6.0,
+        beta: 2.6,
+        max_degree: 40.0,
+        planted_sizes: vec![10, 10],
+        planted_density: 0.9,
+        hard_core: Some((20, 0.6)),
+        gamma: 0.6,
+        min_size: 8,
+        tau_split: 200,
+        tau_time_ms: 5,
+        seed: 77,
+    }
+}
+
+/// The steal-skew workload: a small power-law background whose work is
+/// concentrated in one hard core reachable from few roots. Time-delayed
+/// decomposition dumps the core's subtasks into the decomposing worker's own
+/// deque (τ_split is high, so they are all "small"); without stealing the
+/// siblings idle once the spawn cursor runs dry, with stealing they drain
+/// the hot worker's FIFO end.
+fn steal_skew_spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "StealSkew",
+        num_vertices: 1_500,
+        avg_degree: 3.0,
+        beta: 2.6,
+        max_degree: 30.0,
+        planted_sizes: vec![12, 12],
+        planted_density: 0.95,
+        hard_core: Some((44, 0.64)),
+        gamma: 0.9,
+        min_size: 12,
+        tau_split: 400,
+        tau_time_ms: 0,
+        seed: 4242,
+    }
+}
+
+/// The standard suite: the three PR-4 index rows, the tracked deep-recursion
+/// arena row and the 4-thread steal-skew row.
 ///
 /// `quick` selects the CI-sized datasets (a few hundred vertices, seconds of
 /// total runtime); the full size is for local perf work.
@@ -73,17 +158,28 @@ pub fn workloads(quick: bool) -> Vec<WorkloadSpec> {
     } else {
         crate::scaled::bench_scale
     };
+    // The PR-5 specs are authored directly at suite scale (bench_scale's
+    // hard-core clamp would flatten the skew the steal row depends on);
+    // quick mode still shrinks them to smoke size.
+    let new_scale = |spec: &DatasetSpec| {
+        if quick {
+            crate::scaled::tiny(spec)
+        } else {
+            spec.clone()
+        }
+    };
     vec![
         // Enron's hard core (a dense near-γ block of hub vertices) is the
         // paper's source of expensive tasks: the search space is packed with
         // near-cliques over high-degree vertices, so the pairwise edge
         // queries of `is_quasi_clique_local` and the degree recomputations
-        // dominate — the workload the hub rows exist for. This is the
-        // *tracked* row the CI gate watches.
+        // dominate — the workload the hub rows exist for. Tracked since PR 4.
         WorkloadSpec {
             name: "edge_query_hubs",
             dataset: scale(&qcm_gen::datasets::enron()),
             backend: WorkloadBackend::Serial,
+            variant: VariantAxis::Index,
+            prune: PruneConfig::all_enabled(),
             deterministic: true,
             tracked: true,
         },
@@ -94,6 +190,8 @@ pub fn workloads(quick: bool) -> Vec<WorkloadSpec> {
             name: "intersection_two_hop",
             dataset: scale(&qcm_gen::datasets::cx_gse10158()),
             backend: WorkloadBackend::Serial,
+            variant: VariantAxis::Index,
+            prune: PruneConfig::all_enabled(),
             deterministic: true,
             tracked: false,
         },
@@ -103,8 +201,37 @@ pub fn workloads(quick: bool) -> Vec<WorkloadSpec> {
             name: "parallel_timedelayed",
             dataset: scale(&qcm_gen::datasets::hyves()),
             backend: WorkloadBackend::Parallel { threads: 4 },
+            variant: VariantAxis::Index,
+            prune: PruneConfig::all_enabled(),
             deterministic: false,
             tracked: false,
+        },
+        // PR-5 tracked row: the scratch arena against the fresh-allocation
+        // reference recursion on a deep, allocation-bound search.
+        WorkloadSpec {
+            name: "deep_recursion_arena",
+            dataset: new_scale(&deep_recursion_spec()),
+            backend: WorkloadBackend::Serial,
+            variant: VariantAxis::Scratch,
+            // Lookahead's O(|S ∪ ext|²) density check is pure edge-query
+            // work that both variants pay identically; turning it off keeps
+            // this row dominated by the per-node frame traffic the arena
+            // targets. (Rule subsets never change the final result set —
+            // property-tested invariant.)
+            prune: PruneConfig::all_enabled().without("lookahead"),
+            deterministic: true,
+            tracked: true,
+        },
+        // PR-5 tracked row: the intra-machine steal protocol against the
+        // no-stealing pop path on a skewed 4-thread decomposition workload.
+        WorkloadSpec {
+            name: "steal_skew",
+            dataset: new_scale(&steal_skew_spec()),
+            backend: WorkloadBackend::Parallel { threads: 4 },
+            variant: VariantAxis::Steal,
+            prune: PruneConfig::all_enabled(),
+            deterministic: false,
+            tracked: true,
         },
     ]
 }
@@ -118,6 +245,8 @@ pub struct WorkloadResult {
     pub dataset: String,
     /// Backend label (`serial` / `parallel:<threads>`).
     pub backend: String,
+    /// Variant axis label (`index` / `scratch` / `steal`).
+    pub variant: String,
     /// Graph size.
     pub num_vertices: usize,
     /// Graph size.
@@ -126,18 +255,30 @@ pub struct WorkloadResult {
     pub gamma: f64,
     /// τ_size mined with.
     pub min_size: usize,
-    /// Best-of-iters wall time with the index on ([`IndexSpec::Auto`]).
+    /// Best-of-iters wall time of the optimised variant.
     pub wall_ms: f64,
-    /// Best-of-iters wall time with the index off (pre-index baseline).
+    /// Best-of-iters wall time of the baseline variant.
     pub baseline_wall_ms: f64,
     /// `baseline_wall_ms / wall_ms`.
     pub speedup: f64,
-    /// Edge queries of one indexed run.
+    /// Edge queries of one optimised run.
     pub edge_queries: u64,
-    /// Bitset fast-path hits of one indexed run.
+    /// Bitset fast-path hits of one optimised run.
     pub bitset_hits: u64,
-    /// Intersections of one indexed run.
+    /// Intersections of one optimised run.
     pub intersections: u64,
+    /// Scratch-frame requests served by the arena in one optimised run.
+    pub allocations_avoided: u64,
+    /// Scratch-frame requests that hit the heap in one optimised run (pool
+    /// warm-up only — stays flat while `allocations_avoided` scales with
+    /// tree nodes, which is the zero-allocation steady-state evidence).
+    pub scratch_fresh_allocs: u64,
+    /// High-water mark of pooled scratch bytes at the end of the run.
+    pub scratch_bytes_peak: u64,
+    /// Tasks moved by intra-machine steals in one optimised run.
+    pub steals: u64,
+    /// Steal sweeps that found nothing in one optimised run.
+    pub steal_failures: u64,
     /// Maximal results (identical between the two variants — verified).
     pub maximal_results: usize,
     /// Auto-resolved hub threshold of the global index for this graph.
@@ -152,24 +293,24 @@ pub struct WorkloadResult {
     pub tracked: bool,
 }
 
-/// Runs one workload: `iters` timed runs per variant (index off / on), best
-/// wall time of each, counter deltas from the last indexed run.
+/// Runs one workload: `iters` timed runs per variant (baseline / optimised
+/// along the workload's axis), best wall time of each, counter deltas from
+/// the last optimised run.
 ///
 /// # Panics
-/// Panics if the two variants disagree on the result set — the index must
-/// never change *what* is mined.
+/// Panics if the two variants disagree on the result set — no optimisation
+/// may change *what* is mined.
 pub fn run_workload(spec: &WorkloadSpec, iters: usize) -> WorkloadResult {
     let dataset = spec.dataset.generate();
     let graph = Arc::new(dataset.graph);
     let params = MiningParams::new(spec.dataset.gamma, spec.dataset.min_size);
     let iters = iters.max(1);
 
-    let (baseline_wall_ms, baseline_results, _) =
-        run_variant(spec, &graph, params, IndexSpec::Disabled, iters);
-    let (wall_ms, results, counters) = run_variant(spec, &graph, params, IndexSpec::Auto, iters);
+    let (baseline_wall_ms, baseline_results, _) = run_variant(spec, &graph, params, true, iters);
+    let (wall_ms, results, counters) = run_variant(spec, &graph, params, false, iters);
     assert_eq!(
         baseline_results, results,
-        "workload {}: results must be index-invariant",
+        "workload {}: results must be variant-invariant",
         spec.name
     );
 
@@ -178,6 +319,7 @@ pub fn run_workload(spec: &WorkloadSpec, iters: usize) -> WorkloadResult {
         name: spec.name.to_string(),
         dataset: spec.dataset.name.to_string(),
         backend: spec.backend.label(),
+        variant: spec.variant.label().to_string(),
         num_vertices: graph.num_vertices(),
         num_edges: graph.num_edges(),
         gamma: spec.dataset.gamma,
@@ -188,6 +330,11 @@ pub fn run_workload(spec: &WorkloadSpec, iters: usize) -> WorkloadResult {
         edge_queries: counters.edge_queries,
         bitset_hits: counters.bitset_hits,
         intersections: counters.intersections,
+        allocations_avoided: counters.allocations_avoided,
+        scratch_fresh_allocs: counters.scratch_fresh_allocs,
+        scratch_bytes_peak: counters.scratch_bytes_peak,
+        steals: counters.steals,
+        steal_failures: counters.steal_failures,
         maximal_results: results,
         index_threshold: index.threshold(),
         index_hub_vertices: index.hub_count(),
@@ -203,29 +350,66 @@ fn run_variant(
     spec: &WorkloadSpec,
     graph: &Arc<Graph>,
     params: MiningParams,
-    index: IndexSpec,
+    baseline: bool,
     iters: usize,
 ) -> (f64, usize, perf::PerfSnapshot) {
+    // Every axis keeps the other two optimisations at their defaults, so a
+    // row isolates exactly one mechanism.
+    let index = match (spec.variant, baseline) {
+        (VariantAxis::Index, true) => IndexSpec::Disabled,
+        _ => IndexSpec::Auto,
+    };
+    let scratch = match (spec.variant, baseline) {
+        (VariantAxis::Scratch, true) => ScratchMode::Fresh,
+        _ => ScratchMode::Pooled,
+    };
+    let steal = spec.variant != VariantAxis::Steal || !baseline;
+
+    // The per-pass `perf::reset()` below zeroes *process-wide* counters, so
+    // concurrent measured regions would corrupt each other's deltas (e.g.
+    // `cargo test` running two suite tests on parallel threads). One lock
+    // serialises them; the bench binaries take it uncontended.
+    static MEASURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _measuring = MEASURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
     let mut best_ms = f64::INFINITY;
     let mut result_count = 0usize;
     let mut counters = perf::PerfSnapshot::default();
     for _ in 0..iters {
+        // Zero the counters so the gauge-style `scratch_bytes_peak` reflects
+        // this pass alone (the additive counters are delta-read either way).
+        perf::reset();
         let before = perf::snapshot();
         let start = Instant::now();
         result_count = match spec.backend {
-            WorkloadBackend::Serial => SerialMiner::with_config(params, PruneConfig::all_enabled())
+            WorkloadBackend::Serial => SerialMiner::with_config(params, spec.prune)
                 .with_index(index)
+                .with_scratch_mode(scratch)
                 .mine(graph)
                 .maximal
                 .len(),
             WorkloadBackend::Parallel { threads } => {
-                let config = EngineConfig::single_machine(threads)
+                let mut config = EngineConfig::single_machine(threads)
                     .with_decomposition(
                         spec.dataset.tau_split,
                         Duration::from_millis(spec.dataset.tau_time_ms),
                     )
                     .with_index(index);
+                if spec.variant == VariantAxis::Steal {
+                    // Both variants: a deque deep enough to hold the skewed
+                    // decomposition burst and coarse spawn batches (one
+                    // worker grabs long consecutive id runs, so the hard
+                    // core's roots concentrate), isolating exactly the steal
+                    // protocol (the pre-stealing engine's L_small was
+                    // worker-private too, not shared through overflow).
+                    config.local_capacity = 4096;
+                    config.batch_size = 256;
+                }
+                if !steal {
+                    config.steal_batch = 0;
+                }
                 ParallelMiner::new(params, config)
+                    .with_prune_config(spec.prune)
                     .mine(graph.clone())
                     .maximal
                     .len()
@@ -297,6 +481,7 @@ fn workload_json(w: &WorkloadResult) -> Json {
         ("name", Json::from(w.name.clone())),
         ("dataset", Json::from(w.dataset.clone())),
         ("backend", Json::from(w.backend.clone())),
+        ("variant", Json::from(w.variant.clone())),
         ("num_vertices", Json::from(w.num_vertices)),
         ("num_edges", Json::from(w.num_edges)),
         ("gamma", Json::from(w.gamma)),
@@ -307,6 +492,11 @@ fn workload_json(w: &WorkloadResult) -> Json {
         ("edge_queries", Json::from(w.edge_queries)),
         ("bitset_hits", Json::from(w.bitset_hits)),
         ("intersections", Json::from(w.intersections)),
+        ("allocations_avoided", Json::from(w.allocations_avoided)),
+        ("scratch_fresh_allocs", Json::from(w.scratch_fresh_allocs)),
+        ("scratch_bytes_peak", Json::from(w.scratch_bytes_peak)),
+        ("steals", Json::from(w.steals)),
+        ("steal_failures", Json::from(w.steal_failures)),
         ("maximal_results", Json::from(w.maximal_results)),
         ("index_threshold", Json::from(w.index_threshold)),
         ("index_hub_vertices", Json::from(w.index_hub_vertices)),
@@ -363,6 +553,8 @@ mod tests {
             name: "edge_query_hubs",
             dataset: crate::scaled::tiny(&qcm_gen::datasets::cx_gse1730()),
             backend: WorkloadBackend::Serial,
+            variant: VariantAxis::Index,
+            prune: PruneConfig::all_enabled(),
             deterministic: true,
             tracked: true,
         };
@@ -372,6 +564,7 @@ mod tests {
         assert!(row.bitset_hits > 0, "auto index must hit on this dataset");
         assert!(row.intersections > 0);
         assert_eq!(row.backend, "serial");
+        assert_eq!(row.variant, "index");
         let json = workload_json(&row);
         assert_eq!(
             json.get("name").and_then(Json::as_str),
@@ -381,18 +574,50 @@ mod tests {
             json.get("edge_queries").and_then(Json::as_f64),
             Some(row.edge_queries as f64)
         );
+        assert_eq!(
+            json.get("allocations_avoided").and_then(Json::as_f64),
+            Some(row.allocations_avoided as f64)
+        );
     }
 
     #[test]
-    fn workload_set_contains_the_tracked_edge_query_row() {
+    fn scratch_axis_row_pools_allocations_and_matches_fresh_results() {
+        let spec = WorkloadSpec {
+            name: "deep_recursion_arena",
+            dataset: crate::scaled::tiny(&deep_recursion_spec()),
+            backend: WorkloadBackend::Serial,
+            variant: VariantAxis::Scratch,
+            prune: PruneConfig::all_enabled().without("lookahead"),
+            deterministic: true,
+            tracked: true,
+        };
+        // run_workload panics internally if pooled and fresh disagree.
+        let row = run_workload(&spec, 1);
+        assert!(
+            row.allocations_avoided > row.scratch_fresh_allocs,
+            "steady state must be pool-served: {} avoided vs {} fresh",
+            row.allocations_avoided,
+            row.scratch_fresh_allocs
+        );
+        assert!(row.scratch_bytes_peak > 0);
+    }
+
+    #[test]
+    fn workload_set_contains_the_tracked_rows() {
         for quick in [true, false] {
             let all = workloads(quick);
             assert!(all.iter().any(|w| w.tracked && w.deterministic));
             assert!(all
                 .iter()
                 .any(|w| matches!(w.backend, WorkloadBackend::Parallel { .. })));
+            assert!(all
+                .iter()
+                .any(|w| w.variant == VariantAxis::Scratch && w.tracked));
+            assert!(all
+                .iter()
+                .any(|w| w.variant == VariantAxis::Steal && w.tracked));
             let names: Vec<_> = all.iter().map(|w| w.name).collect();
-            assert_eq!(names.len(), 3);
+            assert_eq!(names.len(), 5);
         }
     }
 

@@ -12,6 +12,7 @@ use crate::config::PruneConfig;
 use crate::params::MiningParams;
 use crate::quasiclique::is_quasi_clique_local;
 use crate::results::QuasiCliqueSink;
+use crate::scratch::MiningScratch;
 use crate::stats::MiningStats;
 use qcm_graph::LocalGraph;
 
@@ -41,6 +42,11 @@ pub struct MiningContext<'a> {
     /// label the run, so a run that explored everything is never mislabelled
     /// as partial just because the deadline passed during post-processing.
     pub interrupted: bool,
+    /// Reusable frame pool for the recursion hot path. Defaults to an empty
+    /// pooled arena; drivers that process many roots/tasks move one arena
+    /// from context to context (`std::mem::take`) so the frames warmed up by
+    /// one task serve the next without reallocating.
+    pub scratch: MiningScratch,
 }
 
 impl<'a> MiningContext<'a> {
@@ -59,6 +65,7 @@ impl<'a> MiningContext<'a> {
             emulate_quick_omissions: false,
             cancel: CancelToken::never(),
             interrupted: false,
+            scratch: MiningScratch::default(),
         }
     }
 
@@ -78,6 +85,7 @@ impl<'a> MiningContext<'a> {
             emulate_quick_omissions: false,
             cancel: CancelToken::never(),
             interrupted: false,
+            scratch: MiningScratch::default(),
         }
     }
 

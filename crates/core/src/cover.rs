@@ -13,8 +13,9 @@
 //! has `d_S(v) ≥ ⌈γ·|S|⌉` (otherwise those vertices are already handled by
 //! Theorems 3–4).
 
-use crate::degrees::{compute_degrees, Membership};
+use crate::degrees::{compute_degrees_into, Membership};
 use crate::params::MiningParams;
+use crate::scratch::MiningScratch;
 use qcm_graph::LocalGraph;
 
 /// Result of the cover-vertex search.
@@ -38,12 +39,35 @@ pub fn find_cover_vertex(
     ext: &[u32],
     params: &MiningParams,
 ) -> CoverVertex {
+    let mut scratch = MiningScratch::fresh();
+    let mut covered = Vec::new();
+    let vertex = find_cover_vertex_into(g, s, ext, params, &mut scratch, &mut covered);
+    CoverVertex { vertex, covered }
+}
+
+/// Scratch-pooled core of [`find_cover_vertex`]: writes the winning `C_S(u)`
+/// (sorted) into `covered_out` (cleared first) and returns the chosen cover
+/// vertex. Every intermediate buffer comes from — and goes back to — the
+/// arena, so the per-tree-node call allocates nothing in steady state.
+pub fn find_cover_vertex_into(
+    g: &LocalGraph,
+    s: &[u32],
+    ext: &[u32],
+    params: &MiningParams,
+    scratch: &mut MiningScratch,
+    covered_out: &mut Vec<u32>,
+) -> Option<u32> {
+    covered_out.clear();
     if ext.is_empty() {
-        return CoverVertex::default();
+        return None;
     }
-    let (degrees, membership) = compute_degrees(g, s, ext);
+    let mut degrees = scratch.take_degrees();
+    let mut membership = scratch.take_membership(g.capacity());
+    compute_degrees_into(g, s, ext, &mut degrees, &mut membership);
     let threshold = params.gamma.ceil_mul(s.len());
-    let mut best = CoverVertex::default();
+    let mut best_vertex = None;
+    let mut gamma_ext_u = scratch.take_vec();
+    let mut non_neighbors_in_s = scratch.take_vec();
 
     for (j, &u) in ext.iter().enumerate() {
         // Applicability: d_S(u) ≥ ⌈γ·|S|⌉.
@@ -51,18 +75,19 @@ pub fn find_cover_vertex(
             continue;
         }
         // Γ_ext(S)(u).
-        let gamma_ext_u: Vec<u32> = g
-            .neighbors(u)
-            .filter(|&w| membership.get(w) == Membership::InExt)
-            .collect();
+        gamma_ext_u.clear();
+        gamma_ext_u.extend(
+            g.neighbors(u)
+                .filter(|&w| membership.get(w) == Membership::InExt),
+        );
         // Cheap skip: the cover set can never exceed |Γ_ext(S)(u)|.
-        if gamma_ext_u.len() <= best.covered.len() {
+        if gamma_ext_u.len() <= covered_out.len() {
             continue;
         }
         // Applicability: every v ∈ S not adjacent to u must itself satisfy
         // d_S(v) ≥ ⌈γ·|S|⌉; collect those non-neighbors for the intersection.
         let mut applicable = true;
-        let mut non_neighbors_in_s: Vec<u32> = Vec::new();
+        non_neighbors_in_s.clear();
         for (i, &v) in s.iter().enumerate() {
             if !g.has_edge(u, v) {
                 if (degrees.s_in_s[i] as usize) < threshold {
@@ -75,46 +100,62 @@ pub fn find_cover_vertex(
         if !applicable {
             continue;
         }
-        // C_S(u) = Γ_ext(u) ∩ ⋂_{v ∈ non-neighbors} Γ(v).
-        let mut covered: Vec<u32> = gamma_ext_u;
+        // C_S(u) = Γ_ext(u) ∩ ⋂_{v ∈ non-neighbors} Γ(v), intersected in
+        // place — the buffer is rebuilt for the next candidate anyway.
         for &v in &non_neighbors_in_s {
-            covered.retain(|&w| g.has_edge(v, w));
-            if covered.len() <= best.covered.len() {
+            gamma_ext_u.retain(|&w| g.has_edge(v, w));
+            if gamma_ext_u.len() <= covered_out.len() {
                 break;
             }
         }
-        if covered.len() > best.covered.len() {
-            covered.sort_unstable();
-            best = CoverVertex {
-                vertex: Some(u),
-                covered,
-            };
+        if gamma_ext_u.len() > covered_out.len() {
+            gamma_ext_u.sort_unstable();
+            covered_out.clear();
+            covered_out.extend_from_slice(&gamma_ext_u);
+            best_vertex = Some(u);
         }
     }
-    best
+    scratch.put_vec(non_neighbors_in_s);
+    scratch.put_vec(gamma_ext_u);
+    scratch.put_membership(membership);
+    scratch.put_degrees(degrees);
+    best_vertex
 }
 
 /// Reorders `ext` so that the vertices of `covered` form the tail, preserving
 /// the relative order of the non-covered prefix (which the extension loop will
 /// iterate over). Returns the number of non-covered vertices (the prefix
 /// length to iterate).
-pub fn move_cover_to_tail(ext: &mut Vec<u32>, covered: &[u32]) -> usize {
+pub fn move_cover_to_tail(ext: &mut [u32], covered: &[u32]) -> usize {
+    let mut scratch = MiningScratch::fresh();
+    move_cover_to_tail_with(ext, covered, &mut scratch)
+}
+
+/// In-place core of [`move_cover_to_tail`]: compacts the non-covered prefix
+/// forward and copies the covered tail back from a scratch buffer — no
+/// allocation, `ext`'s own buffer is reused.
+pub fn move_cover_to_tail_with(
+    ext: &mut [u32],
+    covered: &[u32],
+    scratch: &mut MiningScratch,
+) -> usize {
     if covered.is_empty() {
         return ext.len();
     }
-    let is_covered = |v: u32| covered.binary_search(&v).is_ok();
-    let mut prefix: Vec<u32> = Vec::with_capacity(ext.len());
-    let mut tail: Vec<u32> = Vec::with_capacity(covered.len());
-    for &v in ext.iter() {
-        if is_covered(v) {
+    let mut tail = scratch.take_vec();
+    let mut write = 0usize;
+    for read in 0..ext.len() {
+        let v = ext[read];
+        if covered.binary_search(&v).is_ok() {
             tail.push(v);
         } else {
-            prefix.push(v);
+            ext[write] = v;
+            write += 1;
         }
     }
-    let prefix_len = prefix.len();
-    prefix.extend_from_slice(&tail);
-    *ext = prefix;
+    let prefix_len = write;
+    ext[prefix_len..].copy_from_slice(&tail);
+    scratch.put_vec(tail);
     prefix_len
 }
 

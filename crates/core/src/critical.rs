@@ -8,6 +8,16 @@
 
 use crate::degrees::Degrees;
 use crate::params::MiningParams;
+use qcm_graph::LocalGraph;
+
+/// Collects `Γ_ext(S)(v)` — the extension vertices a critical vertex `v`
+/// forces into `S` (Theorem 9) — into a scratch-provided buffer (cleared
+/// first), preserving `ext` order. The allocation-free counterpart of the
+/// `filter(...).collect()` the bounding loop used to perform per move.
+pub fn collect_critical_moves(g: &LocalGraph, ext: &[u32], v: u32, moved_out: &mut Vec<u32>) {
+    moved_out.clear();
+    moved_out.extend(ext.iter().copied().filter(|&u| g.has_edge(u, v)));
+}
 
 /// Finds a critical vertex of `S`, if any.
 ///

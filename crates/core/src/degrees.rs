@@ -42,16 +42,46 @@ pub struct MembershipTable {
 impl MembershipTable {
     /// Builds the table for the given `S` and `ext(S)` (local indices).
     pub fn new(g: &LocalGraph, s: &[u32], ext: &[u32]) -> Self {
-        let mut in_s = VertexBitSet::new(g.capacity());
-        let mut in_ext = VertexBitSet::new(g.capacity());
+        let mut table = MembershipTable::with_capacity(g.capacity());
+        table.fill(s, ext);
+        table
+    }
+
+    /// An empty table able to address ids `0..capacity` (pool construction).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MembershipTable {
+            in_s: VertexBitSet::new(capacity),
+            in_ext: VertexBitSet::new(capacity),
+        }
+    }
+
+    /// Clears the table and re-targets it to a (possibly different) id
+    /// capacity, reusing the existing bitset buffers (scratch-pool reuse
+    /// across task subgraphs).
+    pub fn reset(&mut self, capacity: usize) {
+        self.in_s.reset(capacity);
+        self.in_ext.reset(capacity);
+    }
+
+    /// Populates a cleared table with the candidate sides.
+    pub fn fill(&mut self, s: &[u32], ext: &[u32]) {
         for &v in s {
-            in_s.insert(v);
+            self.in_s.insert(v);
         }
         for &u in ext {
-            debug_assert!(!in_s.contains(u), "S and ext overlap");
-            in_ext.insert(u);
+            debug_assert!(!self.in_s.contains(u), "S and ext overlap");
+            self.in_ext.insert(u);
         }
-        MembershipTable { in_s, in_ext }
+    }
+
+    /// Marks `v` as a member of `S` (test/scratch helper).
+    pub fn insert_s(&mut self, v: u32) {
+        self.in_s.insert(v);
+    }
+
+    /// Heap footprint of the two bitsets in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.in_s.memory_bytes() + self.in_ext.memory_bytes()
     }
 
     /// Membership of local vertex `v`.
@@ -94,6 +124,23 @@ pub struct Degrees {
 }
 
 impl Degrees {
+    /// Empty degree vectors (pool construction; filled by
+    /// [`compute_degrees_into`]).
+    pub fn empty() -> Self {
+        Degrees {
+            s_in_s: Vec::new(),
+            s_in_ext: Vec::new(),
+            ext_in_s: Vec::new(),
+        }
+    }
+
+    /// Clears all three vectors, keeping their buffers.
+    pub fn clear(&mut self) {
+        self.s_in_s.clear();
+        self.s_in_ext.clear();
+        self.ext_in_s.clear();
+    }
+
     /// `d_min = min_{v∈S} (d_S(v) + d_ext(S)(v))` (Eq. 1 of the paper).
     /// Returns `None` for an empty `S`.
     pub fn dmin(&self) -> Option<usize> {
@@ -132,23 +179,42 @@ impl Degrees {
 /// Both paths rely on `S`/`ext` members being alive, so a hub row's stale
 /// bits for peeled vertices can never be counted.
 pub fn compute_degrees(g: &LocalGraph, s: &[u32], ext: &[u32]) -> (Degrees, MembershipTable) {
-    let membership = MembershipTable::new(g, s, ext);
-    let mut s_in_s = vec![0u32; s.len()];
-    let mut s_in_ext = vec![0u32; s.len()];
-    let mut ext_in_s = vec![0u32; ext.len()];
+    let mut degrees = Degrees::empty();
+    let mut membership = MembershipTable::with_capacity(g.capacity());
+    compute_degrees_into(g, s, ext, &mut degrees, &mut membership);
+    (degrees, membership)
+}
+
+/// Allocation-free core of [`compute_degrees`]: rebuilds `membership` (any
+/// prior contents and capacity are discarded) and refills `degrees` in place.
+/// The hot path calls this with scratch-pooled frames, so a bounding round
+/// recomputing degrees touches no heap.
+pub fn compute_degrees_into(
+    g: &LocalGraph,
+    s: &[u32],
+    ext: &[u32],
+    degrees: &mut Degrees,
+    membership: &mut MembershipTable,
+) {
+    membership.reset(g.capacity());
+    membership.fill(s, ext);
+    degrees.clear();
+    degrees.s_in_s.resize(s.len(), 0);
+    degrees.s_in_ext.resize(s.len(), 0);
+    degrees.ext_in_s.resize(ext.len(), 0);
     for (i, &v) in s.iter().enumerate() {
         if let Some(row) = g.hub_row(v) {
             perf::count_intersections(2);
-            s_in_s[i] = row.intersection_count(membership.s_bits()) as u32;
-            s_in_ext[i] = row.intersection_count(membership.ext_bits()) as u32;
+            degrees.s_in_s[i] = row.intersection_count(membership.s_bits()) as u32;
+            degrees.s_in_ext[i] = row.intersection_count(membership.ext_bits()) as u32;
             continue;
         }
         // `raw_neighbors` is safe here: peeled vertices are in neither
         // membership set, so they contribute to no counter.
         for &w in g.raw_neighbors(v) {
             match membership.get(w) {
-                Membership::InS => s_in_s[i] += 1,
-                Membership::InExt => s_in_ext[i] += 1,
+                Membership::InS => degrees.s_in_s[i] += 1,
+                Membership::InExt => degrees.s_in_ext[i] += 1,
                 Membership::Neither => {}
             }
         }
@@ -156,41 +222,44 @@ pub fn compute_degrees(g: &LocalGraph, s: &[u32], ext: &[u32]) -> (Degrees, Memb
     for (j, &u) in ext.iter().enumerate() {
         if let Some(row) = g.hub_row(u) {
             perf::count_intersections(1);
-            ext_in_s[j] = row.intersection_count(membership.s_bits()) as u32;
+            degrees.ext_in_s[j] = row.intersection_count(membership.s_bits()) as u32;
             continue;
         }
         for &w in g.raw_neighbors(u) {
             if membership.get(w) == Membership::InS {
-                ext_in_s[j] += 1;
+                degrees.ext_in_s[j] += 1;
             }
         }
     }
-    (
-        Degrees {
-            s_in_s,
-            s_in_ext,
-            ext_in_s,
-        },
-        membership,
-    )
 }
 
 /// Computes the EE-degrees `d_ext(S)(u)` for every `u ∈ ext(S)` (aligned with
 /// `ext`). Deferred until Type-I rules actually need them. Hub members count
 /// by word-parallel AND, exactly like [`compute_degrees`].
 pub fn compute_ee_degrees(g: &LocalGraph, ext: &[u32], membership: &MembershipTable) -> Vec<u32> {
-    ext.iter()
-        .map(|&u| {
-            if let Some(row) = g.hub_row(u) {
-                perf::count_intersections(1);
-                return row.intersection_count(membership.ext_bits()) as u32;
-            }
-            g.raw_neighbors(u)
-                .iter()
-                .filter(|&&w| membership.get(w) == Membership::InExt)
-                .count() as u32
-        })
-        .collect()
+    let mut ee = Vec::new();
+    compute_ee_degrees_into(g, ext, membership, &mut ee);
+    ee
+}
+
+/// Allocation-free core of [`compute_ee_degrees`]: refills `ee` in place.
+pub fn compute_ee_degrees_into(
+    g: &LocalGraph,
+    ext: &[u32],
+    membership: &MembershipTable,
+    ee: &mut Vec<u32>,
+) {
+    ee.clear();
+    ee.extend(ext.iter().map(|&u| {
+        if let Some(row) = g.hub_row(u) {
+            perf::count_intersections(1);
+            return row.intersection_count(membership.ext_bits()) as u32;
+        }
+        g.raw_neighbors(u)
+            .iter()
+            .filter(|&&w| membership.get(w) == Membership::InExt)
+            .count() as u32
+    }));
 }
 
 #[cfg(test)]

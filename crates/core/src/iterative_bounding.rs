@@ -17,8 +17,10 @@
 
 use crate::bounds::{lower_bound, upper_bound, LowerBound, UpperBound};
 use crate::context::MiningContext;
-use crate::critical::find_critical_vertex;
-use crate::degrees::{compute_degrees, compute_ee_degrees, Degrees, Membership};
+use crate::critical::{collect_critical_moves, find_critical_vertex};
+use crate::degrees::{
+    compute_degrees_into, compute_ee_degrees_into, Degrees, Membership, MembershipTable,
+};
 use crate::rules::{check_type2, type1_prunable, Type2Outcome};
 
 /// Outcome of computing both bounds for the current `⟨S, ext(S)⟩`.
@@ -99,13 +101,51 @@ pub fn iterative_bounding(
     s: &mut Vec<u32>,
     ext: &mut Vec<u32>,
 ) -> bool {
+    // All working frames come from the context's scratch arena: in steady
+    // state a full bounding loop — degree recomputations included — performs
+    // zero heap allocations.
+    let mut degrees = ctx.scratch.take_degrees();
+    let mut membership = ctx.scratch.take_membership(ctx.graph.capacity());
+    let mut ee = ctx.scratch.take_vec();
+    let mut kept = ctx.scratch.take_vec();
+    let mut moved = ctx.scratch.take_vec();
+    let pruned = bounding_loop(
+        ctx,
+        s,
+        ext,
+        &mut degrees,
+        &mut membership,
+        &mut ee,
+        &mut kept,
+        &mut moved,
+    );
+    ctx.scratch.put_vec(moved);
+    ctx.scratch.put_vec(kept);
+    ctx.scratch.put_vec(ee);
+    ctx.scratch.put_membership(membership);
+    ctx.scratch.put_degrees(degrees);
+    pruned
+}
+
+/// The body of Algorithm 1, operating entirely on borrowed scratch frames.
+#[allow(clippy::too_many_arguments)]
+fn bounding_loop(
+    ctx: &mut MiningContext<'_>,
+    s: &mut Vec<u32>,
+    ext: &mut Vec<u32>,
+    degrees: &mut Degrees,
+    membership: &mut MembershipTable,
+    ee: &mut Vec<u32>,
+    kept: &mut Vec<u32>,
+    moved: &mut Vec<u32>,
+) -> bool {
     loop {
         ctx.stats.bounding_rounds += 1;
         // Line 2: SS/ES/SE degrees (EE deferred to the Type-I phase).
-        let (mut degrees, mut membership) = compute_degrees(ctx.graph, s, ext);
+        compute_degrees_into(ctx.graph, s, ext, degrees, membership);
 
         // Line 3: bounds (may prune).
-        let bounds = match compute_bounds(ctx, s, ext, &degrees) {
+        let bounds = match compute_bounds(ctx, s, ext, degrees) {
             Ok(b) => b,
             Err(()) => return true,
         };
@@ -115,7 +155,7 @@ pub fn iterative_bounding(
         // Lines 4–8: critical-vertex pruning.
         if ctx.config.critical_vertex {
             if let Some(ls_v) = ls {
-                if let Some(pos) = find_critical_vertex(&ctx.params, &degrees, ls_v) {
+                if let Some(pos) = find_critical_vertex(&ctx.params, degrees, ls_v) {
                     let v = s[pos];
                     // The paper's fix over Quick: examine G(S) *before*
                     // absorbing the critical vertex's neighborhood, otherwise
@@ -123,24 +163,18 @@ pub fn iterative_bounding(
                     if !ctx.emulate_quick_omissions {
                         ctx.report_if_valid(s);
                     }
-                    let moved: Vec<u32> = ext
-                        .iter()
-                        .copied()
-                        .filter(|&u| ctx.graph.has_edge(u, v))
-                        .collect();
+                    collect_critical_moves(ctx.graph, ext, v, moved);
                     if !moved.is_empty() {
                         ctx.stats.critical_moves += moved.len() as u64;
                         ext.retain(|&u| !ctx.graph.has_edge(u, v));
-                        s.extend_from_slice(&moved);
+                        s.extend_from_slice(moved);
                         if ext.is_empty() {
                             // Skip straight to the C1 exit case.
                             break;
                         }
                         // Line 8: recompute degrees and bounds on the grown S.
-                        let recomputed = compute_degrees(ctx.graph, s, ext);
-                        degrees = recomputed.0;
-                        membership = recomputed.1;
-                        let bounds = match compute_bounds(ctx, s, ext, &degrees) {
+                        compute_degrees_into(ctx.graph, s, ext, degrees, membership);
+                        let bounds = match compute_bounds(ctx, s, ext, degrees) {
                             Ok(b) => b,
                             Err(()) => return true,
                         };
@@ -152,7 +186,7 @@ pub fn iterative_bounding(
         }
 
         // Lines 9–16: Type-II rules.
-        match check_type2(&ctx.params, &ctx.config, &degrees, ext.len(), us, ls) {
+        match check_type2(&ctx.params, &ctx.config, degrees, ext.len(), us, ls) {
             Type2Outcome::PruneAll => {
                 ctx.stats.type2_pruned += 1;
                 return true;
@@ -166,10 +200,10 @@ pub fn iterative_bounding(
         }
 
         // Lines 17–20: Type-I rules (EE-degrees computed lazily here).
-        let ee = compute_ee_degrees(ctx.graph, ext, &membership);
+        compute_ee_degrees_into(ctx.graph, ext, membership, ee);
         debug_assert!(ext.iter().all(|&u| membership.get(u) == Membership::InExt));
         let mut pruned_any = false;
-        let mut kept: Vec<u32> = Vec::with_capacity(ext.len());
+        kept.clear();
         for (j, &u) in ext.iter().enumerate() {
             if type1_prunable(
                 &ctx.params,
@@ -186,7 +220,9 @@ pub fn iterative_bounding(
                 kept.push(u);
             }
         }
-        *ext = kept;
+        // The survivor list becomes the new ext; the old buffer becomes the
+        // next round's survivor frame. No allocation either way.
+        std::mem::swap(ext, kept);
 
         // Line 21: stop when ext is empty or this round pruned nothing.
         if ext.is_empty() || !pruned_any {

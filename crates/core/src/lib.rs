@@ -53,6 +53,7 @@ pub mod quick;
 pub mod recursive_mine;
 pub mod results;
 pub mod rules;
+pub mod scratch;
 pub mod serial;
 pub mod stats;
 
@@ -66,10 +67,11 @@ pub use maximality::remove_non_maximal;
 pub use params::{Gamma, MiningParams};
 pub use quasiclique::{is_quasi_clique, is_quasi_clique_local, is_valid_quasi_clique};
 pub use quick::quick_mine;
-pub use recursive_mine::{recursive_mine, two_hop_bits, two_hop_local};
+pub use recursive_mine::{recursive_mine, two_hop_bits, two_hop_bits_into, two_hop_local};
 pub use results::{
     CandidateForwarder, CollectingSink, CountingSink, QuasiCliqueSet, QuasiCliqueSink, ResultSink,
 };
+pub use scratch::{MiningScratch, ScratchMode};
 #[allow(deprecated)]
 pub use serial::mine_serial;
 pub use serial::{MiningOutput, SerialMiner};

@@ -11,7 +11,7 @@
 //! exactly as in the paper.
 
 use crate::context::MiningContext;
-use crate::cover::{find_cover_vertex, move_cover_to_tail};
+use crate::cover::{find_cover_vertex_into, move_cover_to_tail_with};
 use crate::iterative_bounding::iterative_bounding;
 use crate::quasiclique::is_quasi_clique_local;
 use qcm_graph::bitset::VertexBitSet;
@@ -22,20 +22,47 @@ use qcm_graph::neighborhoods::perf;
 /// itself.
 pub fn two_hop_bits(g: &qcm_graph::LocalGraph, v: u32) -> VertexBitSet {
     let mut seen = VertexBitSet::new(g.capacity());
-    seen.insert(v);
     let mut first_hop: Vec<u32> = Vec::new();
+    two_hop_bits_into(g, v, &mut seen, &mut first_hop);
+    seen
+}
+
+/// Allocation-free core of [`two_hop_bits`]: fills `seen` (which must be
+/// cleared and sized to `g.capacity()`) with `B(v) \ {v}`, using `first_hop`
+/// as scratch for the frontier between the two hops.
+///
+/// When the graph has no peeled vertices (always true for the mining-phase
+/// subgraphs, which are built once and never shrunk), a first-hop hub's
+/// second hop is absorbed by word-parallel OR of its dense row instead of
+/// walking its adjacency list — the same trick that made the degree kernels
+/// cheap. With peeled vertices the rows may carry dead bits, so the walk
+/// path (which filters liveness) is used instead.
+pub fn two_hop_bits_into(
+    g: &qcm_graph::LocalGraph,
+    v: u32,
+    seen: &mut VertexBitSet,
+    first_hop: &mut Vec<u32>,
+) {
+    debug_assert!(seen.is_empty() && seen.capacity() == g.capacity());
+    seen.insert(v);
+    first_hop.clear();
     for u in g.neighbors(v) {
         if seen.insert(u) {
             first_hop.push(u);
         }
     }
-    for &u in &first_hop {
-        for w in g.neighbors(u) {
-            seen.insert(w);
+    let rows_are_exact = g.num_vertices() == g.capacity();
+    for &u in first_hop.iter() {
+        match g.hub_row(u) {
+            Some(row) if rows_are_exact => seen.union_with(row),
+            _ => {
+                for w in g.neighbors(u) {
+                    seen.insert(w);
+                }
+            }
         }
     }
     seen.remove(v);
-    seen
 }
 
 /// Computes the set of local vertices within two hops of `v` in the task
@@ -44,18 +71,27 @@ pub fn two_hop_local(g: &qcm_graph::LocalGraph, v: u32) -> Vec<u32> {
     two_hop_bits(g, v).iter().collect()
 }
 
-/// Restricts `ext` to the two-hop neighborhood of `v` when the diameter rule
-/// applies (γ ≥ 0.5 and the rule is enabled); otherwise returns `ext` as-is.
+/// Writes `ext` restricted to the two-hop neighborhood of `v` into `out`
+/// (cleared first) when the diameter rule applies (γ ≥ 0.5 and the rule is
+/// enabled); otherwise copies `ext` as-is. The two-hop bitset and hop
+/// frontier come from the context's scratch arena. Shared by this serial
+/// recursion and both decomposition loops in `qcm-parallel`.
 ///
 /// The membership filter is an `O(1)`-per-candidate bitset probe (the old
 /// path binary-searched a sorted two-hop list per candidate).
-fn shrink_by_diameter(ctx: &MiningContext<'_>, ext: &[u32], v: u32) -> Vec<u32> {
+pub fn shrink_by_diameter(ctx: &mut MiningContext<'_>, ext: &[u32], v: u32, out: &mut Vec<u32>) {
+    out.clear();
     if ctx.config.diameter && ctx.params.gamma.diameter_two_applies() {
-        let b_v = two_hop_bits(ctx.graph, v);
+        let graph = ctx.graph;
+        let mut b_v = ctx.scratch.take_bitset(graph.capacity());
+        let mut hop = ctx.scratch.take_vec();
+        two_hop_bits_into(graph, v, &mut b_v, &mut hop);
         perf::count_intersections(1);
-        ext.iter().copied().filter(|&u| b_v.contains(u)).collect()
+        out.extend(ext.iter().copied().filter(|&u| b_v.contains(u)));
+        ctx.scratch.put_vec(hop);
+        ctx.scratch.put_bitset(b_v);
     } else {
-        ext.to_vec()
+        out.extend_from_slice(ext);
     }
 }
 
@@ -67,54 +103,79 @@ fn shrink_by_diameter(ctx: &MiningContext<'_>, ext: &[u32], v: u32) -> Vec<u32> 
 /// `ext` is consumed destructively (vertices are removed as they are
 /// processed, and cover vertices are moved to the tail), matching the paper's
 /// in-place treatment of the extension list.
+/// Cover-vertex pruning over scratch frames (Algorithm 2 lines 2–4): moves
+/// the winning cover set `C_S(u)` to the tail of `ext` and returns the
+/// branchable prefix length. Shared by this serial recursion and both
+/// decomposition loops in `qcm-parallel`.
+pub fn cover_prune_prefix(ctx: &mut MiningContext<'_>, s: &[u32], ext: &mut [u32]) -> usize {
+    let graph = ctx.graph;
+    let params = ctx.params;
+    let mut covered = ctx.scratch.take_vec();
+    find_cover_vertex_into(graph, s, ext, &params, &mut ctx.scratch, &mut covered);
+    ctx.stats.cover_skipped += covered.len() as u64;
+    let prefix_len = move_cover_to_tail_with(ext, &covered, &mut ctx.scratch);
+    ctx.scratch.put_vec(covered);
+    prefix_len
+}
+
 pub fn recursive_mine(ctx: &mut MiningContext<'_>, s: &[u32], ext: &mut Vec<u32>) -> bool {
     let mut found = false;
 
     // Lines 2–4: cover-vertex pruning — the covered tail is never used as the
     // next branching vertex.
     let prefix_len = if ctx.config.cover_vertex {
-        let cover = find_cover_vertex(ctx.graph, s, ext, &ctx.params);
-        ctx.stats.cover_skipped += cover.covered.len() as u64;
-        move_cover_to_tail(ext, &cover.covered)
+        cover_prune_prefix(ctx, s, ext)
     } else {
         ext.len()
     };
-    let branch_vertices: Vec<u32> = ext[..prefix_len].to_vec();
+    // This depth's frame of branching vertices; the arena's high-water mark
+    // tracks the deepest recursion, after which no tree node allocates.
+    let mut branch = ctx.scratch.take_vec_cap(prefix_len);
+    branch.extend_from_slice(&ext[..prefix_len]);
 
-    for &v in &branch_vertices {
+    let mut i = 0usize;
+    while i < branch.len() {
+        let v = branch[i];
+        i += 1;
         // Cooperative cancellation: abandon the remaining subtrees. Everything
         // reported so far stays valid; the run is labelled partial upstream.
         if ctx.is_cancelled() {
-            return found;
+            break;
         }
         // Line 6: not enough vertices left to ever reach τ_size.
         if s.len() + ext.len() < ctx.params.min_size {
-            return found;
+            break;
         }
         // Lines 8–10: lookahead — if S together with the entire remaining
         // extension already forms a quasi-clique, it is maximal within this
         // subtree and everything below is redundant.
         if ctx.config.lookahead {
-            let mut whole: Vec<u32> = Vec::with_capacity(s.len() + ext.len());
+            let mut whole = ctx.scratch.take_vec_cap(s.len() + ext.len());
             whole.extend_from_slice(s);
             whole.extend_from_slice(ext);
-            if is_quasi_clique_local(ctx.graph, &whole, &ctx.params) {
+            let hit = is_quasi_clique_local(ctx.graph, &whole, &ctx.params);
+            if hit {
                 ctx.stats.lookahead_hits += 1;
                 ctx.report(&whole);
-                return true;
+            }
+            ctx.scratch.put_vec(whole);
+            if hit {
+                found = true;
+                break;
             }
         }
         // Line 11: S' = S ∪ {v}; v leaves ext for this and all later
         // iterations (the set-enumeration tree's "only extend with larger
         // vertices" discipline).
         ext.retain(|&u| u != v);
-        let mut s_prime: Vec<u32> = Vec::with_capacity(s.len() + 1);
+        let mut s_prime = ctx.scratch.take_vec_cap(s.len() + 1);
         s_prime.extend_from_slice(s);
         s_prime.push(v);
         ctx.stats.nodes_expanded += 1;
 
         // Line 12: diameter-based shrink of the new extension set.
-        let mut ext_prime = shrink_by_diameter(ctx, ext, v);
+        let mut ext_prime = ctx.scratch.take_vec();
+        shrink_by_diameter(ctx, ext, v, &mut ext_prime);
 
         if ext_prime.is_empty() {
             // Lines 13–16: nothing to extend S' with; examine G(S') directly.
@@ -123,22 +184,25 @@ pub fn recursive_mine(ctx: &mut MiningContext<'_>, s: &[u32], ext: &mut Vec<u32>
             if !ctx.emulate_quick_omissions && ctx.report_if_valid(&s_prime) {
                 found = true;
             }
-            continue;
-        }
+        } else {
+            // Line 18: apply the pruning rules; this may also grow S' via the
+            // critical-vertex rule and will report G(S') itself when
+            // appropriate.
+            let pruned = iterative_bounding(ctx, &mut s_prime, &mut ext_prime);
 
-        // Line 18: apply the pruning rules; this may also grow S' via the
-        // critical-vertex rule and will report G(S') itself when appropriate.
-        let pruned = iterative_bounding(ctx, &mut s_prime, &mut ext_prime);
-
-        // Lines 20–25.
-        if !pruned && s_prime.len() + ext_prime.len() >= ctx.params.min_size {
-            let child_found = recursive_mine(ctx, &s_prime, &mut ext_prime);
-            found = found || child_found;
-            if !child_found && ctx.report_if_valid(&s_prime) {
-                found = true;
+            // Lines 20–25.
+            if !pruned && s_prime.len() + ext_prime.len() >= ctx.params.min_size {
+                let child_found = recursive_mine(ctx, &s_prime, &mut ext_prime);
+                found = found || child_found;
+                if !child_found && ctx.report_if_valid(&s_prime) {
+                    found = true;
+                }
             }
         }
+        ctx.scratch.put_vec(ext_prime);
+        ctx.scratch.put_vec(s_prime);
     }
+    ctx.scratch.put_vec(branch);
     found
 }
 

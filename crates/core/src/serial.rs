@@ -16,6 +16,7 @@ use crate::maximality::remove_non_maximal;
 use crate::params::MiningParams;
 use crate::recursive_mine::{recursive_mine, two_hop_local};
 use crate::results::{QuasiCliqueSet, QuasiCliqueSink};
+use crate::scratch::{MiningScratch, ScratchMode};
 use crate::stats::MiningStats;
 use qcm_graph::kcore::k_core_vertices;
 use qcm_graph::{Graph, IndexSpec, LocalGraph, VertexId};
@@ -50,6 +51,7 @@ pub struct SerialMiner {
     emulate_quick_omissions: bool,
     cancel: CancelToken,
     index: IndexSpec,
+    scratch_mode: ScratchMode,
 }
 
 impl SerialMiner {
@@ -61,6 +63,7 @@ impl SerialMiner {
             emulate_quick_omissions: false,
             cancel: CancelToken::never(),
             index: IndexSpec::Auto,
+            scratch_mode: ScratchMode::Pooled,
         }
     }
 
@@ -73,6 +76,7 @@ impl SerialMiner {
             emulate_quick_omissions: false,
             cancel: CancelToken::never(),
             index: IndexSpec::Auto,
+            scratch_mode: ScratchMode::Pooled,
         }
     }
 
@@ -97,6 +101,16 @@ impl SerialMiner {
     /// either way, only the edge-query cost changes.
     pub fn with_index(mut self, index: IndexSpec) -> Self {
         self.index = index;
+        self
+    }
+
+    /// Chooses the scratch-arena mode (default [`ScratchMode::Pooled`]).
+    /// [`ScratchMode::Fresh`] reproduces the pre-arena
+    /// allocation-per-tree-node behaviour — results are identical either way
+    /// (property-tested), only the allocator traffic changes. The benchmark
+    /// suite uses it as the within-binary baseline.
+    pub fn with_scratch_mode(mut self, mode: ScratchMode) -> Self {
+        self.scratch_mode = mode;
         self
     }
 
@@ -148,6 +162,9 @@ impl SerialMiner {
             // One hub-index build per run, amortised over every edge query
             // and degree recomputation of the whole search.
             work.build_hub_index(self.index);
+            // One scratch arena for the whole run: the frames warmed up by
+            // the first roots serve every later root without reallocating.
+            let mut scratch = MiningScratch::new(self.scratch_mode);
             // Spawn one root per surviving vertex, in id order.
             for v in 0..work.capacity() as u32 {
                 if self.cancel.is_cancelled() {
@@ -161,6 +178,7 @@ impl SerialMiner {
                 let mut ctx = MiningContext::with_config(&work, self.params, self.config, &mut tee);
                 ctx.emulate_quick_omissions = self.emulate_quick_omissions;
                 ctx.cancel = self.cancel.clone();
+                ctx.scratch = std::mem::take(&mut scratch);
                 ctx.stats.tasks_processed += 1;
                 let mut ext: Vec<u32> =
                     if self.config.diameter && self.params.gamma.diameter_two_applies() {
@@ -173,6 +191,7 @@ impl SerialMiner {
                     };
                 let s = vec![v];
                 recursive_mine(&mut ctx, &s, &mut ext);
+                scratch = std::mem::take(&mut ctx.scratch);
                 stats.merge(&ctx.stats);
                 interrupted |= ctx.interrupted;
             }

@@ -1,0 +1,98 @@
+//! Property tests of the scratch arena.
+//!
+//! The pooled recursion must be a pure performance change: for any graph,
+//! mining parameters and pruning configuration, [`ScratchMode::Pooled`] and
+//! the fresh-allocation reference path ([`ScratchMode::Fresh`]) must produce
+//! byte-identical result sets, identical raw report counts and identical
+//! search statistics — the pool may only change *where* buffers come from,
+//! never what the search does with them.
+
+use proptest::prelude::*;
+use qcm_core::{MiningParams, PruneConfig, ScratchMode, SerialMiner};
+use qcm_graph::{Graph, GraphBuilder, IndexSpec};
+
+/// Random simple graph with `n ≤ max_n` vertices and bounded edge count.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new();
+                b.set_min_vertices(n);
+                for (a, x) in edges {
+                    b.add_edge_raw(a, x);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// Random mining parameters in the ranges the paper uses (γ ∈ [0.5, 1.0]).
+fn arb_params() -> impl Strategy<Value = MiningParams> {
+    (5u32..=10, 3usize..=5)
+        .prop_map(|(g10, min_size)| MiningParams::new(g10 as f64 / 10.0, min_size))
+}
+
+/// A pruning configuration: everything on, everything off, or exactly one
+/// rule off — the shapes the hot path branches on.
+fn arb_prune() -> impl Strategy<Value = PruneConfig> {
+    (0usize..=PruneConfig::rule_names().len() + 1).prop_map(|pick| {
+        if pick == 0 {
+            PruneConfig::none()
+        } else if pick == 1 {
+            PruneConfig::all_enabled()
+        } else {
+            PruneConfig::all_enabled().without(PruneConfig::rule_names()[pick - 2])
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pooled and fresh scratch modes agree on everything observable.
+    #[test]
+    fn pooled_recursion_is_byte_identical_to_fresh(
+        (g, params, prune) in (arb_graph(12), arb_params(), arb_prune())
+    ) {
+        let pooled = SerialMiner::with_config(params, prune)
+            .with_scratch_mode(ScratchMode::Pooled)
+            .mine(&g);
+        let fresh = SerialMiner::with_config(params, prune)
+            .with_scratch_mode(ScratchMode::Fresh)
+            .mine(&g);
+        prop_assert_eq!(
+            &pooled.maximal, &fresh.maximal,
+            "result sets diverged at gamma={} min_size={} prune={:?}",
+            params.gamma, params.min_size, prune
+        );
+        prop_assert_eq!(pooled.raw_reported, fresh.raw_reported);
+        prop_assert_eq!(pooled.stats, fresh.stats);
+        prop_assert_eq!(pooled.kcore_vertices, fresh.kcore_vertices);
+    }
+
+    /// The agreement holds regardless of the hub-index policy (the two-hop
+    /// kernel takes a word-parallel shortcut through hub rows, which must not
+    /// be observable either).
+    #[test]
+    fn pooled_recursion_matches_fresh_across_index_specs(
+        (g, params) in (arb_graph(12), arb_params())
+    ) {
+        for index in [IndexSpec::Disabled, IndexSpec::Auto, IndexSpec::Threshold(0)] {
+            let pooled = SerialMiner::new(params)
+                .with_index(index)
+                .with_scratch_mode(ScratchMode::Pooled)
+                .mine(&g);
+            let fresh = SerialMiner::new(params)
+                .with_index(index)
+                .with_scratch_mode(ScratchMode::Fresh)
+                .mine(&g);
+            prop_assert_eq!(
+                &pooled.maximal, &fresh.maximal,
+                "result sets diverged under {:?}", index
+            );
+            prop_assert_eq!(pooled.stats, fresh.stats);
+        }
+    }
+}

@@ -22,11 +22,12 @@ use crate::config::EngineConfig;
 use crate::metrics::{EngineMetrics, TaskTimeRecord};
 use crate::queue::TaskQueue;
 use crate::spill::{SpillMetrics, SpillStore};
+use crate::steal::WorkerQueues;
 use crate::task::{ComputeContext, Frontier, GThinkerApp, TaskTimings};
 use crate::vertex_table::{DataService, FetchMetrics, PartitionedVertexTable};
 
 use parking_lot::Mutex;
-use qcm_core::RunOutcome;
+use qcm_core::{MiningScratch, RunOutcome};
 use qcm_graph::{Graph, VertexId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -60,6 +61,10 @@ struct SharedState<'a, A: GThinkerApp> {
     config: &'a EngineConfig,
     table: PartitionedVertexTable,
     machines: Vec<MachineState<A::Task>>,
+    /// Per-worker bounded deques + the intra-machine steal protocol. Small
+    /// tasks live here; the machines' global queues keep the big-task lane
+    /// and the spill/overflow path.
+    worker_queues: WorkerQueues<A::Task>,
     /// Tasks spawned or decomposed but not yet fully processed (plus a
     /// transient +1 held while a spawn call is in flight, which closes the
     /// race between the spawn-cursor decrement and the task registration).
@@ -83,7 +88,7 @@ struct SharedState<'a, A: GThinkerApp> {
     mining_nanos: AtomicU64,
     materialization_nanos: AtomicU64,
     stolen_tasks: AtomicU64,
-    spill_metrics: Arc<SpillMetrics>,
+    pop_contention: AtomicU64,
 }
 
 impl<'a, A: GThinkerApp> SharedState<'a, A> {
@@ -162,6 +167,11 @@ impl<A: GThinkerApp> Cluster<A> {
             config,
             table,
             machines,
+            worker_queues: WorkerQueues::new(
+                config.total_threads(),
+                config.local_capacity,
+                config.steal_batch,
+            ),
             pending_tasks: AtomicUsize::new(0),
             unspawned: AtomicUsize::new(unspawned_total),
             done: AtomicBool::new(false),
@@ -176,7 +186,7 @@ impl<A: GThinkerApp> Cluster<A> {
             mining_nanos: AtomicU64::new(0),
             materialization_nanos: AtomicU64::new(0),
             stolen_tasks: AtomicU64::new(0),
-            spill_metrics: spill_metrics.clone(),
+            pop_contention: AtomicU64::new(0),
         };
 
         let total_workers = config.total_threads();
@@ -216,6 +226,9 @@ impl<A: GThinkerApp> Cluster<A> {
             cache_hits: fetch_metrics.cache_hits.load(Ordering::Relaxed),
             cache_evictions: fetch_metrics.cache_evictions.load(Ordering::Relaxed),
             stolen_tasks: shared.stolen_tasks.load(Ordering::Relaxed),
+            steals: shared.worker_queues.steals(),
+            steal_failures: shared.worker_queues.steal_failures(),
+            pop_contention: shared.pop_contention.load(Ordering::Relaxed),
             total_mining_time: Duration::from_nanos(shared.mining_nanos.load(Ordering::Relaxed)),
             total_materialization_time: Duration::from_nanos(
                 shared.materialization_nanos.load(Ordering::Relaxed),
@@ -243,22 +256,18 @@ impl<A: GThinkerApp> Cluster<A> {
     }
 }
 
-/// Main loop of one mining thread (the reforged Algorithm 3).
+/// Main loop of one mining thread (the reforged Algorithm 3, on the
+/// work-stealing pop path).
 fn worker_loop<A: GThinkerApp>(
     shared: &SharedState<'_, A>,
     machine_id: usize,
     worker_id: usize,
 ) -> Duration {
     let config = shared.config;
-    let mut local_queue: TaskQueue<A::Task> = TaskQueue::new(
-        config.local_queue_capacity,
-        config.batch_size,
-        SpillStore::new(
-            config.spill_dir.clone(),
-            format!("m{machine_id}-w{worker_id}-local"),
-            shared.spill_metrics.clone(),
-        ),
-    );
+    // The worker's mining scratch arena, loaned to every task it processes —
+    // the recursion frames warmed up by one task serve all later tasks on
+    // this worker without reallocating.
+    let mut scratch = MiningScratch::default();
     let mut busy = Duration::ZERO;
     loop {
         if shared.done.load(Ordering::Acquire) {
@@ -272,14 +281,14 @@ fn worker_loop<A: GThinkerApp>(
             shared.done.store(true, Ordering::Release);
             break;
         }
-        if let Some(task) = pop_task(shared, machine_id, &mut local_queue) {
+        if let Some(task) = pop_task(shared, machine_id, worker_id) {
             let t0 = Instant::now();
-            process_task(shared, machine_id, &mut local_queue, task);
+            process_task(shared, machine_id, worker_id, &mut scratch, task);
             busy += t0.elapsed();
             continue;
         }
         let t0 = Instant::now();
-        if spawn_batch(shared, machine_id, &mut local_queue) {
+        if spawn_batch(shared, machine_id, worker_id) {
             busy += t0.elapsed();
             continue;
         }
@@ -296,41 +305,58 @@ fn worker_loop<A: GThinkerApp>(
     busy
 }
 
-/// Pops the next task, preferring the machine's global (big-task) queue: a
-/// try-lock failure or an empty global queue falls back to the worker's local
-/// queue, each refilling from its spill files when it runs below one batch.
+/// Pops the next task for `worker_id`:
+///
+/// 1. the worker's own deque (LIFO — hottest subtree first, own lock,
+///    contention-free in the common case);
+/// 2. the machine's global queue (big tasks with priority, plus overflow),
+///    refilled from its spill files when it runs below one batch — a
+///    try-lock, so a worker never stalls behind a sibling's pop (the miss is
+///    counted as `pop_contention`);
+/// 3. a FIFO steal from the fullest sibling deque on the same machine
+///    (Figure 8's stealing, brought inside the machine).
 fn pop_task<A: GThinkerApp>(
     shared: &SharedState<'_, A>,
     machine_id: usize,
-    local_queue: &mut TaskQueue<A::Task>,
+    worker_id: usize,
 ) -> Option<A::Task> {
-    if let Some(mut gq) = shared.machines[machine_id].global_queue.try_lock() {
-        if gq.needs_refill() {
-            gq.refill_from_spill();
+    if let Some(task) = shared.worker_queues.pop_local(worker_id) {
+        return Some(task);
+    }
+    match shared.machines[machine_id].global_queue.try_lock() {
+        Some(mut gq) => {
+            if gq.needs_refill() {
+                gq.refill_from_spill();
+            }
+            if let Some(task) = gq.pop() {
+                return Some(task);
+            }
         }
-        if let Some(task) = gq.pop() {
-            return Some(task);
+        None => {
+            shared.pop_contention.fetch_add(1, Ordering::Relaxed);
         }
     }
-    if local_queue.needs_refill() {
-        local_queue.refill_from_spill();
-    }
-    local_queue.pop()
+    let tpm = shared.config.threads_per_machine;
+    let siblings = machine_id * tpm..(machine_id + 1) * tpm;
+    shared.worker_queues.steal_into(worker_id, siblings)
 }
 
-/// Routes a freshly created task to the machine's global queue (big) or the
-/// worker's local queue (small).
+/// Routes a freshly created task: big tasks go to the machine's global queue
+/// (the big-task lane the balancer steals from), small tasks go to the
+/// worker's own deque, overflowing into the global queue — and from there to
+/// disk — when the deque is at capacity (the paper's bounded-memory spilling
+/// semantics).
 fn route_task<A: GThinkerApp>(
     shared: &SharedState<'_, A>,
     machine_id: usize,
-    local_queue: &mut TaskQueue<A::Task>,
+    worker_id: usize,
     task: A::Task,
 ) -> bool {
     let big = shared.app.is_big(&task);
     if big {
         shared.machines[machine_id].global_queue.lock().push(task);
-    } else {
-        local_queue.push(task);
+    } else if let Err(task) = shared.worker_queues.push_local(worker_id, task) {
+        shared.machines[machine_id].global_queue.lock().push(task);
     }
     big
 }
@@ -342,7 +368,7 @@ fn route_task<A: GThinkerApp>(
 fn spawn_batch<A: GThinkerApp>(
     shared: &SharedState<'_, A>,
     machine_id: usize,
-    local_queue: &mut TaskQueue<A::Task>,
+    worker_id: usize,
 ) -> bool {
     let mut consumed_any = false;
     for _ in 0..shared.config.batch_size {
@@ -371,7 +397,7 @@ fn spawn_batch<A: GThinkerApp>(
         for task in ctx.new_tasks {
             shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
             shared.tasks_spawned.fetch_add(1, Ordering::Relaxed);
-            spawned_big |= route_task(shared, machine_id, local_queue, task);
+            spawned_big |= route_task(shared, machine_id, worker_id, task);
         }
         shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
         if spawned_big {
@@ -387,7 +413,8 @@ fn spawn_batch<A: GThinkerApp>(
 fn process_task<A: GThinkerApp>(
     shared: &SharedState<'_, A>,
     machine_id: usize,
-    local_queue: &mut TaskQueue<A::Task>,
+    worker_id: usize,
+    scratch: &mut MiningScratch,
     mut task: A::Task,
 ) {
     let start = Instant::now();
@@ -396,9 +423,8 @@ fn process_task<A: GThinkerApp>(
     let mut timings = TaskTimings::default();
     let mut fetch_scratch = crate::vertex_table::FetchScratch::default();
     loop {
-        let pulls = shared.app.pending_pulls(&task);
         let mut frontier = Frontier::new();
-        for v in pulls {
+        for &v in shared.app.pending_pulls(&task) {
             frontier.insert(
                 v,
                 shared.machines[machine_id]
@@ -407,7 +433,10 @@ fn process_task<A: GThinkerApp>(
             );
         }
         let mut ctx = ComputeContext::new();
+        // Loan the worker's arena to the application for this call.
+        ctx.scratch = std::mem::take(scratch);
         let more = shared.app.compute(&mut task, &frontier, &mut ctx);
+        *scratch = std::mem::take(&mut ctx.scratch);
         timings.merge(&ctx.timings);
         if ctx.interrupted {
             // The application observed the token and truncated this task.
@@ -419,7 +448,7 @@ fn process_task<A: GThinkerApp>(
         for subtask in ctx.new_tasks {
             shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
             shared.tasks_decomposed.fetch_add(1, Ordering::Relaxed);
-            route_task(shared, machine_id, local_queue, subtask);
+            route_task(shared, machine_id, worker_id, subtask);
         }
         // The task's subgraph may have grown (iterations 1–2 materialise it).
         let new_mem = shared.app.task_memory_bytes(&task) as u64;

@@ -29,10 +29,17 @@ pub struct EngineConfig {
     /// tasks (Algorithm 10).
     pub tau_time: Duration,
     /// Spill/steal batch size `C`: tasks are spilled to disk, refilled and
-    /// stolen in batches of this size.
+    /// (between machines) stolen in batches of this size.
     pub batch_size: usize,
-    /// Capacity of each mining thread's local task queue before spilling.
-    pub local_queue_capacity: usize,
+    /// Capacity of each mining thread's bounded work-stealing deque. Small
+    /// tasks beyond it overflow into the machine's spill-backed global queue,
+    /// so per-worker memory stays bounded without per-worker spill files.
+    pub local_capacity: usize,
+    /// Number of tasks one successful intra-machine steal moves from a
+    /// victim's deque (FIFO end) to the thief. `0` disables work stealing —
+    /// workers then only use their own deque and the global queue, which is
+    /// the pre-stealing behaviour the benchmark suite baselines against.
+    pub steal_batch: usize,
     /// Capacity of each machine's global task queue before spilling.
     pub global_queue_capacity: usize,
     /// Maximum number of adjacency lists kept in a machine's remote-vertex
@@ -69,7 +76,8 @@ impl Default for EngineConfig {
             tau_split: 100,
             tau_time: Duration::from_millis(10),
             batch_size: 16,
-            local_queue_capacity: 256,
+            local_capacity: 256,
+            steal_batch: 4,
             global_queue_capacity: 1024,
             vertex_cache_capacity: 100_000,
             spill_dir: None,
@@ -109,6 +117,14 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the work-stealing knobs: the per-worker deque bound and the
+    /// steal batch size (`0` disables stealing).
+    pub fn with_stealing(mut self, local_capacity: usize, steal_batch: usize) -> Self {
+        self.local_capacity = local_capacity;
+        self.steal_batch = steal_batch;
+        self
+    }
+
     /// Attaches a cancellation token polled by the worker loops.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
@@ -143,8 +159,8 @@ impl EngineConfig {
         );
         assert!(self.batch_size >= 1, "batch size must be at least 1");
         assert!(
-            self.local_queue_capacity >= self.batch_size,
-            "local queue capacity must hold at least one batch"
+            self.local_capacity >= 1,
+            "local capacity must hold at least one task"
         );
         assert!(
             self.global_queue_capacity >= self.batch_size,
@@ -200,11 +216,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "local queue capacity")]
-    fn validate_rejects_queue_smaller_than_batch() {
+    #[should_panic(expected = "local capacity")]
+    fn validate_rejects_zero_local_capacity() {
         let c = EngineConfig {
-            batch_size: 64,
-            local_queue_capacity: 32,
+            local_capacity: 0,
             ..EngineConfig::default()
         };
         c.validate();

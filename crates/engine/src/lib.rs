@@ -30,11 +30,13 @@ pub mod config;
 pub mod metrics;
 pub mod queue;
 pub mod spill;
+pub mod steal;
 pub mod task;
 pub mod vertex_table;
 
 pub use cluster::{Cluster, EngineOutput};
 pub use config::EngineConfig;
 pub use metrics::{EngineMetrics, TaskTimeRecord};
+pub use steal::WorkerQueues;
 pub use task::{ComputeContext, Frontier, GThinkerApp, TaskCodec, TaskLabel, TaskTimings};
 pub use vertex_table::{PartitionedVertexTable, RemoteVertexCache};

@@ -61,6 +61,14 @@ pub struct EngineMetrics {
     pub cache_evictions: u64,
     /// Big tasks moved between machines by the load balancer.
     pub stolen_tasks: u64,
+    /// Tasks moved between worker deques by the intra-machine steal protocol.
+    pub steals: u64,
+    /// Intra-machine steal sweeps that found every victim deque empty.
+    pub steal_failures: u64,
+    /// Worker pops that found the machine's global queue lock already held
+    /// (the contention the per-worker deques exist to avoid; with the old
+    /// single-queue pop path every one of these was a stalled worker).
+    pub pop_contention: u64,
     /// Cumulative mining time over all tasks (Table 6).
     pub total_mining_time: Duration,
     /// Cumulative subgraph-materialisation time over all tasks (Table 6).
@@ -95,11 +103,43 @@ impl EngineMetrics {
     }
 
     /// The `k` largest per-task wall times, sorted descending (Figure 2).
+    ///
+    /// Selects over an index vector with `select_nth_unstable` instead of
+    /// cloning and fully sorting the record log: `O(n + k log k)` and
+    /// 4 bytes per task of transient memory, regardless of record size.
     pub fn top_k_task_times(&self, k: usize) -> Vec<TaskTimeRecord> {
-        let mut sorted = self.task_times.clone();
-        sorted.sort_by_key(|r| std::cmp::Reverse(r.elapsed));
-        sorted.truncate(k);
-        sorted
+        let n = self.task_times.len();
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        if k < n {
+            order.select_nth_unstable_by_key(k - 1, |&i| {
+                std::cmp::Reverse(self.task_times[i as usize].elapsed)
+            });
+            order.truncate(k);
+        }
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.task_times[i as usize].elapsed));
+        order
+            .into_iter()
+            .map(|i| self.task_times[i as usize])
+            .collect()
+    }
+
+    /// The `p`-th percentile (nearest-rank, `0.0 < p <= 1.0`) of per-task
+    /// wall times, via `select_nth_unstable` over an index vector — no clone
+    /// of the record log, no full sort. `None` when no tasks were recorded.
+    pub fn task_time_percentile(&self, p: f64) -> Option<Duration> {
+        let n = self.task_times.len();
+        if n == 0 || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let (_, &mut i, _) =
+            order.select_nth_unstable_by_key(rank, |&i| self.task_times[i as usize].elapsed);
+        Some(self.task_times[i as usize].elapsed)
     }
 
     /// Aggregates per-root totals: for every spawning vertex, the summed wall
@@ -192,6 +232,25 @@ mod tests {
         assert_eq!(top2[0].root, Some(VertexId::new(2)));
         assert_eq!(top2[1].root, Some(VertexId::new(3)));
         assert_eq!(m.top_k_task_times(10).len(), 3);
+    }
+
+    #[test]
+    fn task_time_percentile_is_nearest_rank() {
+        let m = EngineMetrics {
+            task_times: (1..=100u64).map(|ms| record(1, 1, ms)).collect(),
+            ..EngineMetrics::default()
+        };
+        assert_eq!(m.task_time_percentile(0.5), Some(Duration::from_millis(50)));
+        assert_eq!(
+            m.task_time_percentile(0.99),
+            Some(Duration::from_millis(99))
+        );
+        assert_eq!(
+            m.task_time_percentile(1.0),
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(EngineMetrics::default().task_time_percentile(0.5), None);
+        assert_eq!(m.task_time_percentile(1.5), None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! in `qcm-parallel` is its only non-test implementor, mirroring Algorithms
 //! 4–10 of the paper.
 
+use qcm_core::MiningScratch;
 use qcm_graph::VertexId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -102,6 +103,11 @@ pub struct ComputeContext<T> {
     /// token fired and cut its work short; the engine aggregates it so the
     /// run's outcome reflects what was actually truncated.
     pub interrupted: bool,
+    /// The worker's mining scratch arena, loaned to the application for the
+    /// duration of this call. The engine moves one long-lived arena from
+    /// context to context, so the frames warmed up by one task's recursion
+    /// serve every later task on the same worker without reallocating.
+    pub scratch: MiningScratch,
 }
 
 impl<T> Default for ComputeContext<T> {
@@ -111,6 +117,7 @@ impl<T> Default for ComputeContext<T> {
             results: Vec::new(),
             timings: TaskTimings::default(),
             interrupted: false,
+            scratch: MiningScratch::default(),
         }
     }
 }
@@ -146,7 +153,10 @@ pub trait GThinkerApp: Send + Sync + 'static {
     /// resolves these through the local vertex table / remote-vertex cache and
     /// delivers them as the `frontier` of the next `compute` call. Freshly
     /// spawned tasks typically request Γ(v) here (Algorithm 4 lines 6–7).
-    fn pending_pulls(&self, task: &Self::Task) -> Vec<VertexId>;
+    /// Borrowed from the task — the request set lives inside the task (so it
+    /// survives queueing/spilling/stealing) and the engine reads it in place
+    /// instead of cloning a vector per compute iteration.
+    fn pending_pulls<'t>(&self, task: &'t Self::Task) -> &'t [VertexId];
 
     /// UDF `compute(t, frontier)`: advances `task` by one iteration
     /// (Algorithm 5). `frontier` contains the adjacency lists requested by

@@ -64,8 +64,8 @@ impl GThinkerApp for SummerApp {
         });
     }
 
-    fn pending_pulls(&self, task: &Self::Task) -> Vec<VertexId> {
-        task.pulls.clone()
+    fn pending_pulls<'t>(&self, task: &'t Self::Task) -> &'t [VertexId] {
+        &task.pulls
     }
 
     fn compute(
@@ -199,7 +199,7 @@ fn tiny_queues_force_spilling_without_losing_tasks() {
     let app = Arc::new(SummerApp { hub_threshold: 4 });
     let mut config = EngineConfig::single_machine(2);
     config.batch_size = 2;
-    config.local_queue_capacity = 2;
+    config.local_capacity = 2;
     config.global_queue_capacity = 2;
     config.spill_dir =
         Some(std::env::temp_dir().join(format!("qcm_engine_spill_test_{}", std::process::id())));

@@ -90,6 +90,17 @@ impl VertexBitSet {
         self.words.fill(0);
     }
 
+    /// Clears the set and re-targets it to a (possibly different) capacity,
+    /// reusing the existing word buffer whenever it is large enough. This is
+    /// what lets a scratch pool recycle bitsets across task subgraphs of
+    /// different sizes without reallocating.
+    pub fn reset(&mut self, capacity: usize) {
+        let words = capacity.div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.capacity = capacity;
+    }
+
     /// Number of members (popcount over all words).
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

@@ -316,6 +316,14 @@ pub mod perf {
     static EDGE_QUERIES: Striped = Striped([ZERO; LANES]);
     static BITSET_HITS: Striped = Striped([ZERO; LANES]);
     static INTERSECTIONS: Striped = Striped([ZERO; LANES]);
+    static ALLOCATIONS_AVOIDED: Striped = Striped([ZERO; LANES]);
+    static SCRATCH_FRESH_ALLOCS: Striped = Striped([ZERO; LANES]);
+    static STEALS: Striped = Striped([ZERO; LANES]);
+    static STEAL_FAILURES: Striped = Striped([ZERO; LANES]);
+    /// High-water mark of pooled scratch bytes — a gauge, not a counter, so
+    /// it is a single `fetch_max` cell (updated only when a pool grows, which
+    /// is rare by construction).
+    static SCRATCH_BYTES_PEAK: AtomicU64 = AtomicU64::new(0);
 
     /// This thread's counter lane (assigned round-robin on first use).
     #[inline]
@@ -336,15 +344,40 @@ pub mod perf {
         pub bitset_hits: u64,
         /// Candidate-set / neighborhood intersections performed.
         pub intersections: u64,
+        /// Scratch-frame requests served from a pool instead of the heap
+        /// (each would have been a fresh allocation before the arena).
+        pub allocations_avoided: u64,
+        /// Scratch-frame requests that did hit the heap (pool growth and the
+        /// fresh-allocation reference mode). In steady state this stays flat
+        /// while `allocations_avoided` grows with every tree node.
+        pub scratch_fresh_allocs: u64,
+        /// High-water mark of bytes resident in scratch pools. A gauge: it
+        /// only ever grows, so [`PerfSnapshot::since`] keeps the later value
+        /// instead of differencing.
+        pub scratch_bytes_peak: u64,
+        /// Tasks moved between worker deques by the work-stealing pop path.
+        pub steals: u64,
+        /// Steal attempts that found every victim deque empty.
+        pub steal_failures: u64,
     }
 
     impl PerfSnapshot {
         /// Counter deltas `self − earlier` (saturating, for reset races).
+        /// `scratch_bytes_peak` is a gauge and keeps the later value.
         pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
             PerfSnapshot {
                 edge_queries: self.edge_queries.saturating_sub(earlier.edge_queries),
                 bitset_hits: self.bitset_hits.saturating_sub(earlier.bitset_hits),
                 intersections: self.intersections.saturating_sub(earlier.intersections),
+                allocations_avoided: self
+                    .allocations_avoided
+                    .saturating_sub(earlier.allocations_avoided),
+                scratch_fresh_allocs: self
+                    .scratch_fresh_allocs
+                    .saturating_sub(earlier.scratch_fresh_allocs),
+                scratch_bytes_peak: self.scratch_bytes_peak,
+                steals: self.steals.saturating_sub(earlier.steals),
+                steal_failures: self.steal_failures.saturating_sub(earlier.steal_failures),
             }
         }
     }
@@ -367,12 +400,47 @@ pub mod perf {
         INTERSECTIONS.add(n);
     }
 
+    /// Adds `n` pool-served scratch-frame requests.
+    #[inline]
+    pub fn count_allocations_avoided(n: u64) {
+        ALLOCATIONS_AVOIDED.add(n);
+    }
+
+    /// Adds `n` heap-served scratch-frame requests.
+    #[inline]
+    pub fn count_scratch_fresh_allocs(n: u64) {
+        SCRATCH_FRESH_ALLOCS.add(n);
+    }
+
+    /// Raises the pooled-scratch-bytes high-water mark to at least `bytes`.
+    #[inline]
+    pub fn record_scratch_bytes(bytes: u64) {
+        SCRATCH_BYTES_PEAK.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds `n` stolen tasks.
+    #[inline]
+    pub fn count_steals(n: u64) {
+        STEALS.add(n);
+    }
+
+    /// Adds `n` failed steal sweeps.
+    #[inline]
+    pub fn count_steal_failures(n: u64) {
+        STEAL_FAILURES.add(n);
+    }
+
     /// Reads all counters (sum over lanes).
     pub fn snapshot() -> PerfSnapshot {
         PerfSnapshot {
             edge_queries: EDGE_QUERIES.sum(),
             bitset_hits: BITSET_HITS.sum(),
             intersections: INTERSECTIONS.sum(),
+            allocations_avoided: ALLOCATIONS_AVOIDED.sum(),
+            scratch_fresh_allocs: SCRATCH_FRESH_ALLOCS.sum(),
+            scratch_bytes_peak: SCRATCH_BYTES_PEAK.load(Ordering::Relaxed),
+            steals: STEALS.sum(),
+            steal_failures: STEAL_FAILURES.sum(),
         }
     }
 
@@ -382,6 +450,11 @@ pub mod perf {
         EDGE_QUERIES.reset();
         BITSET_HITS.reset();
         INTERSECTIONS.reset();
+        ALLOCATIONS_AVOIDED.reset();
+        SCRATCH_FRESH_ALLOCS.reset();
+        STEALS.reset();
+        STEAL_FAILURES.reset();
+        SCRATCH_BYTES_PEAK.store(0, Ordering::Relaxed);
     }
 }
 

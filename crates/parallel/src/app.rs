@@ -105,8 +105,8 @@ impl GThinkerApp for QuasiCliqueApp {
         ctx.add_task(QCTask::spawned(v, larger));
     }
 
-    fn pending_pulls(&self, task: &Self::Task) -> Vec<VertexId> {
-        task.pull_targets.clone()
+    fn pending_pulls<'t>(&self, task: &'t Self::Task) -> &'t [VertexId] {
+        &task.pull_targets
     }
 
     /// Algorithm 5: dispatch on the task's iteration.
@@ -126,7 +126,7 @@ impl GThinkerApp for QuasiCliqueApp {
                 iteration_2(task, frontier, k)
             }
             TaskPhase::Mine => {
-                let outcome = run_mine_phase(task, &self.mine_phase_params());
+                let outcome = run_mine_phase(task, &self.mine_phase_params(), &mut ctx.scratch);
                 for r in outcome.results {
                     ctx.emit(r);
                 }

@@ -187,11 +187,11 @@ mod tests {
             .filter(|&u| u > root)
             .collect();
         let mut task = QCTask::spawned(root, larger);
-        let f1 = frontier_for(g, &task.pull_targets.clone());
+        let f1 = frontier_for(g, &task.pull_targets);
         if !iteration_1(&mut task, &f1, k) {
             return None;
         }
-        let f2 = frontier_for(g, &task.pull_targets.clone());
+        let f2 = frontier_for(g, &task.pull_targets);
         if !iteration_2(&mut task, &f2, k) {
             return None;
         }
@@ -261,7 +261,7 @@ mod tests {
         let root = v(0);
         let larger: Vec<VertexId> = g.neighbors(root).to_vec();
         let mut task = QCTask::spawned(root, larger);
-        let f1 = frontier_for(&g, &task.pull_targets.clone());
+        let f1 = frontier_for(&g, &task.pull_targets);
         assert!(iteration_1(&mut task, &f1, 3));
         for w in &task.pull_targets {
             assert!(task.one_hop.binary_search(w).is_err());

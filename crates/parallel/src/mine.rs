@@ -18,12 +18,11 @@
 //! separately from the mining time; the ratio is Table 6 of the paper.
 
 use crate::task::{QCTask, TaskGraph};
-use qcm_core::cover::{find_cover_vertex, move_cover_to_tail};
+use qcm_core::recursive_mine::{cover_prune_prefix, shrink_by_diameter};
 use qcm_core::{
-    is_quasi_clique_local, iterative_bounding, recursive_mine, two_hop_bits, CancelToken,
-    MiningContext, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
+    is_quasi_clique_local, iterative_bounding, recursive_mine, CancelToken, MiningContext,
+    MiningParams, MiningScratch, MiningStats, PruneConfig, QuasiCliqueSet,
 };
-use qcm_graph::neighborhoods::perf;
 use qcm_graph::{IndexSpec, LocalGraph, VertexId};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -75,8 +74,15 @@ pub struct MinePhaseParams {
     pub index: IndexSpec,
 }
 
-/// Runs iteration 3 for `task`.
-pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
+/// Runs iteration 3 for `task`. `scratch` is the calling worker's arena: it
+/// is moved into the mining context for the duration of the phase and handed
+/// back afterwards, so the recursion frames warmed up by one task serve the
+/// worker's next task without reallocating.
+pub fn run_mine_phase(
+    task: &QCTask,
+    phase: &MinePhaseParams,
+    scratch: &mut MiningScratch,
+) -> MineOutcome {
     let started = Instant::now();
     let mut outcome = MineOutcome::default();
 
@@ -105,6 +111,7 @@ pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
     {
         let mut ctx = MiningContext::with_config(&graph, phase.params, phase.config, &mut sink);
         ctx.cancel = phase.cancel.clone();
+        ctx.scratch = std::mem::take(scratch);
         ctx.stats.tasks_processed = 1;
 
         if ext_local.is_empty() {
@@ -132,6 +139,7 @@ pub fn run_mine_phase(task: &QCTask, phase: &MinePhaseParams) -> MineOutcome {
         }
         outcome.stats = ctx.stats;
         outcome.interrupted = ctx.interrupted;
+        *scratch = std::mem::take(&mut ctx.scratch);
     }
 
     outcome.results = sink.into_sorted_vec();
@@ -184,18 +192,6 @@ impl SubtaskCollector<'_> {
     }
 }
 
-/// Restricts `ext` to `B(v)` (two hops of `v` in the task subgraph) when the
-/// diameter rule applies.
-fn shrink_by_diameter(ctx: &MiningContext<'_>, ext: &[u32], v: u32) -> Vec<u32> {
-    if ctx.config.diameter && ctx.params.gamma.diameter_two_applies() {
-        let b_v = two_hop_bits(ctx.graph, v);
-        perf::count_intersections(1);
-        ext.iter().copied().filter(|&u| b_v.contains(u)).collect()
-    } else {
-        ext.to_vec()
-    }
-}
-
 /// Algorithm 8 (lines 3–24): decompose a big task into one subtask per
 /// surviving extension vertex, applying the same pruning as the recursion.
 fn size_threshold_decompose(
@@ -205,49 +201,58 @@ fn size_threshold_decompose(
     collector: &mut SubtaskCollector<'_>,
 ) {
     let prefix_len = if ctx.config.cover_vertex {
-        let cover = find_cover_vertex(ctx.graph, s, ext, &ctx.params);
-        ctx.stats.cover_skipped += cover.covered.len() as u64;
-        move_cover_to_tail(ext, &cover.covered)
+        cover_prune_prefix(ctx, s, ext)
     } else {
         ext.len()
     };
-    let branch: Vec<u32> = ext[..prefix_len].to_vec();
-    for &v in &branch {
+    let mut branch = ctx.scratch.take_vec_cap(prefix_len);
+    branch.extend_from_slice(&ext[..prefix_len]);
+    let mut i = 0usize;
+    while i < branch.len() {
+        let v = branch[i];
+        i += 1;
         if ctx.is_cancelled() {
-            return;
+            break;
         }
         if s.len() + ext.len() < ctx.params.min_size {
-            return;
+            break;
         }
         if ctx.config.lookahead {
-            let mut whole: Vec<u32> = Vec::with_capacity(s.len() + ext.len());
+            let mut whole = ctx.scratch.take_vec_cap(s.len() + ext.len());
             whole.extend_from_slice(s);
             whole.extend_from_slice(ext);
-            if is_quasi_clique_local(ctx.graph, &whole, &ctx.params) {
+            let hit = is_quasi_clique_local(ctx.graph, &whole, &ctx.params);
+            if hit {
                 ctx.stats.lookahead_hits += 1;
                 ctx.report(&whole);
-                return;
+            }
+            ctx.scratch.put_vec(whole);
+            if hit {
+                break;
             }
         }
         ext.retain(|&u| u != v);
-        let mut s_prime: Vec<u32> = Vec::with_capacity(s.len() + 1);
+        let mut s_prime = ctx.scratch.take_vec_cap(s.len() + 1);
         s_prime.extend_from_slice(s);
         s_prime.push(v);
         ctx.stats.nodes_expanded += 1;
-        let mut ext_prime = shrink_by_diameter(ctx, ext, v);
+        let mut ext_prime = ctx.scratch.take_vec();
+        shrink_by_diameter(ctx, ext, v, &mut ext_prime);
 
         // Algorithm 8 lines 15–16: the parent loses track of the subtask, so
         // G(S') is checked eagerly.
         ctx.report_if_valid(&s_prime);
 
-        if ext_prime.is_empty() {
-            continue;
+        if !ext_prime.is_empty() {
+            let pruned = iterative_bounding(ctx, &mut s_prime, &mut ext_prime);
+            if !pruned && s_prime.len() + ext_prime.len() >= ctx.params.min_size {
+                collector.add(&s_prime, &ext_prime);
+            }
         }
-        let pruned = iterative_bounding(ctx, &mut s_prime, &mut ext_prime);
-        if !pruned && s_prime.len() + ext_prime.len() >= ctx.params.min_size {
-            collector.add(&s_prime, &ext_prime);
-        }
+        ctx.scratch.put_vec(ext_prime);
+        ctx.scratch.put_vec(s_prime);
     }
+    ctx.scratch.put_vec(branch);
 }
 
 /// Algorithm 10: backtracking with time-delayed decomposition. Identical to
@@ -265,71 +270,82 @@ fn time_delayed(
 ) -> bool {
     let mut found = false;
     let prefix_len = if ctx.config.cover_vertex {
-        let cover = find_cover_vertex(ctx.graph, s, ext, &ctx.params);
-        ctx.stats.cover_skipped += cover.covered.len() as u64;
-        move_cover_to_tail(ext, &cover.covered)
+        cover_prune_prefix(ctx, s, ext)
     } else {
         ext.len()
     };
-    let branch: Vec<u32> = ext[..prefix_len].to_vec();
-    for &v in &branch {
+    // This depth's branch frame, borrowed from the worker's arena.
+    let mut branch = ctx.scratch.take_vec_cap(prefix_len);
+    branch.extend_from_slice(&ext[..prefix_len]);
+    let mut i = 0usize;
+    while i < branch.len() {
+        let v = branch[i];
+        i += 1;
         // Cooperative cancellation: abandon the remaining subtrees without
         // offloading them — the run is ending, not decomposing.
         if ctx.is_cancelled() {
-            return found;
+            break;
         }
         // Line 6.
         if s.len() + ext.len() < ctx.params.min_size {
-            return found;
+            break;
         }
         // Lines 7–8: lookahead.
         if ctx.config.lookahead {
-            let mut whole: Vec<u32> = Vec::with_capacity(s.len() + ext.len());
+            let mut whole = ctx.scratch.take_vec_cap(s.len() + ext.len());
             whole.extend_from_slice(s);
             whole.extend_from_slice(ext);
-            if is_quasi_clique_local(ctx.graph, &whole, &ctx.params) {
+            let hit = is_quasi_clique_local(ctx.graph, &whole, &ctx.params);
+            if hit {
                 ctx.stats.lookahead_hits += 1;
                 ctx.report(&whole);
-                return found;
+            }
+            ctx.scratch.put_vec(whole);
+            if hit {
+                break;
             }
         }
         // Lines 9–10.
         ext.retain(|&u| u != v);
-        let mut s_prime: Vec<u32> = Vec::with_capacity(s.len() + 1);
+        let mut s_prime = ctx.scratch.take_vec_cap(s.len() + 1);
         s_prime.extend_from_slice(s);
         s_prime.push(v);
         ctx.stats.nodes_expanded += 1;
-        let mut ext_prime = shrink_by_diameter(ctx, ext, v);
+        let mut ext_prime = ctx.scratch.take_vec();
+        shrink_by_diameter(ctx, ext, v, &mut ext_prime);
 
         if ext_prime.is_empty() {
             // Lines 11–14.
             if ctx.report_if_valid(&s_prime) {
                 found = true;
             }
-            continue;
-        }
-        // Line 16.
-        let pruned = iterative_bounding(ctx, &mut s_prime, &mut ext_prime);
+        } else {
+            // Line 16.
+            let pruned = iterative_bounding(ctx, &mut s_prime, &mut ext_prime);
 
-        if Instant::now() > deadline {
-            // Lines 18–24: offload the remaining subtree as a new task.
-            if !pruned && s_prime.len() + ext_prime.len() >= ctx.params.min_size {
-                collector.add(&s_prime, &ext_prime);
-                // The subtask will not tell us about its findings, so examine
-                // G(S') now to avoid missing a maximal result.
-                if ctx.report_if_valid(&s_prime) {
+            if Instant::now() > deadline {
+                // Lines 18–24: offload the remaining subtree as a new task.
+                if !pruned && s_prime.len() + ext_prime.len() >= ctx.params.min_size {
+                    collector.add(&s_prime, &ext_prime);
+                    // The subtask will not tell us about its findings, so
+                    // examine G(S') now to avoid missing a maximal result.
+                    if ctx.report_if_valid(&s_prime) {
+                        found = true;
+                    }
+                }
+            } else if !pruned && s_prime.len() + ext_prime.len() >= ctx.params.min_size {
+                // Lines 25–30: regular backtracking.
+                let child_found = time_delayed(ctx, &s_prime, &mut ext_prime, deadline, collector);
+                found = found || child_found;
+                if !child_found && ctx.report_if_valid(&s_prime) {
                     found = true;
                 }
             }
-        } else if !pruned && s_prime.len() + ext_prime.len() >= ctx.params.min_size {
-            // Lines 25–30: regular backtracking.
-            let child_found = time_delayed(ctx, &s_prime, &mut ext_prime, deadline, collector);
-            found = found || child_found;
-            if !child_found && ctx.report_if_valid(&s_prime) {
-                found = true;
-            }
         }
+        ctx.scratch.put_vec(ext_prime);
+        ctx.scratch.put_vec(s_prime);
     }
+    ctx.scratch.put_vec(branch);
     found
 }
 
@@ -403,7 +419,7 @@ mod tests {
         while let Some(t) = queue.pop() {
             processed += 1;
             assert!(processed < 10_000, "decomposition does not terminate");
-            let out = run_mine_phase(&t, p);
+            let out = run_mine_phase(&t, p, &mut MiningScratch::default());
             for r in out.results {
                 sink.insert(r);
             }
@@ -465,7 +481,7 @@ mod tests {
         let g = figure4();
         let p = phase(DecompositionStrategy::TimeDelayed, 100, Duration::ZERO);
         let task = mine_task(&g, 0);
-        let out = run_mine_phase(&task, &p);
+        let out = run_mine_phase(&task, &p, &mut MiningScratch::default());
         if !out.subtasks.is_empty() {
             assert!(out.materialization_time > Duration::ZERO);
         }
@@ -490,7 +506,7 @@ mod tests {
         token.cancel();
         p.cancel = token;
         let task = mine_task(&g, 0);
-        let out = run_mine_phase(&task, &p);
+        let out = run_mine_phase(&task, &p, &mut MiningScratch::default());
         assert!(out.subtasks.is_empty(), "a dying run must not decompose");
         assert!(out.results.is_empty());
     }
@@ -516,7 +532,7 @@ mod tests {
             100,
             Duration::from_secs(1),
         );
-        let out = run_mine_phase(&task, &p);
+        let out = run_mine_phase(&task, &p, &mut MiningScratch::default());
         assert_eq!(out.results.len(), 1);
         assert_eq!(out.results[0], s);
     }

@@ -35,7 +35,7 @@ fn tiny_queues_with_disk_spill_produce_correct_results() {
     let spill_dir = std::env::temp_dir().join(format!("qcm_fault_spill_{}", std::process::id()));
     let mut config = EngineConfig::single_machine(4);
     config.batch_size = 2;
-    config.local_queue_capacity = 2;
+    config.local_capacity = 2;
     config.global_queue_capacity = 2;
     config.tau_split = 1; // every task is "big" → hammer the global queue
     config.tau_time = Duration::ZERO; // maximal decomposition
