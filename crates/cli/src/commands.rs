@@ -47,6 +47,8 @@ MINE OPTIONS:
     --tau-time-ms <n>    decomposition timeout τ_time in milliseconds (default 10)
     --deadline-ms <n>    wall-clock budget; an exceeded deadline returns the
                          partial results found so far, labelled as such
+    --transport <t>      inter-machine transport: inproc (default, zero-copy)
+                         or strict (every message round-trips its wire form)
     --format <fmt>       output format: text (default) or json
     --serial             use the single-threaded reference miner
     --output <file>      write the result sets to a file (default: print summary only)";
@@ -68,6 +70,7 @@ const MINE_FLAGS: FlagSpec = FlagSpec {
         "tau-split",
         "tau-time-ms",
         "deadline-ms",
+        "transport",
         "format",
         "output",
     ],
@@ -196,7 +199,21 @@ pub fn mine(args: &[String]) -> Result<(), QcmError> {
     let backend = if flags.has_switch("serial") {
         Backend::Serial
     } else {
-        Backend::Parallel { threads, machines }
+        let transport = match flags.values.get("transport").map(String::as_str) {
+            None | Some("inproc") => qcm::TransportKind::InProc,
+            Some("strict") => qcm::TransportKind::InProcStrict,
+            Some(other) => {
+                return Err(QcmError::InvalidConfig(format!(
+                    "invalid value {other:?} for --transport (expected inproc or strict; \
+                     the fault simulator is driven through the library API)"
+                )))
+            }
+        };
+        Backend::Parallel {
+            threads,
+            machines,
+            transport,
+        }
     };
     let tau_split: usize = flags.get("tau-split", 100usize)?;
     let tau_time_ms: u64 = flags.get("tau-time-ms", 10u64)?;
@@ -272,6 +289,7 @@ fn report_to_json(report: &MiningReport, gamma: f64, min_size: usize) -> String 
         qcm::RunOutcome::Complete => "complete",
         qcm::RunOutcome::Cancelled => "cancelled",
         qcm::RunOutcome::DeadlineExceeded => "deadline_exceeded",
+        qcm::RunOutcome::Faulted => "faulted",
     };
     let sets: Vec<String> = report
         .maximal
@@ -523,6 +541,49 @@ mod tests {
         // Cluster-shape flags are validated even when --serial ignores them.
         let err = mine(&args(&[&path, "--serial", "--threads", "abc"])).unwrap_err();
         assert!(matches!(err, QcmError::InvalidConfig(_)));
+        let err = mine(&args(&[&path, "--transport", "bogus"])).unwrap_err();
+        let QcmError::InvalidConfig(msg) = err else {
+            panic!("expected InvalidConfig for --transport bogus");
+        };
+        assert!(msg.contains("transport"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_transport_mines_the_same_results_as_the_default() {
+        let dir = std::env::temp_dir().join(format!("qcm_cli_strict_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("tiny.txt");
+        let dataset = qcm_gen::datasets::tiny_test_dataset(6);
+        io::write_edge_list_file(&dataset.graph, &graph_path).unwrap();
+        let gamma = format!("{}", dataset.spec.gamma);
+        let min_size = dataset.spec.min_size.to_string();
+        let run = |transport: &str, out: &std::path::Path| {
+            mine(&args(&[
+                &graph_path.to_string_lossy(),
+                "--gamma",
+                &gamma,
+                "--min-size",
+                &min_size,
+                "--threads",
+                "2",
+                "--machines",
+                "2",
+                "--transport",
+                transport,
+                "--output",
+                &out.to_string_lossy(),
+            ]))
+            .unwrap();
+        };
+        let default_out = dir.join("inproc.txt");
+        let strict_out = dir.join("strict.txt");
+        run("inproc", &default_out);
+        run("strict", &strict_out);
+        let a = std::fs::read_to_string(&default_out).unwrap();
+        let b = std::fs::read_to_string(&strict_out).unwrap();
+        assert_eq!(a, b, "strict transport changed the mined result sets");
+        assert!(!a.trim().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

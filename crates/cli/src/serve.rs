@@ -353,6 +353,7 @@ fn render_result(cmd: &str, result: &JobResult, format: Format) -> String {
         RunOutcome::Complete => "complete",
         RunOutcome::Cancelled => "cancelled",
         RunOutcome::DeadlineExceeded => "deadline_exceeded",
+        RunOutcome::Faulted => "faulted",
     };
     match format {
         Format::Text => format!(

@@ -39,6 +39,10 @@ pub enum RunOutcome {
     /// the search space (and may contain sets a complete run would have
     /// replaced with supersets).
     DeadlineExceeded,
+    /// A fault (message loss, node crash, pull timeout) dropped part of the
+    /// workload and it could not be recovered; the result set covers only the
+    /// portion of the search space that completed.
+    Faulted,
 }
 
 impl RunOutcome {

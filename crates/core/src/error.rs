@@ -40,6 +40,9 @@ impl QcmError {
             RunOutcome::Complete => None,
             RunOutcome::Cancelled => Some(QcmError::Cancelled),
             RunOutcome::DeadlineExceeded => Some(QcmError::DeadlineExceeded),
+            RunOutcome::Faulted => Some(QcmError::Engine(
+                "faults dropped part of the workload; results are partial".into(),
+            )),
         }
     }
 }
@@ -115,6 +118,10 @@ mod tests {
         assert!(matches!(
             QcmError::from_outcome(RunOutcome::DeadlineExceeded),
             Some(QcmError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            QcmError::from_outcome(RunOutcome::Faulted),
+            Some(QcmError::Engine(_))
         ));
     }
 }

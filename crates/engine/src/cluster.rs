@@ -18,12 +18,14 @@
 //! load-balancer thread periodically evens out pending big tasks across
 //! machines (task stealing).
 
+use crate::codec::EngineMsg;
 use crate::config::EngineConfig;
 use crate::metrics::{EngineMetrics, TaskTimeRecord};
 use crate::queue::TaskQueue;
 use crate::spill::{SpillMetrics, SpillStore};
 use crate::steal::WorkerQueues;
-use crate::task::{ComputeContext, Frontier, GThinkerApp, TaskTimings};
+use crate::task::{ComputeContext, Frontier, GThinkerApp, TaskCodec, TaskTimings};
+use crate::transport::Transport;
 use crate::vertex_table::{DataService, FetchMetrics, PartitionedVertexTable};
 
 use parking_lot::Mutex;
@@ -65,6 +67,17 @@ struct SharedState<'a, A: GThinkerApp> {
     /// tasks live here; the machines' global queues keep the big-task lane
     /// and the spill/overflow path.
     worker_queues: WorkerQueues<A::Task>,
+    /// The inter-machine message-passing layer. All cross-machine
+    /// interactions (pulls, steal requests/grants, spill/refill notices,
+    /// shutdown) travel through it; same-machine paths stay shared-memory.
+    transport: Arc<dyn Transport>,
+    /// Monotonic sequence numbers for steal requests, so grants and acks can
+    /// be correlated in event logs.
+    steal_seq: AtomicU64,
+    /// True once a fault (pull retry budget exhausted, undecodable stolen
+    /// task) dropped part of the workload; labels the run
+    /// [`RunOutcome::Faulted`] unless cancellation explains the loss.
+    faulted: AtomicBool,
     /// Tasks spawned or decomposed but not yet fully processed (plus a
     /// transient +1 held while a spawn call is in flight, which closes the
     /// race between the spawn-cursor decrement and the task registration).
@@ -135,6 +148,8 @@ impl<A: GThinkerApp> Cluster<A> {
         let table = PartitionedVertexTable::with_index(index.clone(), config.num_machines);
         let spill_metrics = Arc::new(SpillMetrics::default());
         let fetch_metrics = Arc::new(FetchMetrics::default());
+        let transport = config.transport.build(config.num_machines);
+        transport.bind(&table);
 
         let machines: Vec<MachineState<A::Task>> = (0..config.num_machines)
             .map(|m| {
@@ -155,7 +170,9 @@ impl<A: GThinkerApp> Cluster<A> {
                         m,
                         config.vertex_cache_capacity,
                         fetch_metrics.clone(),
-                        config.fetch_latency,
+                        transport.clone(),
+                        config.pull_timeout,
+                        config.pull_retries,
                     ),
                 }
             })
@@ -172,6 +189,9 @@ impl<A: GThinkerApp> Cluster<A> {
                 config.local_capacity,
                 config.steal_batch,
             ),
+            transport: transport.clone(),
+            steal_seq: AtomicU64::new(0),
+            faulted: AtomicBool::new(false),
             pending_tasks: AtomicUsize::new(0),
             unspawned: AtomicUsize::new(unspawned_total),
             done: AtomicBool::new(false),
@@ -210,6 +230,7 @@ impl<A: GThinkerApp> Cluster<A> {
         .expect("engine worker thread panicked");
 
         let results = shared.results.into_inner();
+        let transport_stats = transport.stats();
         let metrics = EngineMetrics {
             elapsed: start.elapsed(),
             tasks_spawned: shared.tasks_spawned.load(Ordering::Relaxed),
@@ -225,6 +246,11 @@ impl<A: GThinkerApp> Cluster<A> {
             remote_bytes: fetch_metrics.remote_bytes.load(Ordering::Relaxed),
             cache_hits: fetch_metrics.cache_hits.load(Ordering::Relaxed),
             cache_evictions: fetch_metrics.cache_evictions.load(Ordering::Relaxed),
+            pull_retries: fetch_metrics.pull_retries.load(Ordering::Relaxed),
+            pull_failures: fetch_metrics.pull_failures.load(Ordering::Relaxed),
+            transport_messages: transport_stats.messages_sent,
+            transport_dropped: transport_stats.messages_dropped,
+            virtual_time: None,
             stolen_tasks: shared.stolen_tasks.load(Ordering::Relaxed),
             steals: shared.worker_queues.steals(),
             steal_failures: shared.worker_queues.steal_failures(),
@@ -236,14 +262,19 @@ impl<A: GThinkerApp> Cluster<A> {
             task_times: shared.task_times.into_inner(),
             worker_busy: worker_busy.into_inner(),
             // Interrupted iff work was actually dropped: a task truncated its
-            // own backtracking, a queued/in-flight task was abandoned, or a
-            // vertex was never spawned. A cancellation that fires after the
-            // pool drained leaves the run Complete.
+            // own backtracking, a queued/in-flight task was abandoned, a
+            // vertex was never spawned, or a fault lost part of the workload.
+            // A cancellation that fires after the pool drained leaves the run
+            // Complete; dropped work with no cancellation to blame is a fault.
             outcome: if shared.interrupted.load(Ordering::Acquire)
                 || shared.pending_tasks.load(Ordering::Acquire) > 0
                 || shared.unspawned.load(Ordering::Acquire) > 0
+                || shared.faulted.load(Ordering::Acquire)
             {
-                config.cancel.run_outcome()
+                match config.cancel.run_outcome() {
+                    RunOutcome::Complete => RunOutcome::Faulted,
+                    cancelled => cancelled,
+                }
             } else {
                 RunOutcome::Complete
             },
@@ -279,8 +310,13 @@ fn worker_loop<A: GThinkerApp>(
         // workers exit, from the work that actually remained.
         if config.cancel.is_cancelled() {
             shared.done.store(true, Ordering::Release);
+            broadcast_shutdown(shared, machine_id);
             break;
         }
+        // Drain this machine's transport mailbox first: steal grants refill
+        // the global queue and must land before the idle check below, or an
+        // in-flight batch could starve behind sleeping workers.
+        pump_inbox(shared, machine_id);
         if let Some(task) = pop_task(shared, machine_id, worker_id) {
             let t0 = Instant::now();
             process_task(shared, machine_id, worker_id, &mut scratch, task);
@@ -293,16 +329,122 @@ fn worker_loop<A: GThinkerApp>(
             continue;
         }
         // Nothing to pop, nothing to spawn: either the job is finished or
-        // other workers still hold pending tasks.
+        // other workers still hold pending tasks. Tasks serialised inside an
+        // in-flight steal grant still count as pending, so a machine never
+        // declares completion while a batch is on the wire.
         if shared.pending_tasks.load(Ordering::Acquire) == 0
             && shared.unspawned.load(Ordering::Acquire) == 0
         {
             shared.done.store(true, Ordering::Release);
+            broadcast_shutdown(shared, machine_id);
             break;
         }
         std::thread::sleep(Duration::from_micros(200));
     }
     busy
+}
+
+/// Tells every other machine the run is over (`done` is also a shared flag,
+/// but the explicit [`EngineMsg::Shutdown`] keeps the protocol complete for
+/// transports whose machines do not share memory).
+fn broadcast_shutdown<A: GThinkerApp>(shared: &SharedState<'_, A>, machine_id: usize) {
+    for peer in 0..shared.config.num_machines {
+        if peer != machine_id {
+            let _ = shared.transport.send(machine_id, peer, EngineMsg::Shutdown);
+        }
+    }
+}
+
+/// Drains and handles every message currently queued for `machine_id`.
+///
+/// Any worker of the machine may pump; the mailbox is machine-addressed, not
+/// worker-addressed. Pull requests are answered defensively (the in-process
+/// transport serves pulls synchronously itself, so none should appear here,
+/// but a split-phase transport stays live), steal requests are granted from
+/// the machine's big-task lane, grants are decoded into it.
+fn pump_inbox<A: GThinkerApp>(shared: &SharedState<'_, A>, machine_id: usize) {
+    while let Some(env) = shared.transport.try_recv(machine_id) {
+        match env.msg {
+            EngineMsg::PullRequest { token, vertices } => {
+                let lists = vertices
+                    .iter()
+                    .map(|&v| (v, Arc::new(shared.table.adjacency(v).to_vec())))
+                    .collect();
+                let _ = shared.transport.send(
+                    machine_id,
+                    env.from,
+                    EngineMsg::PullResponse { token, lists },
+                );
+            }
+            // Stray pull response (its requester already timed out): ignore.
+            EngineMsg::PullResponse { .. } => {}
+            EngineMsg::StealRequest { seq, count } => {
+                let batch = shared.machines[machine_id]
+                    .global_queue
+                    .lock()
+                    .take_batch(count as usize);
+                if batch.is_empty() {
+                    continue;
+                }
+                let tasks: Vec<Vec<u8>> = batch
+                    .iter()
+                    .map(|t| {
+                        let mut buf = Vec::new();
+                        t.encode(&mut buf);
+                        buf
+                    })
+                    .collect();
+                if shared
+                    .transport
+                    .send(machine_id, env.from, EngineMsg::StealGrant { seq, tasks })
+                    .is_err()
+                {
+                    // Unreachable peer: keep the batch local rather than lose it.
+                    let mut gq = shared.machines[machine_id].global_queue.lock();
+                    for t in batch {
+                        gq.push(t);
+                    }
+                }
+            }
+            EngineMsg::StealGrant { seq, tasks } => {
+                let mut decoded = Vec::with_capacity(tasks.len());
+                let mut lost = 0usize;
+                for buf in &tasks {
+                    let mut slice = buf.as_slice();
+                    match <A::Task as TaskCodec>::decode(&mut slice) {
+                        Some(t) => decoded.push(t),
+                        None => lost += 1,
+                    }
+                }
+                if lost > 0 {
+                    // An undecodable task can never run: release its pending
+                    // slot so the pool still drains, and label the run.
+                    shared.faulted.store(true, Ordering::Release);
+                    shared.pending_tasks.fetch_sub(lost, Ordering::AcqRel);
+                }
+                let n = decoded.len() as u64;
+                if n > 0 {
+                    let mut gq = shared.machines[machine_id].global_queue.lock();
+                    for t in decoded {
+                        gq.push(t);
+                    }
+                    shared.stolen_tasks.fetch_add(n, Ordering::Relaxed);
+                }
+                let _ = shared
+                    .transport
+                    .send(machine_id, env.from, EngineMsg::StealAck { seq });
+            }
+            // The in-process transport is lossless once a grant is enqueued,
+            // so the ack closes the loop without retransmit state.
+            EngineMsg::StealAck { .. } => {}
+            // Load hints from other machines' spill paths; the balancer reads
+            // authoritative queue depths directly, so these are informational.
+            EngineMsg::SpillNotice { .. } | EngineMsg::RefillNotice { .. } => {}
+            EngineMsg::Shutdown => {
+                shared.done.store(true, Ordering::Release);
+            }
+        }
+    }
 }
 
 /// Pops the next task for `worker_id`:
@@ -326,7 +468,20 @@ fn pop_task<A: GThinkerApp>(
     match shared.machines[machine_id].global_queue.try_lock() {
         Some(mut gq) => {
             if gq.needs_refill() {
-                gq.refill_from_spill();
+                let restored = gq.refill_from_spill();
+                if restored > 0 {
+                    // Lock order is global-queue → inbox here and inbox →
+                    // global-queue in the pump, but the pump releases the
+                    // inbox lock before touching the queue, so no cycle.
+                    notify_master(
+                        shared,
+                        machine_id,
+                        EngineMsg::RefillNotice {
+                            machine: machine_id as u32,
+                            restored: restored as u32,
+                        },
+                    );
+                }
             }
             if let Some(task) = gq.pop() {
                 return Some(task);
@@ -353,12 +508,38 @@ fn route_task<A: GThinkerApp>(
     task: A::Task,
 ) -> bool {
     let big = shared.app.is_big(&task);
-    if big {
-        shared.machines[machine_id].global_queue.lock().push(task);
+    let (spilled, pending) = if big {
+        let mut gq = shared.machines[machine_id].global_queue.lock();
+        (gq.push(task), gq.total_pending())
     } else if let Err(task) = shared.worker_queues.push_local(worker_id, task) {
-        shared.machines[machine_id].global_queue.lock().push(task);
+        let mut gq = shared.machines[machine_id].global_queue.lock();
+        (gq.push(task), gq.total_pending())
+    } else {
+        (0, 0)
+    };
+    if spilled > 0 {
+        // Tell the master this machine is under memory pressure; the
+        // balancer reads authoritative depths itself, so the notice is a
+        // protocol-level load hint (and shows up in simulator event logs).
+        notify_master(
+            shared,
+            machine_id,
+            EngineMsg::SpillNotice {
+                machine: machine_id as u32,
+                pending: pending as u64,
+            },
+        );
     }
     big
+}
+
+/// Sends a notice to machine 0, where the master balancer conceptually
+/// lives. Self-notices (machine 0's own spills) are observed locally and not
+/// sent.
+fn notify_master<A: GThinkerApp>(shared: &SharedState<'_, A>, machine_id: usize, msg: EngineMsg) {
+    if shared.config.num_machines > 1 && machine_id != 0 {
+        let _ = shared.transport.send(machine_id, 0, msg);
+    }
 }
 
 /// Spawns up to one batch of root tasks from the machine's spawn cursor,
@@ -425,12 +606,22 @@ fn process_task<A: GThinkerApp>(
     loop {
         let mut frontier = Frontier::new();
         for &v in shared.app.pending_pulls(&task) {
-            frontier.insert(
-                v,
-                shared.machines[machine_id]
-                    .data
-                    .fetch_with(v, &mut fetch_scratch),
-            );
+            match shared.machines[machine_id]
+                .data
+                .fetch_with(v, &mut fetch_scratch)
+            {
+                Ok(adj) => frontier.insert(v, adj),
+                Err(_) => {
+                    // The pull exhausted its retry budget: abandon the task
+                    // and label the run as partial. Results already emitted
+                    // by this task's earlier iterations are kept.
+                    shared.faulted.store(true, Ordering::Release);
+                    shared.machines[machine_id].data.flush(&mut fetch_scratch);
+                    shared.sub_active_bytes(mem);
+                    shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
+                    return;
+                }
+            }
         }
         let mut ctx = ComputeContext::new();
         // Loan the worker's arena to the application for this call.
@@ -482,9 +673,14 @@ fn process_task<A: GThinkerApp>(
 }
 
 /// Master load-balancing loop: every `balance_period`, even out pending big
-/// tasks across machines by moving at most one batch from the richest to the
-/// poorest machine (Section 5's stealing plan, simplified to the in-process
-/// setting where "transmitting a task file" is a queue-to-queue move).
+/// tasks across machines by asking the richest machine to grant a batch to
+/// the poorest (Section 5's stealing plan). The move itself is
+/// message-passing: the master sends an [`EngineMsg::StealRequest`] on the
+/// poor machine's behalf, the rich machine's workers answer with an
+/// [`EngineMsg::StealGrant`] carrying the serialised batch, and the poor
+/// machine decodes it into its big-task lane and acks. Queue depths are read
+/// through the shared locks — a control-plane read the master performs
+/// directly, the way G-thinker's master aggregates load reports.
 fn balancer_loop<A: GThinkerApp>(shared: &SharedState<'_, A>) {
     let config = shared.config;
     while !shared.done.load(Ordering::Acquire) {
@@ -509,20 +705,14 @@ fn balancer_loop<A: GThinkerApp>(shared: &SharedState<'_, A>) {
             continue;
         }
         let to_move = config.batch_size.min((rich_count - poor_count) / 2).max(1);
-        let moved = {
-            let mut rich_queue = shared.machines[rich].global_queue.lock();
-            rich_queue.take_batch(to_move)
-        };
-        if moved.is_empty() {
-            continue;
-        }
-        let n = moved.len() as u64;
-        {
-            let mut poor_queue = shared.machines[poor].global_queue.lock();
-            for t in moved {
-                poor_queue.push(t);
-            }
-        }
-        shared.stolen_tasks.fetch_add(n, Ordering::Relaxed);
+        let seq = shared.steal_seq.fetch_add(1, Ordering::Relaxed);
+        let _ = shared.transport.send(
+            poor,
+            rich,
+            EngineMsg::StealRequest {
+                seq,
+                count: to_move as u32,
+            },
+        );
     }
 }

@@ -5,6 +5,7 @@
 //! the spill batch size `C`, the queue/cache capacities and the simulated
 //! cluster shape (number of machines × mining threads per machine).
 
+use crate::transport::TransportFactory;
 use qcm_core::CancelToken;
 use qcm_graph::{IndexSpec, NeighborhoodIndex};
 use std::path::PathBuf;
@@ -50,9 +51,16 @@ pub struct EngineConfig {
     pub spill_dir: Option<PathBuf>,
     /// Period of the master's load-balancing loop (big-task stealing).
     pub balance_period: Duration,
-    /// Simulated per-remote-fetch latency added by the comm layer (0 for the
-    /// pure in-process simulation).
-    pub fetch_latency: Duration,
+    /// Builds the inter-machine transport for each run. The config holds a
+    /// factory rather than a live channel handle so it stays `Clone + Debug`
+    /// and every run starts with fresh mailboxes and counters.
+    pub transport: TransportFactory,
+    /// Per-attempt timeout of a remote vertex pull.
+    pub pull_timeout: Duration,
+    /// Additional pull attempts after the first times out; when the budget is
+    /// exhausted the task is abandoned and the run is labelled
+    /// [`qcm_core::RunOutcome::Faulted`].
+    pub pull_retries: u32,
     /// Cooperative cancellation: workers poll this at the top of their pop
     /// loop and drain out when it fires, so a cancelled or deadline-hit run
     /// returns the results emitted so far. Defaults to a never-firing token.
@@ -82,7 +90,9 @@ impl Default for EngineConfig {
             vertex_cache_capacity: 100_000,
             spill_dir: None,
             balance_period: Duration::from_millis(20),
-            fetch_latency: Duration::ZERO,
+            transport: TransportFactory::default(),
+            pull_timeout: Duration::from_millis(100),
+            pull_retries: 3,
             cancel: CancelToken::never(),
             index: IndexSpec::Auto,
             shared_index: None,
@@ -141,6 +151,23 @@ impl EngineConfig {
     /// cluster start.
     pub fn with_shared_index(mut self, index: Arc<NeighborhoodIndex>) -> Self {
         self.shared_index = Some(index);
+        self
+    }
+
+    /// Chooses the inter-machine transport (default: zero-copy in-process).
+    pub fn with_transport(mut self, transport: TransportFactory) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Pre-transport shim: sets the simulated per-remote-fetch latency on the
+    /// in-process transport.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use with_transport(TransportFactory::in_proc().with_fetch_latency(..)) instead"
+    )]
+    pub fn with_fetch_latency(mut self, latency: Duration) -> Self {
+        self.transport = self.transport.with_fetch_latency(latency);
         self
     }
 
@@ -203,6 +230,17 @@ mod tests {
         let c = EngineConfig::single_machine(2).with_decomposition(50, Duration::from_millis(1));
         assert_eq!(c.tau_split, 50);
         assert_eq!(c.tau_time, Duration::from_millis(1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_fetch_latency_shim_configures_the_transport() {
+        let c = EngineConfig::single_machine(2).with_fetch_latency(Duration::from_micros(50));
+        let transport = c.transport.build(c.num_machines);
+        assert_eq!(transport.fetch_latency(), Duration::from_micros(50));
+        assert!(transport.shared_memory());
+        let strict = EngineConfig::cluster(2, 2).with_transport(TransportFactory::strict());
+        assert!(!strict.transport.build(2).shared_memory());
     }
 
     #[test]

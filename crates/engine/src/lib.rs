@@ -29,14 +29,22 @@ pub mod codec;
 pub mod config;
 pub mod metrics;
 pub mod queue;
+pub mod sim;
 pub mod spill;
 pub mod steal;
 pub mod task;
+pub mod transport;
 pub mod vertex_table;
 
 pub use cluster::{Cluster, EngineOutput};
+pub use codec::EngineMsg;
 pub use config::EngineConfig;
 pub use metrics::{EngineMetrics, TaskTimeRecord};
+pub use sim::{Fault, FaultEvent, SimCluster, SimConfig, SimOutput, SimTransport};
 pub use steal::WorkerQueues;
 pub use task::{ComputeContext, Frontier, GThinkerApp, TaskCodec, TaskLabel, TaskTimings};
-pub use vertex_table::{PartitionedVertexTable, RemoteVertexCache};
+pub use transport::{
+    Envelope, InProcTransport, Transport, TransportError, TransportFactory, TransportKind,
+    TransportStats,
+};
+pub use vertex_table::{AdjList, PartitionedVertexTable, RemoteVertexCache};

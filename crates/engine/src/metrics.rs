@@ -59,6 +59,20 @@ pub struct EngineMetrics {
     pub cache_hits: u64,
     /// Vertex-cache evictions.
     pub cache_evictions: u64,
+    /// Pull attempts that timed out and were retried.
+    pub pull_retries: u64,
+    /// Pulls abandoned after exhausting their retry budget (each one
+    /// abandons a task and forces a [`RunOutcome::Faulted`] label).
+    pub pull_failures: u64,
+    /// Messages accepted by the transport (all kinds).
+    pub transport_messages: u64,
+    /// Messages the transport dropped in flight (fault injection /
+    /// simulated loss).
+    pub transport_dropped: u64,
+    /// Virtual clock at the end of a simulated run (`None` for live runs).
+    /// Simulated rows measure virtual time, so the bench harness excludes
+    /// them from the wall-time regression gate.
+    pub virtual_time: Option<Duration>,
     /// Big tasks moved between machines by the load balancer.
     pub stolen_tasks: u64,
     /// Tasks moved between worker deques by the intra-machine steal protocol.

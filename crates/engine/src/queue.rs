@@ -50,15 +50,20 @@ impl<T: TaskCodec> TaskQueue<T> {
     }
 
     /// Pushes a task to the tail. If the queue is full, a batch of `C` tasks
-    /// from the tail is spilled to disk first to make room.
-    pub fn push(&mut self, task: T) {
+    /// from the tail is spilled to disk first to make room. Returns the
+    /// number of tasks spilled (0 in the common case), so the caller can
+    /// raise a spill notice.
+    pub fn push(&mut self, task: T) -> usize {
+        let mut spilled = 0;
         if self.deque.len() >= self.capacity {
             let spill_count = self.batch.min(self.deque.len());
             let start = self.deque.len() - spill_count;
             let batch: Vec<T> = self.deque.drain(start..).collect();
             self.spill.spill(&batch);
+            spilled = spill_count;
         }
         self.deque.push_back(task);
+        spilled
     }
 
     /// Pops a task from the head.

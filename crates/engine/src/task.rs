@@ -8,10 +8,10 @@
 //! in `qcm-parallel` is its only non-test implementor, mirroring Algorithms
 //! 4–10 of the paper.
 
+use crate::vertex_table::AdjList;
 use qcm_core::MiningScratch;
 use qcm_graph::VertexId;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Serialisation hooks used when tasks are spilled to disk (Section 5: task
@@ -26,9 +26,20 @@ pub trait TaskCodec: Sized {
 
 /// Adjacency lists delivered to a task for the vertices it pulled in its
 /// previous iteration (the `frontier` argument of `compute`).
+///
+/// Entries are [`AdjList`]s: locally owned vertices borrow the shared graph
+/// in place, lists that crossed the transport are owned. `insert` accepts
+/// anything convertible (an `AdjList`, an `Arc<Vec<VertexId>>`, a plain
+/// `Vec<VertexId>`), so application code and tests build frontiers the same
+/// way they always did.
+///
+/// Iteration is in increasing vertex-id order (a `BTreeMap`, not a
+/// `HashMap`): applications fold frontiers into task state, so a
+/// seed-and-replay deterministic run — the fault simulator's core promise —
+/// needs the iteration order itself to be reproducible.
 #[derive(Clone, Debug, Default)]
 pub struct Frontier {
-    lists: HashMap<VertexId, Arc<Vec<VertexId>>>,
+    lists: BTreeMap<VertexId, AdjList>,
 }
 
 impl Frontier {
@@ -38,8 +49,8 @@ impl Frontier {
     }
 
     /// Adds the adjacency list of `v`.
-    pub fn insert(&mut self, v: VertexId, adj: Arc<Vec<VertexId>>) {
-        self.lists.insert(v, adj);
+    pub fn insert(&mut self, v: VertexId, adj: impl Into<AdjList>) {
+        self.lists.insert(v, adj.into());
     }
 
     /// The adjacency list of `v`, if it was pulled.
@@ -201,6 +212,7 @@ pub struct TaskLabel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[derive(Clone, Debug, PartialEq)]
     struct DummyTask(u32);

@@ -9,10 +9,62 @@
 //! are preserved so the communication-volume and cache-pressure aspects of
 //! the design remain observable.
 
+use crate::transport::{Transport, TransportError};
 use qcm_graph::{Graph, IndexSpec, NeighborhoodIndex, Neighborhoods, VertexId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// An adjacency list held by a task frontier.
+///
+/// Locally owned vertices borrow straight through the shared graph (zero
+/// copies, zero allocation — an `Arc` bump on the graph handle); lists that
+/// crossed the transport (remote fetches, cache hits, decoded wire payloads)
+/// are owned. Callers only ever see [`AdjList::as_slice`], so the two shapes
+/// are interchangeable.
+#[derive(Clone, Debug)]
+pub enum AdjList {
+    /// Γ(v) read in place from the shared in-process graph.
+    Shared(Arc<Graph>, VertexId),
+    /// An owned (fetched or decoded) adjacency list.
+    Owned(Arc<Vec<VertexId>>),
+}
+
+impl AdjList {
+    /// The neighbor ids.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        match self {
+            AdjList::Shared(graph, v) => graph.neighbors(*v),
+            AdjList::Owned(list) => list,
+        }
+    }
+
+    /// Number of neighbors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl From<Arc<Vec<VertexId>>> for AdjList {
+    fn from(list: Arc<Vec<VertexId>>) -> Self {
+        AdjList::Owned(list)
+    }
+}
+
+impl From<Vec<VertexId>> for AdjList {
+    fn from(list: Vec<VertexId>) -> Self {
+        AdjList::Owned(Arc::new(list))
+    }
+}
 
 /// Hash partitioning of vertices over machines plus access to adjacency
 /// lists and edge queries.
@@ -131,6 +183,10 @@ pub struct FetchMetrics {
     pub cache_hits: AtomicU64,
     /// Cache evictions.
     pub cache_evictions: AtomicU64,
+    /// Pull attempts that timed out and were retried.
+    pub pull_retries: AtomicU64,
+    /// Pulls abandoned after exhausting their retry budget.
+    pub pull_failures: AtomicU64,
 }
 
 /// A bounded FIFO cache of remote adjacency lists (per machine).
@@ -206,62 +262,144 @@ pub struct FetchScratch {
     pub cache_hits: u64,
     /// Cache evictions.
     pub cache_evictions: u64,
+    /// Pull attempts that timed out and were retried.
+    pub pull_retries: u64,
+    /// Pulls abandoned after exhausting their retry budget.
+    pub pull_failures: u64,
 }
 
 /// Per-machine data access façade: local reads go straight to the partition,
-/// remote reads go through the cache and are counted as network traffic.
+/// remote reads go through the cache and then the [`Transport`], with
+/// per-attempt timeouts and a bounded retry budget.
 pub struct DataService {
     table: PartitionedVertexTable,
     machine: usize,
     cache: parking_lot::Mutex<RemoteVertexCache>,
     metrics: Arc<FetchMetrics>,
-    fetch_latency: std::time::Duration,
+    transport: Arc<dyn Transport>,
+    pull_timeout: Duration,
+    pull_retries: u32,
 }
 
 impl DataService {
-    /// Creates the data service of one machine.
+    /// Creates the data service of one machine over `transport`.
     pub fn new(
         table: PartitionedVertexTable,
         machine: usize,
         cache_capacity: usize,
         metrics: Arc<FetchMetrics>,
-        fetch_latency: std::time::Duration,
+        transport: Arc<dyn Transport>,
+        pull_timeout: Duration,
+        pull_retries: u32,
     ) -> Self {
         DataService {
             table,
             machine,
             cache: parking_lot::Mutex::new(RemoteVertexCache::new(cache_capacity)),
             metrics,
-            fetch_latency,
+            transport,
+            pull_timeout,
+            pull_retries,
         }
     }
 
-    /// Fetches Γ(v), serving locally owned vertices from the partition and
-    /// remote vertices through the cache, accumulating traffic counters into
-    /// `scratch` (flush them with [`DataService::flush`]).
-    pub fn fetch_with(&self, v: VertexId, scratch: &mut FetchScratch) -> Arc<Vec<VertexId>> {
+    /// Pre-transport constructor: an implicit in-process transport with the
+    /// given simulated latency.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a transport via TransportFactory and use DataService::new instead"
+    )]
+    pub fn simulated(
+        table: PartitionedVertexTable,
+        machine: usize,
+        cache_capacity: usize,
+        metrics: Arc<FetchMetrics>,
+        fetch_latency: Duration,
+    ) -> Self {
+        let transport = crate::transport::TransportFactory::in_proc()
+            .with_fetch_latency(fetch_latency)
+            .build(table.num_machines());
+        transport.bind(&table);
+        DataService::new(
+            table,
+            machine,
+            cache_capacity,
+            metrics,
+            transport,
+            Duration::from_millis(100),
+            0,
+        )
+    }
+
+    /// Fetches Γ(v), serving locally owned vertices by borrowing the shared
+    /// partition (zero-copy) and remote vertices through the cache and the
+    /// transport, accumulating traffic counters into `scratch` (flush them
+    /// with [`DataService::flush`]).
+    ///
+    /// # Errors
+    /// [`TransportError`] when a remote pull exhausts its retry budget — the
+    /// engine abandons the task and labels the run
+    /// [`qcm_core::RunOutcome::Faulted`].
+    pub fn fetch_with(
+        &self,
+        v: VertexId,
+        scratch: &mut FetchScratch,
+    ) -> Result<AdjList, TransportError> {
         if self.table.is_local(self.machine, v) {
             scratch.local_reads += 1;
-            return Arc::new(self.table.adjacency(v).to_vec());
+            // Requester and owner share this machine: borrow through the
+            // in-proc fast path instead of cloning the adjacency.
+            return Ok(AdjList::Shared(self.table.graph().clone(), v));
         }
         if let Some(hit) = self.cache.lock().get(v) {
             scratch.cache_hits += 1;
-            return hit;
+            return Ok(AdjList::Owned(hit));
         }
-        // Simulated remote fetch.
-        if !self.fetch_latency.is_zero() {
-            std::thread::sleep(self.fetch_latency);
-        }
-        let adj = Arc::new(self.table.adjacency(v).to_vec());
+        let adj = if self.transport.shared_memory() {
+            // Zero-copy transport: owners' partitions are readable in place.
+            // The copy below *is* the simulated transfer into this machine's
+            // address space, so remote traffic stays measurable.
+            let latency = self.transport.fetch_latency();
+            if !latency.is_zero() {
+                std::thread::sleep(latency);
+            }
+            Arc::new(self.table.adjacency(v).to_vec())
+        } else {
+            let mut attempt = 0u32;
+            loop {
+                match self.transport.pull(
+                    self.machine,
+                    self.table.owner(v),
+                    &[v],
+                    self.pull_timeout,
+                ) {
+                    Ok(mut reply) => match reply.pop() {
+                        Some((rv, adj)) if rv == v => break adj,
+                        _ => {
+                            scratch.pull_failures += 1;
+                            return Err(TransportError::Closed);
+                        }
+                    },
+                    Err(TransportError::Timeout) if attempt < self.pull_retries => {
+                        attempt += 1;
+                        scratch.pull_retries += 1;
+                    }
+                    Err(err) => {
+                        scratch.pull_failures += 1;
+                        return Err(err);
+                    }
+                }
+            }
+        };
         scratch.remote_fetches += 1;
         scratch.remote_bytes += adj.len() as u64 * 4;
         scratch.cache_evictions += self.cache.lock().insert(v, adj.clone());
-        adj
+        Ok(AdjList::Owned(adj))
     }
 
     /// Convenience wrapper around [`DataService::fetch_with`] that flushes the
     /// counters immediately (used by tests and one-off fetches).
-    pub fn fetch(&self, v: VertexId) -> Arc<Vec<VertexId>> {
+    pub fn fetch(&self, v: VertexId) -> Result<AdjList, TransportError> {
         let mut scratch = FetchScratch::default();
         let adj = self.fetch_with(v, &mut scratch);
         self.flush(&mut scratch);
@@ -295,6 +433,16 @@ impl DataService {
             self.metrics
                 .cache_evictions
                 .fetch_add(scratch.cache_evictions, Ordering::Relaxed);
+        }
+        if scratch.pull_retries > 0 {
+            self.metrics
+                .pull_retries
+                .fetch_add(scratch.pull_retries, Ordering::Relaxed);
+        }
+        if scratch.pull_failures > 0 {
+            self.metrics
+                .pull_failures
+                .fetch_add(scratch.pull_failures, Ordering::Relaxed);
         }
         *scratch = FetchScratch::default();
     }
@@ -358,34 +506,92 @@ mod tests {
         assert_eq!(cache.insert(VertexId::new(3), Arc::new(vec![])), 0);
     }
 
-    #[test]
-    fn data_service_counts_local_and_remote() {
+    fn service_with(
+        factory: crate::transport::TransportFactory,
+        cache_capacity: usize,
+        pull_retries: u32,
+    ) -> (DataService, Arc<FetchMetrics>) {
         let table = PartitionedVertexTable::new(sample_graph(), 2);
         let metrics = Arc::new(FetchMetrics::default());
-        let service = DataService::new(table, 0, 10, metrics.clone(), Duration::ZERO);
+        let transport = factory.build(table.num_machines());
+        transport.bind(&table);
+        let service = DataService::new(
+            table,
+            0,
+            cache_capacity,
+            metrics.clone(),
+            transport,
+            Duration::from_millis(50),
+            pull_retries,
+        );
+        (service, metrics)
+    }
+
+    #[test]
+    fn data_service_counts_local_and_remote() {
+        let (service, metrics) = service_with(crate::transport::TransportFactory::in_proc(), 10, 0);
         // Vertex 0 is owned by machine 0 (0 % 2), vertex 1 by machine 1.
-        let local = service.fetch(VertexId::new(0));
+        let local = service.fetch(VertexId::new(0)).unwrap();
         assert_eq!(local.len(), 1);
+        assert!(
+            matches!(local, AdjList::Shared(..)),
+            "local fetches must borrow, not clone"
+        );
         assert_eq!(metrics.local_reads.load(Ordering::Relaxed), 1);
-        let remote = service.fetch(VertexId::new(1));
+        let remote = service.fetch(VertexId::new(1)).unwrap();
         assert_eq!(remote.len(), 2);
         assert_eq!(metrics.remote_fetches.load(Ordering::Relaxed), 1);
         assert!(metrics.remote_bytes.load(Ordering::Relaxed) > 0);
         // Second fetch of the same remote vertex hits the cache.
-        let _ = service.fetch(VertexId::new(1));
+        let _ = service.fetch(VertexId::new(1)).unwrap();
         assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.remote_fetches.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn tiny_cache_records_evictions() {
+        let (service, metrics) = service_with(crate::transport::TransportFactory::in_proc(), 1, 0);
+        // Vertices 1, 3, 5 are remote to machine 0; cache holds one entry.
+        let _ = service.fetch(VertexId::new(1)).unwrap();
+        let _ = service.fetch(VertexId::new(3)).unwrap();
+        let _ = service.fetch(VertexId::new(5)).unwrap();
+        assert!(metrics.cache_evictions.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn strict_transport_serves_identical_lists() {
+        let g = sample_graph();
+        let (service, _) = service_with(crate::transport::TransportFactory::strict(), 10, 0);
+        for v in g.vertices() {
+            assert_eq!(service.fetch(v).unwrap().as_slice(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn dropped_pulls_retry_then_fail_when_budget_is_exhausted() {
+        // Two armed drops, one retry: the first remote pull burns the retry
+        // on drop #1, hits drop #2 and fails.
+        let (service, metrics) = service_with(
+            crate::transport::TransportFactory::strict().with_pull_drops(2),
+            10,
+            1,
+        );
+        let err = service.fetch(VertexId::new(1)).unwrap_err();
+        assert_eq!(err, TransportError::Timeout);
+        assert_eq!(metrics.pull_retries.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.pull_failures.load(Ordering::Relaxed), 1);
+        // The drops are spent; the next pull succeeds after the failure.
+        assert!(service.fetch(VertexId::new(1)).is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_simulated_constructor_still_serves() {
         let table = PartitionedVertexTable::new(sample_graph(), 2);
         let metrics = Arc::new(FetchMetrics::default());
-        let service = DataService::new(table, 0, 1, metrics.clone(), Duration::ZERO);
-        // Vertices 1, 3, 5 are remote to machine 0; cache holds one entry.
-        let _ = service.fetch(VertexId::new(1));
-        let _ = service.fetch(VertexId::new(3));
-        let _ = service.fetch(VertexId::new(5));
-        assert!(metrics.cache_evictions.load(Ordering::Relaxed) >= 2);
+        let service = DataService::simulated(table, 0, 4, metrics.clone(), Duration::ZERO);
+        assert_eq!(service.fetch(VertexId::new(0)).unwrap().len(), 1);
+        assert_eq!(service.fetch(VertexId::new(1)).unwrap().len(), 2);
+        assert_eq!(metrics.remote_fetches.load(Ordering::Relaxed), 1);
     }
 }

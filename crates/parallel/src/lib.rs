@@ -39,6 +39,7 @@ pub mod app;
 pub mod iterations;
 pub mod mine;
 pub mod runner;
+pub mod sim;
 pub mod task;
 
 pub use app::QuasiCliqueApp;
@@ -46,4 +47,5 @@ pub use mine::{DecompositionStrategy, MineOutcome, MinePhaseParams};
 #[allow(deprecated)]
 pub use runner::mine_parallel;
 pub use runner::{ParallelMiner, ParallelMiningOutput};
+pub use sim::{SimMiner, SimMiningOutput};
 pub use task::{QCTask, TaskGraph, TaskPhase};

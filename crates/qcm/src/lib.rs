@@ -26,7 +26,7 @@
 //! let parallel = Session::builder()
 //!     .gamma(dataset.spec.gamma)
 //!     .min_size(dataset.spec.min_size)
-//!     .backend(Backend::Parallel { threads: 4, machines: 1 })
+//!     .backend(Backend::parallel(4, 1))
 //!     .build()?
 //!     .run(&graph)?;
 //! assert_eq!(serial.maximal, parallel.maximal);
@@ -101,9 +101,18 @@
 //! ```text
 //! mine_serial(&g, params)       →  Session::builder().params(params).build()?.run(&g)?
 //! mine_parallel(&g, params, t)  →  Session::builder().params(params)
-//!                                      .backend(Backend::Parallel { threads: t, machines: 1 })
+//!                                      .backend(Backend::parallel(t, 1))
 //!                                      .build()?.run(&g)?
 //! ```
+//!
+//! ## Distribution & fault testing
+//!
+//! `Backend::Parallel` carries a [`TransportKind`]: the default in-process
+//! transport, a strict serialising variant, or
+//! [`TransportKind::Sim`] — a deterministic discrete-event fault simulator
+//! that replays a seeded 64-machine crash/straggler/partition scenario
+//! byte-identically. See the README's "Distribution & fault testing" section
+//! and `tests/fault_scenarios.rs`.
 
 pub mod session;
 
@@ -116,6 +125,7 @@ pub use qcm_parallel as parallel;
 pub use qcm_core::{
     CancelReason, CancelToken, CollectingSink, QcmError, QueryKey, ResultSink, RunOutcome,
 };
+pub use qcm_engine::{Fault, FaultEvent, SimConfig, TransportKind};
 pub use qcm_graph::{IndexSpec, NeighborhoodIndex, Neighborhoods, VertexBitSet};
 pub use session::{Backend, BackendStats, MiningReport, PreparedGraph, Session, SessionBuilder};
 
@@ -132,7 +142,7 @@ pub mod prelude {
         Backend, BackendStats, CancelReason, CancelToken, CollectingSink, MiningReport, QcmError,
         ResultSink, RunOutcome, Session, SessionBuilder,
     };
-    pub use crate::{IndexSpec, PreparedGraph};
+    pub use crate::{Fault, FaultEvent, IndexSpec, PreparedGraph, SimConfig, TransportKind};
     pub use qcm_core::{
         quick_mine, Gamma, MiningOutput, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
         QueryKey, SerialMiner,
@@ -177,8 +187,8 @@ pub fn mine_serial(graph: &Graph, params: MiningParams) -> MiningOutput {
 /// [`Session`] with [`Backend::Parallel`]).
 #[deprecated(
     since = "0.2.0",
-    note = "use Session::builder().params(params).backend(Backend::Parallel { threads, machines: 1 \
-            }).build()?.run(&graph)? instead"
+    note = "use Session::builder().params(params).backend(Backend::parallel(threads, \
+            1)).build()?.run(&graph)? instead"
 )]
 pub fn mine_parallel(
     graph: &Arc<Graph>,
@@ -187,13 +197,18 @@ pub fn mine_parallel(
 ) -> ParallelMiningOutput {
     let session = Session::builder()
         .params(params)
-        .backend(Backend::Parallel {
-            threads: threads.max(1),
-            machines: 1,
-        })
+        .backend(Backend::parallel(threads.max(1), 1))
         .build()
         .expect("MiningParams invariants satisfy Session validation");
-    let report = session.run_parallel(graph, None, threads.max(1), 1, session.cancel_token(), None);
+    let report = session.run_parallel(
+        graph,
+        None,
+        threads.max(1),
+        1,
+        &TransportKind::InProc,
+        session.cancel_token(),
+        None,
+    );
     let metrics = match report.stats {
         BackendStats::Parallel { metrics } => *metrics,
         BackendStats::Serial { .. } => unreachable!("parallel run produced serial stats"),
@@ -219,10 +234,7 @@ mod tests {
             .min_size(dataset.spec.min_size);
         let serial = base.clone().build().unwrap().run(&graph).unwrap();
         let parallel = base
-            .backend(Backend::Parallel {
-                threads: 2,
-                machines: 1,
-            })
+            .backend(Backend::parallel(2, 1))
             .build()
             .unwrap()
             .run(&graph)

@@ -14,7 +14,7 @@
 //! let session = Session::builder()
 //!     .gamma(dataset.spec.gamma)
 //!     .min_size(dataset.spec.min_size)
-//!     .backend(Backend::Parallel { threads: 4, machines: 1 })
+//!     .backend(Backend::parallel(4, 1))
 //!     .build()
 //!     .expect("valid configuration");
 //! let report = session.run(&graph).unwrap();
@@ -33,14 +33,14 @@ use qcm_core::{
     CancelToken, CandidateForwarder, MiningParams, MiningStats, PruneConfig, QcmError,
     QuasiCliqueSet, ResultSink, RunOutcome, SerialMiner,
 };
-use qcm_engine::{EngineConfig, EngineMetrics};
+use qcm_engine::{EngineConfig, EngineMetrics, SimConfig, TransportFactory, TransportKind};
 use qcm_graph::{Graph, IndexSpec, NeighborhoodIndex};
-use qcm_parallel::{DecompositionStrategy, ParallelMiner};
+use qcm_parallel::{DecompositionStrategy, ParallelMiner, SimMiner};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Which execution engine a [`Session`] drives.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub enum Backend {
     /// The single-threaded reference miner (Algorithm 2).
     #[default]
@@ -53,7 +53,25 @@ pub enum Backend {
         /// Simulated machines (each owns a vertex-table partition, a global
         /// big-task queue and a remote-vertex cache).
         machines: usize,
+        /// How messages move between machines: the zero-copy in-process
+        /// transport (default), its strict serialising variant, or the
+        /// deterministic fault simulator ([`TransportKind::Sim`], which runs
+        /// the job in virtual time under a seeded fault scenario).
+        transport: TransportKind,
     },
+}
+
+impl Backend {
+    /// The parallel backend with the default in-process transport — the
+    /// common case, and the shape the old two-field `Backend::Parallel`
+    /// literal built.
+    pub fn parallel(threads: usize, machines: usize) -> Self {
+        Backend::Parallel {
+            threads,
+            machines,
+            transport: TransportKind::default(),
+        }
+    }
 }
 
 /// Per-backend statistics of a [`MiningReport`].
@@ -152,6 +170,7 @@ pub struct SessionBuilder {
     balance_period: Option<Duration>,
     cancel: Option<CancelToken>,
     index: IndexSpec,
+    transport: Option<TransportKind>,
 }
 
 impl Default for SessionBuilder {
@@ -169,6 +188,7 @@ impl Default for SessionBuilder {
             balance_period: None,
             cancel: None,
             index: IndexSpec::Auto,
+            transport: None,
         }
     }
 }
@@ -260,6 +280,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the inter-machine transport of the parallel backend,
+    /// overriding whatever the [`SessionBuilder::backend`] call carried.
+    /// Requires [`Backend::Parallel`]; [`SessionBuilder::build`] rejects the
+    /// combination with [`Backend::Serial`].
+    ///
+    /// [`TransportKind::Sim`] runs the job on the deterministic fault
+    /// simulator: virtual time, seeded latency/drops, scripted crashes. Sim
+    /// runs ignore wall-clock deadlines (bounded by
+    /// [`SimConfig::max_virtual_us`] instead) and do not stream raw
+    /// candidates to a [`ResultSink`] (maximal results are still delivered).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Validates the configuration and builds the [`Session`].
     ///
     /// # Errors
@@ -287,13 +322,27 @@ impl SessionBuilder {
                 MiningParams::new(gamma, self.min_size)
             }
         };
-        if let Backend::Parallel { threads, machines } = self.backend {
-            if threads == 0 {
+        let mut backend = self.backend;
+        if let Some(kind) = self.transport {
+            match &mut backend {
+                Backend::Parallel { transport, .. } => *transport = kind,
+                Backend::Serial => {
+                    return Err(QcmError::InvalidConfig(
+                        "transport selection requires the parallel backend".into(),
+                    ));
+                }
+            }
+        }
+        if let Backend::Parallel {
+            threads, machines, ..
+        } = &backend
+        {
+            if *threads == 0 {
                 return Err(QcmError::InvalidConfig(
                     "parallel backend needs at least one thread per machine".into(),
                 ));
             }
-            if machines == 0 {
+            if *machines == 0 {
                 return Err(QcmError::InvalidConfig(
                     "parallel backend needs at least one machine".into(),
                 ));
@@ -302,7 +351,7 @@ impl SessionBuilder {
         Ok(Session {
             params,
             prune: self.prune,
-            backend: self.backend,
+            backend,
             strategy: self.strategy,
             deadline: self.deadline,
             tau_split: self.tau_split,
@@ -389,7 +438,7 @@ impl Session {
 
     /// The configured backend.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.backend.clone()
     }
 
     /// A handle to cancel this session's runs from another thread. Firing it
@@ -457,13 +506,18 @@ impl Session {
         // Arm the per-run token: session cancellation plus this run's
         // deadline, composed into one poll.
         let run_token = self.cancel.with_deadline(self.deadline);
-        let report = match self.backend {
+        let report = match &self.backend {
             Backend::Serial => self.run_serial(graph.as_ref(), run_token, sink.as_deref_mut()),
-            Backend::Parallel { threads, machines } => self.run_parallel(
-                graph,
-                shared_index,
+            Backend::Parallel {
                 threads,
                 machines,
+                transport,
+            } => self.run_parallel(
+                graph,
+                shared_index,
+                *threads,
+                *machines,
+                transport,
                 run_token,
                 sink.as_deref_mut(),
             ),
@@ -504,19 +558,30 @@ impl Session {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_parallel<'a, 'b>(
         &self,
         graph: &Arc<Graph>,
         shared_index: Option<&Arc<NeighborhoodIndex>>,
         threads: usize,
         machines: usize,
+        transport: &TransportKind,
         cancel: CancelToken,
         sink: Option<&'a mut (dyn ResultSink + 'b)>,
     ) -> MiningReport {
+        if let TransportKind::Sim(sim) = transport {
+            return self.run_sim(graph, shared_index, threads, machines, sim.clone());
+        }
+        let factory = match transport {
+            TransportKind::InProc => TransportFactory::in_proc(),
+            TransportKind::InProcStrict => TransportFactory::strict(),
+            TransportKind::Sim(_) => unreachable!("handled above"),
+        };
         let mut config = EngineConfig::cluster(machines, threads)
             .with_decomposition(self.tau_split, self.tau_time)
             .with_cancel(cancel)
-            .with_index(self.index);
+            .with_index(self.index)
+            .with_transport(factory);
         if let Some(index) = shared_index {
             config = config.with_shared_index(index.clone());
         }
@@ -540,6 +605,39 @@ impl Session {
             raw_reported: output.raw_reported,
             elapsed,
             outcome,
+            stats: BackendStats::Parallel {
+                metrics: Box::new(output.metrics),
+            },
+        }
+    }
+
+    /// Runs the job on the deterministic fault simulator
+    /// ([`TransportKind::Sim`]). Thread counts are not modelled and
+    /// wall-clock cancellation is ignored — the run is bounded by the
+    /// scenario's virtual-time horizon; a scenario that loses work
+    /// permanently yields [`RunOutcome::Faulted`] with the surviving valid
+    /// results.
+    fn run_sim(
+        &self,
+        graph: &Arc<Graph>,
+        shared_index: Option<&Arc<NeighborhoodIndex>>,
+        _threads: usize,
+        machines: usize,
+        sim: SimConfig,
+    ) -> MiningReport {
+        let mut config = EngineConfig::cluster(machines, 1)
+            .with_decomposition(self.tau_split, self.tau_time)
+            .with_index(self.index);
+        if let Some(index) = shared_index {
+            config = config.with_shared_index(index.clone());
+        }
+        let miner = SimMiner::new(self.params, config, sim).with_prune_config(self.prune);
+        let output = miner.mine(graph.clone());
+        MiningReport {
+            maximal: output.maximal,
+            raw_reported: output.raw_reported,
+            elapsed: output.metrics.elapsed,
+            outcome: output.outcome,
             stats: BackendStats::Parallel {
                 metrics: Box::new(output.metrics),
             },
@@ -588,20 +686,14 @@ mod tests {
         ));
         assert!(matches!(
             Session::builder()
-                .backend(Backend::Parallel {
-                    threads: 0,
-                    machines: 1
-                })
+                .backend(Backend::parallel(0, 1))
                 .build()
                 .unwrap_err(),
             QcmError::InvalidConfig(_)
         ));
         assert!(matches!(
             Session::builder()
-                .backend(Backend::Parallel {
-                    threads: 2,
-                    machines: 0
-                })
+                .backend(Backend::parallel(2, 0))
                 .build()
                 .unwrap_err(),
             QcmError::InvalidConfig(_)
@@ -646,10 +738,7 @@ mod tests {
         let parallel = Session::builder()
             .gamma(0.6)
             .min_size(5)
-            .backend(Backend::Parallel {
-                threads: 4,
-                machines: 1,
-            })
+            .backend(Backend::parallel(4, 1))
             .build()
             .unwrap()
             .run(&g)
@@ -679,17 +768,11 @@ mod tests {
     #[test]
     fn zero_deadline_is_reported_as_deadline_exceeded() {
         let g = figure4();
-        for backend in [
-            Backend::Serial,
-            Backend::Parallel {
-                threads: 2,
-                machines: 1,
-            },
-        ] {
+        for backend in [Backend::Serial, Backend::parallel(2, 1)] {
             let report = Session::builder()
                 .gamma(0.6)
                 .min_size(5)
-                .backend(backend)
+                .backend(backend.clone())
                 .deadline(Duration::ZERO)
                 .build()
                 .unwrap()

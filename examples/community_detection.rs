@@ -44,10 +44,7 @@ fn main() -> Result<(), QcmError> {
         let report = Session::builder()
             .gamma(gamma)
             .min_size(10)
-            .backend(Backend::Parallel {
-                threads: 8,
-                machines: 1,
-            })
+            .backend(Backend::parallel(8, 1))
             .build()?
             .run(&graph)?;
         let tight_found = tight_communities

@@ -50,10 +50,7 @@ fn main() -> Result<(), QcmError> {
             let report = Session::builder()
                 .gamma(spec.gamma)
                 .min_size(spec.min_size)
-                .backend(Backend::Parallel {
-                    threads: 8,
-                    machines: 1,
-                })
+                .backend(Backend::parallel(8, 1))
                 .tau_split(tau_split)
                 .tau_time(Duration::from_millis(tau_time))
                 .build()?

@@ -35,7 +35,7 @@ fn main() -> Result<(), QcmError> {
         Session::builder()
             .gamma(spec.gamma)
             .min_size(spec.min_size)
-            .backend(Backend::Parallel { threads, machines })
+            .backend(Backend::parallel(threads, machines))
             .tau_split(spec.tau_split)
             .tau_time(Duration::from_millis(spec.tau_time_ms))
             .balance_period(Duration::from_millis(5))

@@ -81,10 +81,7 @@ fn main() -> Result<(), QcmError> {
     let parallel = Session::builder()
         .gamma(gamma)
         .min_size(min_size)
-        .backend(Backend::Parallel {
-            threads: 4,
-            machines: 1,
-        })
+        .backend(Backend::parallel(4, 1))
         .build()?
         .run(&graph)?;
     let metrics = parallel.engine_metrics().expect("parallel backend");

@@ -35,10 +35,7 @@ fn every_dataset_standin_yields_its_planted_communities() {
         let graph = Arc::new(dataset.graph.clone());
         let out = Session::builder()
             .params(params)
-            .backend(Backend::Parallel {
-                threads: 4,
-                machines: 1,
-            })
+            .backend(Backend::parallel(4, 1))
             .build()
             .unwrap()
             .run(&graph)
@@ -84,10 +81,7 @@ fn parallel_equals_serial_on_two_shrunk_datasets() {
             .unwrap();
         let parallel = Session::builder()
             .params(params)
-            .backend(Backend::Parallel {
-                threads: 4,
-                machines: 1,
-            })
+            .backend(Backend::parallel(4, 1))
             .build()
             .unwrap()
             .run(&graph)

@@ -122,10 +122,7 @@ fn empty_and_trivial_graphs_are_handled() {
     let parallel_session = |graph: &Arc<Graph>| {
         Session::builder()
             .params(params)
-            .backend(Backend::Parallel {
-                threads: 2,
-                machines: 1,
-            })
+            .backend(Backend::parallel(2, 1))
             .build()
             .unwrap()
             .run(graph)
@@ -141,4 +138,30 @@ fn empty_and_trivial_graphs_are_handled() {
     let triangle = Arc::new(Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap());
     let out = parallel_session(&triangle);
     assert_eq!(out.maximal.len(), 1);
+}
+
+#[test]
+fn dropped_pulls_are_retried_until_the_results_are_correct() {
+    // The strict transport serialises every message AND loses the first few
+    // pull attempts; the vertex table must retry through the timeout path
+    // (visible in the metrics) and still produce the serial answer.
+    let (graph, params) = test_graph();
+    let reference = Session::builder()
+        .params(params)
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
+    let mut config = EngineConfig::cluster(4, 1)
+        .with_transport(qcm::engine::TransportFactory::strict().with_pull_drops(3));
+    config.pull_timeout = Duration::from_millis(20);
+    config.pull_retries = 6;
+    let out = ParallelMiner::new(params, config).mine(graph.clone());
+    assert_eq!(out.maximal, reference.maximal);
+    assert!(
+        out.metrics.pull_retries >= 3,
+        "three dropped pulls must surface as retries, saw {}",
+        out.metrics.pull_retries
+    );
+    assert_eq!(out.metrics.pull_failures, 0, "retries must eventually win");
 }

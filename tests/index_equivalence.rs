@@ -70,14 +70,7 @@ fn parallel_results_are_identical_with_index_on_and_off() {
             IndexSpec::Auto,
             IndexSpec::Threshold(0),
         ] {
-            let parallel = run(
-                &graph,
-                Backend::Parallel {
-                    threads: 4,
-                    machines: 1,
-                },
-                spec,
-            );
+            let parallel = run(&graph, Backend::parallel(4, 1), spec);
             assert_eq!(
                 parallel, reference,
                 "parallel results diverged from serial under {spec:?}"
@@ -92,10 +85,7 @@ fn prepared_graph_runs_match_unprepared_runs() {
         let session = Session::builder()
             .gamma(0.85)
             .min_size(5)
-            .backend(Backend::Parallel {
-                threads: 4,
-                machines: 1,
-            })
+            .backend(Backend::parallel(4, 1))
             .build()
             .unwrap();
         let prepared = session.prepare(graph.clone());

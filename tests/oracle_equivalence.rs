@@ -57,10 +57,7 @@ fn serial_parallel_and_oracle_agree_on_arithmetic_graphs() {
             );
             let parallel = Session::builder()
                 .params(params)
-                .backend(Backend::Parallel {
-                    threads: 3,
-                    machines: 1,
-                })
+                .backend(Backend::parallel(3, 1))
                 .build()
                 .unwrap()
                 .run(&shared)
@@ -131,10 +128,7 @@ fn planted_communities_are_recovered_exactly() {
         .unwrap();
     let parallel = Session::builder()
         .params(params)
-        .backend(Backend::Parallel {
-            threads: 4,
-            machines: 1,
-        })
+        .backend(Backend::parallel(4, 1))
         .build()
         .unwrap()
         .run(&graph)

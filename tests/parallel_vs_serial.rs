@@ -33,10 +33,7 @@ fn thread_count_does_not_change_results() {
     for threads in [1, 2, 4, 8] {
         let parallel = base
             .clone()
-            .backend(Backend::Parallel {
-                threads,
-                machines: 1,
-            })
+            .backend(Backend::parallel(threads, 1))
             .build()
             .unwrap()
             .run(&graph)
@@ -55,10 +52,7 @@ fn machine_count_does_not_change_results() {
     for machines in [1, 2, 4] {
         let parallel = base
             .clone()
-            .backend(Backend::Parallel {
-                threads: 2,
-                machines,
-            })
+            .backend(Backend::parallel(2, machines))
             .balance_period(Duration::from_millis(2))
             .build()
             .unwrap()
@@ -79,10 +73,7 @@ fn hyperparameters_do_not_change_results() {
         for tau_time_ms in [0u64, 1, 1000] {
             let parallel = base
                 .clone()
-                .backend(Backend::Parallel {
-                    threads: 4,
-                    machines: 1,
-                })
+                .backend(Backend::parallel(4, 1))
                 .tau_split(tau_split)
                 .tau_time(Duration::from_millis(tau_time_ms))
                 .build()
@@ -100,13 +91,7 @@ fn hyperparameters_do_not_change_results() {
 #[test]
 fn repeated_runs_are_deterministic() {
     let (graph, base) = planted_graph(4);
-    let session = base
-        .backend(Backend::Parallel {
-            threads: 4,
-            machines: 1,
-        })
-        .build()
-        .unwrap();
+    let session = base.backend(Backend::parallel(4, 1)).build().unwrap();
     let first = session.run(&graph).unwrap();
     for _ in 0..3 {
         let again = session.run(&graph).unwrap();
@@ -118,10 +103,7 @@ fn repeated_runs_are_deterministic() {
 fn engine_metrics_are_consistent_with_results() {
     let (graph, base) = planted_graph(5);
     let out = base
-        .backend(Backend::Parallel {
-            threads: 4,
-            machines: 1,
-        })
+        .backend(Backend::parallel(4, 1))
         .build()
         .unwrap()
         .run(&graph)
@@ -138,14 +120,8 @@ fn engine_metrics_are_consistent_with_results() {
 #[test]
 fn streaming_and_plain_runs_agree_across_backends() {
     let (graph, base) = planted_graph(6);
-    for backend in [
-        Backend::Serial,
-        Backend::Parallel {
-            threads: 4,
-            machines: 1,
-        },
-    ] {
-        let session = base.clone().backend(backend).build().unwrap();
+    for backend in [Backend::Serial, Backend::parallel(4, 1)] {
+        let session = base.clone().backend(backend.clone()).build().unwrap();
         let plain = session.run(&graph).unwrap();
         let mut sink = CollectingSink::default();
         let streamed = session.run_streaming(&graph, &mut sink).unwrap();

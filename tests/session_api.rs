@@ -41,18 +41,12 @@ fn builder_validation_returns_typed_errors() {
     }
     // Zero threads / zero machines on the parallel backend.
     let err = Session::builder()
-        .backend(Backend::Parallel {
-            threads: 0,
-            machines: 2,
-        })
+        .backend(Backend::parallel(0, 2))
         .build()
         .unwrap_err();
     assert!(matches!(err, QcmError::InvalidConfig(_)));
     let err = Session::builder()
-        .backend(Backend::Parallel {
-            threads: 2,
-            machines: 0,
-        })
+        .backend(Backend::parallel(2, 0))
         .build()
         .unwrap_err();
     assert!(matches!(err, QcmError::InvalidConfig(_)));
@@ -60,10 +54,7 @@ fn builder_validation_returns_typed_errors() {
     assert!(Session::builder()
         .gamma(1.0)
         .min_size(2)
-        .backend(Backend::Parallel {
-            threads: 1,
-            machines: 1,
-        })
+        .backend(Backend::parallel(1, 1))
         .build()
         .is_ok());
 }
@@ -83,7 +74,7 @@ fn serial_and_parallel_backends_are_equivalent_on_planted_data() {
     for (threads, machines) in [(1, 1), (4, 1), (2, 3)] {
         let parallel = base
             .clone()
-            .backend(Backend::Parallel { threads, machines })
+            .backend(Backend::parallel(threads, machines))
             .build()
             .unwrap()
             .run(&graph)
@@ -100,16 +91,10 @@ fn serial_and_parallel_backends_are_equivalent_on_planted_data() {
 fn deadline_hit_returns_typed_partial_report() {
     let (graph, base) = planted();
     let complete = base.clone().build().unwrap().run(&graph).unwrap();
-    for backend in [
-        Backend::Serial,
-        Backend::Parallel {
-            threads: 2,
-            machines: 1,
-        },
-    ] {
+    for backend in [Backend::Serial, Backend::parallel(2, 1)] {
         let report = base
             .clone()
-            .backend(backend)
+            .backend(backend.clone())
             .deadline(Duration::ZERO)
             .build()
             .unwrap()
@@ -201,4 +186,59 @@ fn deprecated_entry_points_match_session() {
     let old_parallel = mine_parallel(&graph, params, 4);
     assert_eq!(old_serial.maximal, session.maximal);
     assert_eq!(old_parallel.maximal, session.maximal);
+}
+
+#[test]
+fn transport_selection_requires_the_parallel_backend() {
+    let err = Session::builder()
+        .gamma(0.8)
+        .min_size(8)
+        .transport(TransportKind::InProcStrict)
+        .build()
+        .unwrap_err();
+    let QcmError::InvalidConfig(msg) = err else {
+        panic!("expected InvalidConfig for transport on the serial backend");
+    };
+    assert!(msg.contains("transport"), "{msg}");
+}
+
+#[test]
+fn strict_transport_agrees_with_default_in_proc() {
+    let (graph, base) = planted();
+    let default_run = base
+        .clone()
+        .backend(Backend::parallel(2, 2))
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
+    let strict_run = base
+        .backend(Backend::parallel(2, 2))
+        .transport(TransportKind::InProcStrict)
+        .build()
+        .unwrap()
+        .run(&graph)
+        .unwrap();
+    assert_eq!(default_run.maximal, strict_run.maximal);
+    assert!(strict_run.is_complete());
+}
+
+#[test]
+fn sim_transport_matches_serial_and_replays_deterministically() {
+    let (graph, base) = planted();
+    let serial = base.clone().build().unwrap().run(&graph).unwrap();
+    let session = base
+        .backend(Backend::parallel(1, 3))
+        .transport(TransportKind::Sim(SimConfig::new(7)))
+        .build()
+        .unwrap();
+    let first = session.run(&graph).unwrap();
+    assert_eq!(first.outcome, RunOutcome::Complete);
+    assert_eq!(first.maximal, serial.maximal);
+    // Virtual time is reported through the engine metrics.
+    let metrics = first.engine_metrics().expect("parallel stats");
+    assert!(metrics.virtual_time.is_some());
+    // A second run of the same session replays the identical result.
+    let again = session.run(&graph).unwrap();
+    assert_eq!(again.maximal, first.maximal);
 }
