@@ -23,7 +23,7 @@ use qcm_gen::datasets;
 use qcm_gen::DatasetSpec;
 use qcm_graph::GraphStats;
 use qcm_parallel::{DecompositionStrategy, ParallelMiner};
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 fn main() {

@@ -5,7 +5,7 @@ use qcm_core::MiningParams;
 use qcm_engine::{EngineConfig, EngineMetrics};
 use qcm_gen::DatasetSpec;
 use qcm_parallel::{DecompositionStrategy, ParallelMiner};
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 /// Overrides applied on top of a dataset's default mining/engine parameters.
@@ -38,7 +38,7 @@ impl Default for RunOptions {
 /// Sensible default thread count for harness runs: physical parallelism capped
 /// at 8 so laptop runs stay responsive.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
+    qcm_sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8)

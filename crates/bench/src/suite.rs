@@ -31,7 +31,7 @@ use qcm_gen::DatasetSpec;
 use qcm_graph::neighborhoods::{perf, IndexSpec};
 use qcm_graph::{Graph, NeighborhoodIndex};
 use qcm_parallel::ParallelMiner;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which miner a workload drives.
@@ -369,8 +369,8 @@ fn run_variant(
     // concurrent measured regions would corrupt each other's deltas (e.g.
     // `cargo test` running two suite tests on parallel threads). One lock
     // serialises them; the bench binaries take it uncontended.
-    static MEASURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    let _measuring = MEASURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    static MEASURE_LOCK: qcm_sync::Mutex<()> = qcm_sync::Mutex::new(());
+    let _measuring = MEASURE_LOCK.lock();
 
     let mut best_ms = f64::INFINITY;
     let mut result_count = 0usize;

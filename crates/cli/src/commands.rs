@@ -7,9 +7,9 @@
 
 use qcm::{Backend, MiningReport, QcmError, Session};
 use qcm_graph::{io, Graph, GraphStats};
+use qcm_sync::Arc;
 use std::collections::HashMap;
 use std::io::Write;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Top-level usage text.
@@ -452,7 +452,7 @@ fn write_results(report: &MiningReport, path: &str) -> Result<(), QcmError> {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
+    qcm_sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8)

@@ -28,9 +28,9 @@ use qcm_service::{
     AdmissionControl, JobId, JobRequest, JobResult, MiningService, Priority, ServiceConfig,
     ServiceError,
 };
+use qcm_sync::Arc;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::Arc;
 use std::time::Duration;
 
 const SERVE_FLAGS: FlagSpec = FlagSpec {

@@ -12,8 +12,8 @@
 //! observes its parent's flag, which is how a session-held manual token and a
 //! per-run deadline compose into one poll.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use qcm_sync::atomic::{AtomicBool, Ordering};
+use qcm_sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a run stopped before completing.
@@ -71,6 +71,9 @@ struct CancelInner {
 
 impl CancelInner {
     fn check(&self) -> Option<CancelReason> {
+        // ordering: Relaxed — the cancel flag is a standalone monotonic bool;
+        // nothing is published through it, and a late observation only delays
+        // cooperative shutdown by one poll.
         if self.flag.load(Ordering::Relaxed) {
             return Some(CancelReason::Cancelled);
         }
@@ -132,6 +135,8 @@ impl CancelToken {
     /// it on a [`CancelToken::never`] token is a no-op.
     pub fn cancel(&self) {
         if let Some(inner) = &self.inner {
+            // ordering: Relaxed — pairs with the Relaxed poll in `check`; the flag
+            // carries no payload, only the monotonic cancelled bit.
             inner.flag.store(true, Ordering::Relaxed);
         }
     }

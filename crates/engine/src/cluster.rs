@@ -28,12 +28,12 @@ use crate::task::{ComputeContext, Frontier, GThinkerApp, TaskCodec, TaskTimings}
 use crate::transport::Transport;
 use crate::vertex_table::{DataService, FetchMetrics, PartitionedVertexTable};
 
-use parking_lot::Mutex;
 use qcm_core::{MiningScratch, RunOutcome};
 use qcm_graph::{Graph, VertexId};
+use qcm_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use qcm_sync::Arc;
+use qcm_sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The output of an engine run: raw result rows (the application's emitted
@@ -106,11 +106,14 @@ struct SharedState<'a, A: GThinkerApp> {
 
 impl<'a, A: GThinkerApp> SharedState<'a, A> {
     fn add_active_bytes(&self, bytes: u64) {
+        // ordering: Relaxed — live-bytes gauge and its peak are advisory
+        // accounting; no synchronisation piggybacks on them.
         let now = self.active_task_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.peak_task_bytes.fetch_max(now, Ordering::Relaxed);
     }
 
     fn sub_active_bytes(&self, bytes: u64) {
+        // ordering: Relaxed — see add_active_bytes.
         self.active_task_bytes.fetch_sub(bytes, Ordering::Relaxed);
     }
 }
@@ -233,6 +236,8 @@ impl<A: GThinkerApp> Cluster<A> {
         let transport_stats = transport.stats();
         let metrics = EngineMetrics {
             elapsed: start.elapsed(),
+            // ordering: Relaxed — read after the worker scope joined; the join
+            // edge already orders every worker's counter writes before these loads.
             tasks_spawned: shared.tasks_spawned.load(Ordering::Relaxed),
             tasks_processed: shared.tasks_processed.load(Ordering::Relaxed),
             tasks_decomposed: shared.tasks_decomposed.load(Ordering::Relaxed),
@@ -266,6 +271,8 @@ impl<A: GThinkerApp> Cluster<A> {
             // vertex was never spawned, or a fault lost part of the workload.
             // A cancellation that fires after the pool drained leaves the run
             // Complete; dropped work with no cancellation to blame is a fault.
+            // ordering: Acquire — redundant after the join edge, kept to mirror
+            // the in-run readers of these control flags.
             outcome: if shared.interrupted.load(Ordering::Acquire)
                 || shared.pending_tasks.load(Ordering::Acquire) > 0
                 || shared.unspawned.load(Ordering::Acquire) > 0
@@ -301,6 +308,8 @@ fn worker_loop<A: GThinkerApp>(
     let mut scratch = MiningScratch::default();
     let mut busy = Duration::ZERO;
     loop {
+        // ordering: Acquire — pairs with the Release stores of `done`, so a
+        // worker that observes the flag also observes the finisher's writes.
         if shared.done.load(Ordering::Acquire) {
             break;
         }
@@ -309,6 +318,8 @@ fn worker_loop<A: GThinkerApp>(
         // kept; whether the run counts as interrupted is decided after all
         // workers exit, from the work that actually remained.
         if config.cancel.is_cancelled() {
+            // ordering: Release — publishes everything this thread wrote before
+            // finishing; pairs with the Acquire polls of `done`.
             shared.done.store(true, Ordering::Release);
             broadcast_shutdown(shared, machine_id);
             break;
@@ -332,14 +343,20 @@ fn worker_loop<A: GThinkerApp>(
         // other workers still hold pending tasks. Tasks serialised inside an
         // in-flight steal grant still count as pending, so a machine never
         // declares completion while a batch is on the wire.
+        // ordering: Acquire — pairs with the AcqRel RMWs on both counters.
+        // `pending_tasks` is incremented before `unspawned` is decremented on
+        // the spawn path, so both reading zero proves no task exists, is in
+        // flight, or is still unspawned.
         if shared.pending_tasks.load(Ordering::Acquire) == 0
             && shared.unspawned.load(Ordering::Acquire) == 0
         {
+            // ordering: Release — publishes everything this thread wrote before
+            // finishing; pairs with the Acquire polls of `done`.
             shared.done.store(true, Ordering::Release);
             broadcast_shutdown(shared, machine_id);
             break;
         }
-        std::thread::sleep(Duration::from_micros(200));
+        qcm_sync::thread::sleep(Duration::from_micros(200));
     }
     busy
 }
@@ -419,7 +436,12 @@ fn pump_inbox<A: GThinkerApp>(shared: &SharedState<'_, A>, machine_id: usize) {
                 if lost > 0 {
                     // An undecodable task can never run: release its pending
                     // slot so the pool still drains, and label the run.
+                    // ordering: Release — the fault flag must be visible before the
+                    // pending slot it excuses is released.
                     shared.faulted.store(true, Ordering::Release);
+                    // ordering: AcqRel — counter protocol: a decrement publishes the work
+                    // accounted to the slot and joins prior decrements, so a zero read
+                    // proves global completion.
                     shared.pending_tasks.fetch_sub(lost, Ordering::AcqRel);
                 }
                 let n = decoded.len() as u64;
@@ -428,6 +450,7 @@ fn pump_inbox<A: GThinkerApp>(shared: &SharedState<'_, A>, machine_id: usize) {
                     for t in decoded {
                         gq.push(t);
                     }
+                    // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
                     shared.stolen_tasks.fetch_add(n, Ordering::Relaxed);
                 }
                 let _ = shared
@@ -441,6 +464,8 @@ fn pump_inbox<A: GThinkerApp>(shared: &SharedState<'_, A>, machine_id: usize) {
             // authoritative queue depths directly, so these are informational.
             EngineMsg::SpillNotice { .. } | EngineMsg::RefillNotice { .. } => {}
             EngineMsg::Shutdown => {
+                // ordering: Release — publishes everything this thread wrote before
+                // finishing; pairs with the Acquire polls of `done`.
                 shared.done.store(true, Ordering::Release);
             }
         }
@@ -488,6 +513,7 @@ fn pop_task<A: GThinkerApp>(
             }
         }
         None => {
+            // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
             shared.pop_contention.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -555,15 +581,22 @@ fn spawn_batch<A: GThinkerApp>(
     for _ in 0..shared.config.batch_size {
         // Hold a transient pending slot across the spawn so that the
         // (unspawned, pending) pair can never both read zero mid-spawn.
+        // ordering: AcqRel — counter protocol (see worker_loop's zero check):
+        // the increment lands before the task becomes poppable.
         shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
         let vertex = {
             let mut cursor = shared.machines[machine_id].spawn_cursor.lock();
             cursor.pop_front()
         };
         let Some(v) = vertex else {
+            // ordering: AcqRel — counter protocol: releases this task's pending
+            // slot after its effects are written.
             shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
             break;
         };
+        // ordering: AcqRel — decremented only after the vertex's pending slot
+        // (or its skip) is settled, keeping pending+unspawned > 0 while work
+        // remains.
         shared.unspawned.fetch_sub(1, Ordering::AcqRel);
         consumed_any = true;
 
@@ -576,10 +609,15 @@ fn spawn_batch<A: GThinkerApp>(
         }
         let mut spawned_big = false;
         for task in ctx.new_tasks {
+            // ordering: AcqRel — counter protocol (see worker_loop's zero check):
+            // the increment lands before the task becomes poppable.
             shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
+            // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
             shared.tasks_spawned.fetch_add(1, Ordering::Relaxed);
             spawned_big |= route_task(shared, machine_id, worker_id, task);
         }
+        // ordering: AcqRel — counter protocol: releases this task's pending
+        // slot after its effects are written.
         shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
         if spawned_big {
             break;
@@ -615,9 +653,13 @@ fn process_task<A: GThinkerApp>(
                     // The pull exhausted its retry budget: abandon the task
                     // and label the run as partial. Results already emitted
                     // by this task's earlier iterations are kept.
+                    // ordering: Release — the fault flag must be visible before the
+                    // pending slot it excuses is released.
                     shared.faulted.store(true, Ordering::Release);
                     shared.machines[machine_id].data.flush(&mut fetch_scratch);
                     shared.sub_active_bytes(mem);
+                    // ordering: AcqRel — counter protocol: releases this task's pending
+                    // slot after its effects are written.
                     shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
                     return;
                 }
@@ -631,13 +673,19 @@ fn process_task<A: GThinkerApp>(
         timings.merge(&ctx.timings);
         if ctx.interrupted {
             // The application observed the token and truncated this task.
+            // ordering: Release — the truncated task's partial results are
+            // published before the interruption becomes visible to the outcome
+            // check.
             shared.interrupted.store(true, Ordering::Release);
         }
         if !ctx.results.is_empty() {
             shared.results.lock().extend(ctx.results);
         }
         for subtask in ctx.new_tasks {
+            // ordering: AcqRel — counter protocol (see worker_loop's zero check):
+            // the increment lands before the task becomes poppable.
             shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
+            // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
             shared.tasks_decomposed.fetch_add(1, Ordering::Relaxed);
             route_task(shared, machine_id, worker_id, subtask);
         }
@@ -656,12 +704,15 @@ fn process_task<A: GThinkerApp>(
     let label = shared.app.task_label(&task);
     shared.machines[machine_id].data.flush(&mut fetch_scratch);
     shared.sub_active_bytes(mem);
+    // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
     shared.tasks_processed.fetch_add(1, Ordering::Relaxed);
     shared
         .mining_nanos
+        // ordering: Relaxed — timing statistics, read after join.
         .fetch_add(timings.mining.as_nanos() as u64, Ordering::Relaxed);
     shared
         .materialization_nanos
+        // ordering: Relaxed — timing statistics, read after join.
         .fetch_add(timings.materialization.as_nanos() as u64, Ordering::Relaxed);
     shared.task_times.lock().push(TaskTimeRecord {
         root: label.root,
@@ -669,6 +720,8 @@ fn process_task<A: GThinkerApp>(
         elapsed: start.elapsed(),
         timings,
     });
+    // ordering: AcqRel — counter protocol: releases this task's pending
+    // slot after its effects are written.
     shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
 }
 
@@ -683,8 +736,9 @@ fn process_task<A: GThinkerApp>(
 /// directly, the way G-thinker's master aggregates load reports.
 fn balancer_loop<A: GThinkerApp>(shared: &SharedState<'_, A>) {
     let config = shared.config;
+    // ordering: Acquire — same pairing as the worker-loop `done` poll.
     while !shared.done.load(Ordering::Acquire) {
-        std::thread::sleep(config.balance_period);
+        qcm_sync::thread::sleep(config.balance_period);
         let counts: Vec<usize> = shared
             .machines
             .iter()
@@ -705,6 +759,7 @@ fn balancer_loop<A: GThinkerApp>(shared: &SharedState<'_, A>) {
             continue;
         }
         let to_move = config.batch_size.min((rich_count - poor_count) / 2).max(1);
+        // ordering: Relaxed — unique sequence numbers only need RMW atomicity.
         let seq = shared.steal_seq.fetch_add(1, Ordering::Relaxed);
         let _ = shared.transport.send(
             poor,

@@ -10,7 +10,7 @@
 //! each subsystem is folded into its `encode`/`decode` pair.
 
 use qcm_graph::VertexId;
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 /// Appends a `u32` in little-endian order.
 pub fn put_u32(buf: &mut Vec<u8>, value: u32) {

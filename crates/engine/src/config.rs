@@ -8,8 +8,8 @@
 use crate::transport::TransportFactory;
 use qcm_core::CancelToken;
 use qcm_graph::{IndexSpec, NeighborhoodIndex};
+use qcm_sync::Arc;
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of the simulated cluster and the task scheduler.
@@ -199,7 +199,7 @@ impl EngineConfig {
 /// Conservative fallback for the default thread count (`std::thread` exposes
 /// available parallelism but may fail in constrained environments).
 fn num_cpus_fallback() -> usize {
-    std::thread::available_parallelism()
+    qcm_sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
 }

@@ -103,7 +103,7 @@ impl<T: TaskCodec> TaskQueue<T> {
 mod tests {
     use super::*;
     use crate::spill::SpillMetrics;
-    use std::sync::Arc;
+    use qcm_sync::Arc;
 
     #[derive(Clone, Debug, PartialEq)]
     struct T(u32);

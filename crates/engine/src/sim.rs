@@ -39,9 +39,9 @@ use crate::transport::{Envelope, MachineId, PullReply, Transport, TransportError
 use crate::vertex_table::{AdjList, PartitionedVertexTable};
 use qcm_core::RunOutcome;
 use qcm_graph::{Fnv1a64, Graph, NeighborhoodIndex, VertexId};
+use qcm_sync::{Arc, Mutex};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Root key used for tasks whose application reports no spawning root; such
@@ -409,8 +409,8 @@ pub struct SimTransport {
 }
 
 impl SimTransport {
-    fn net(&self) -> std::sync::MutexGuard<'_, NetInner> {
-        self.net.lock().expect("sim net lock poisoned")
+    fn net(&self) -> qcm_sync::MutexGuard<'_, NetInner> {
+        self.net.lock()
     }
 }
 
@@ -593,7 +593,7 @@ impl<A: GThinkerApp> SimCluster<A> {
         driver.run();
 
         let (virtual_us, stats, lines, hash) = {
-            let mut net = driver.net.lock().expect("sim net lock poisoned");
+            let mut net = driver.net.lock();
             let log = std::mem::take(&mut net.log);
             (net.clock, net.stats, log.lines, log.hash.finish())
         };
@@ -670,8 +670,8 @@ struct Driver<'a, A: GThinkerApp> {
 }
 
 impl<'a, A: GThinkerApp> Driver<'a, A> {
-    fn net(&self) -> std::sync::MutexGuard<'_, NetInner> {
-        self.net.lock().expect("sim net lock poisoned")
+    fn net(&self) -> qcm_sync::MutexGuard<'_, NetInner> {
+        self.net.lock()
     }
 
     fn log(&self, line: String) {

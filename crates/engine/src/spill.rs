@@ -8,12 +8,12 @@
 //! store can also run in a memory-backed mode with identical accounting.
 
 use crate::task::TaskCodec;
+use qcm_sync::atomic::{AtomicU64, Ordering};
+use qcm_sync::Arc;
 use std::collections::VecDeque;
 use std::fs;
 use std::io::{Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Shared counters describing spill activity (the "Disk" column of Table 2).
 #[derive(Debug, Default)]
@@ -30,12 +30,15 @@ pub struct SpillMetrics {
 
 impl SpillMetrics {
     fn record_write(&self, bytes: u64, resident: u64) {
+        // ordering: Relaxed — spill throughput/peak statistics; the final read
+        // happens after workers join.
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         self.batches_written.fetch_add(1, Ordering::Relaxed);
         self.peak_bytes.fetch_max(resident, Ordering::Relaxed);
     }
 
     fn record_read(&self, bytes: u64) {
+        // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
     }
 }

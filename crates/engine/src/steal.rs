@@ -22,10 +22,10 @@
 //! their own deque plus the global queue), which is the within-binary
 //! baseline the benchmark suite measures the protocol against.
 
-use parking_lot::Mutex;
 use qcm_graph::neighborhoods::perf;
+use qcm_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use qcm_sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One deque per worker thread plus the steal protocol over them.
 #[derive(Debug)]
@@ -79,6 +79,8 @@ impl<T> WorkerQueues<T> {
             return Err(task);
         }
         deque.push_back(task);
+        // ordering: Relaxed — advisory mirror of the deque length for lock-free
+        // victim selection; the deque mutex is the source of truth.
         slot.len.store(deque.len(), Ordering::Relaxed);
         Ok(())
     }
@@ -88,12 +90,15 @@ impl<T> WorkerQueues<T> {
         let slot = &self.slots[worker];
         let mut deque = slot.deque.lock();
         let task = deque.pop_back();
+        // ordering: Relaxed — advisory mirror of the deque length for lock-free
+        // victim selection; the deque mutex is the source of truth.
         slot.len.store(deque.len(), Ordering::Relaxed);
         task
     }
 
     /// Advisory length of `worker`'s deque (lock-free).
     pub fn approx_len(&self, worker: usize) -> usize {
+        // ordering: Relaxed — advisory read; steal_into re-checks under the lock.
         self.slots[worker].len.load(Ordering::Relaxed)
     }
 
@@ -101,6 +106,7 @@ impl<T> WorkerQueues<T> {
     pub fn total_approx_len(&self) -> usize {
         self.slots
             .iter()
+            // ordering: Relaxed — advisory sum; idle/steal heuristics only.
             .map(|s| s.len.load(Ordering::Relaxed))
             .sum()
     }
@@ -132,6 +138,7 @@ impl<T> WorkerQueues<T> {
             return None;
         }
         if best_len == 0 {
+            // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
             self.steal_failures.fetch_add(1, Ordering::Relaxed);
             perf::count_steal_failures(1);
             return None;
@@ -152,6 +159,7 @@ impl<T> WorkerQueues<T> {
             let first = batch.next();
             let rest: Vec<T> = batch.by_ref().collect();
             drop(batch);
+            // ordering: Relaxed — advisory mirror update under the victim's lock.
             slot.len.store(victim.len(), Ordering::Relaxed);
             (first, rest)
         };
@@ -159,6 +167,7 @@ impl<T> WorkerQueues<T> {
             Some(t) => t,
             None => {
                 // The victim drained between the advisory read and the lock.
+                // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
                 self.steal_failures.fetch_add(1, Ordering::Relaxed);
                 perf::count_steal_failures(1);
                 return None;
@@ -169,8 +178,10 @@ impl<T> WorkerQueues<T> {
             let slot = &self.slots[thief];
             let mut own = slot.deque.lock();
             own.extend(rest);
+            // ordering: Relaxed — advisory mirror update under the thief's lock.
             slot.len.store(own.len(), Ordering::Relaxed);
         }
+        // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
         self.steals.fetch_add(moved, Ordering::Relaxed);
         perf::count_steals(moved);
         Some(first)
@@ -178,11 +189,13 @@ impl<T> WorkerQueues<T> {
 
     /// Tasks moved by successful steals so far.
     pub fn steals(&self) -> u64 {
+        // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
         self.steals.load(Ordering::Relaxed)
     }
 
     /// Steal sweeps that found every victim empty.
     pub fn steal_failures(&self) -> u64 {
+        // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
         self.steal_failures.load(Ordering::Relaxed)
     }
 }

@@ -212,7 +212,7 @@ pub struct TaskLabel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use qcm_sync::Arc;
 
     #[derive(Clone, Debug, PartialEq)]
     struct DummyTask(u32);

@@ -27,10 +27,10 @@
 use crate::codec::EngineMsg;
 use crate::vertex_table::PartitionedVertexTable;
 use qcm_graph::VertexId;
+use qcm_sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use qcm_sync::{Arc, Mutex, OnceLock};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Index of a machine (a vertex-table partition owner).
@@ -293,6 +293,8 @@ impl InProcTransport {
     /// Consumes one armed pull drop, if any remain.
     fn take_drop(&self) -> bool {
         self.drop_pulls
+            // ordering: Relaxed — the fault budget only needs atomic decrement;
+            // it guards no other memory.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
             .is_ok()
     }
@@ -311,20 +313,14 @@ impl Transport for InProcTransport {
         if to >= self.machines {
             return Err(TransportError::Closed);
         }
+        // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
-        self.inboxes[to]
-            .lock()
-            .expect("inbox lock poisoned")
-            .push_back(Envelope { from, msg });
+        self.inboxes[to].lock().push_back(Envelope { from, msg });
         Ok(())
     }
 
     fn try_recv(&self, machine: MachineId) -> Option<Envelope> {
-        self.inboxes
-            .get(machine)?
-            .lock()
-            .expect("inbox lock poisoned")
-            .pop_front()
+        self.inboxes.get(machine)?.lock().pop_front()
     }
 
     fn pull(
@@ -340,16 +336,19 @@ impl Transport for InProcTransport {
         if self.take_drop() {
             // The armed loss swallows this attempt; the caller observes it as
             // a timeout (without sleeping the wall-clock out in tests).
+            // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
             self.messages_dropped.fetch_add(1, Ordering::Relaxed);
             return Err(TransportError::Timeout);
         }
+        // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
         self.messages_sent.fetch_add(2, Ordering::Relaxed); // request + response
         if !self.fetch_latency.is_zero() {
-            std::thread::sleep(self.fetch_latency);
+            qcm_sync::thread::sleep(self.fetch_latency);
         }
         let reply = if self.strict {
             // Full wire-form round trip: exactly the bytes a socket would
             // carry, including the re-materialised adjacency lists.
+            // ordering: Relaxed — unique pull tokens only need RMW atomicity.
             let token = self.next_token.fetch_add(1, Ordering::Relaxed);
             let request = EngineMsg::PullRequest {
                 token,
@@ -367,6 +366,7 @@ impl Transport for InProcTransport {
             }
             .to_wire();
             self.wire_bytes
+                // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
                 .fetch_add((request.len() + response.len()) as u64, Ordering::Relaxed);
             let EngineMsg::PullResponse { lists, .. } =
                 EngineMsg::decode(&mut response.as_slice()).ok_or(TransportError::Closed)?
@@ -378,6 +378,7 @@ impl Transport for InProcTransport {
             self.serve(vertices)?
         };
         let _ = from;
+        // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.
         self.pull_round_trips.fetch_add(1, Ordering::Relaxed);
         Ok(reply)
     }
@@ -392,6 +393,8 @@ impl Transport for InProcTransport {
 
     fn stats(&self) -> TransportStats {
         TransportStats {
+            // ordering: Relaxed — monitoring snapshot; counters may be mutually
+            // skewed by in-flight sends, which callers tolerate.
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
             pull_round_trips: self.pull_round_trips.load(Ordering::Relaxed),

@@ -11,9 +11,9 @@
 
 use crate::transport::{Transport, TransportError};
 use qcm_graph::{Graph, IndexSpec, NeighborhoodIndex, Neighborhoods, VertexId};
+use qcm_sync::atomic::{AtomicU64, Ordering};
+use qcm_sync::Arc;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// An adjacency list held by a task frontier.
@@ -274,7 +274,7 @@ pub struct FetchScratch {
 pub struct DataService {
     table: PartitionedVertexTable,
     machine: usize,
-    cache: parking_lot::Mutex<RemoteVertexCache>,
+    cache: qcm_sync::Mutex<RemoteVertexCache>,
     metrics: Arc<FetchMetrics>,
     transport: Arc<dyn Transport>,
     pull_timeout: Duration,
@@ -295,7 +295,7 @@ impl DataService {
         DataService {
             table,
             machine,
-            cache: parking_lot::Mutex::new(RemoteVertexCache::new(cache_capacity)),
+            cache: qcm_sync::Mutex::new(RemoteVertexCache::new(cache_capacity)),
             metrics,
             transport,
             pull_timeout,
@@ -361,7 +361,7 @@ impl DataService {
             // address space, so remote traffic stays measurable.
             let latency = self.transport.fetch_latency();
             if !latency.is_zero() {
-                std::thread::sleep(latency);
+                qcm_sync::thread::sleep(latency);
             }
             Arc::new(self.table.adjacency(v).to_vec())
         } else {
@@ -409,6 +409,8 @@ impl DataService {
     /// Adds the accumulated scratch counters into the machine-wide metrics and
     /// resets the scratch.
     pub fn flush(&self, scratch: &mut FetchScratch) {
+        // ordering: Relaxed (all counters below) — machine-wide fetch
+        // statistics, batched from per-task scratch; read after workers join.
         if scratch.local_reads > 0 {
             self.metrics
                 .local_reads

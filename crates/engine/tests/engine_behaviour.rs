@@ -12,7 +12,7 @@ use qcm_engine::{
     Cluster, ComputeContext, EngineConfig, Frontier, GThinkerApp, TaskCodec, TaskLabel,
 };
 use qcm_graph::{Graph, VertexId};
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 /// A task that, spawned from vertex `v`, pulls Γ(v), emits one "result" row

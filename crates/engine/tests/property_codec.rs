@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use qcm_engine::codec::EngineMsg;
 use qcm_graph::VertexId;
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 fn to_vertices(raw: Vec<u32>) -> Vec<VertexId> {
     raw.into_iter().map(VertexId::new).collect()

@@ -6,9 +6,9 @@
 use qcm_engine::codec;
 use qcm_engine::spill::{SpillMetrics, SpillStore};
 use qcm_engine::TaskCodec;
+use qcm_sync::atomic::Ordering;
+use qcm_sync::Arc;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 #[derive(Clone, Debug, PartialEq)]
 struct FakeTask {

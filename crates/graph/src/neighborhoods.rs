@@ -25,8 +25,8 @@
 use crate::bitset::VertexBitSet;
 use crate::graph::Graph;
 use crate::vertex::VertexId;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use qcm_sync::atomic::{AtomicU64, Ordering};
+use qcm_sync::Arc;
 
 /// How (and whether) to build a bitset neighborhood index over a graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -278,7 +278,7 @@ impl Neighborhoods for Graph {
 /// [`perf::snapshot`] after.
 pub mod perf {
     use super::{AtomicU64, Ordering};
-    use std::sync::atomic::AtomicUsize;
+    use qcm_sync::atomic::AtomicUsize;
 
     /// Counter lanes per logical counter. Each thread hashes to one lane, so
     /// parallel miners bump different cache lines instead of ping-ponging a
@@ -296,18 +296,23 @@ pub mod perf {
 
     impl Striped {
         fn add(&self, n: u64) {
+            // ordering: Relaxed — striped statistics counter; lanes only need
+            // atomicity, the cross-lane sum tolerates skew.
             self.0[lane()].0.fetch_add(n, Ordering::Relaxed);
         }
 
         fn sum(&self) -> u64 {
             self.0
                 .iter()
+                // ordering: Relaxed — monitoring sum over lanes; skew is acceptable.
                 .map(|lane| lane.0.load(Ordering::Relaxed))
                 .sum()
         }
 
         fn reset(&self) {
             for lane in &self.0 {
+                // ordering: Relaxed — bench-harness reset; concurrent counting keeps
+                // running (documented on `reset`).
                 lane.0.store(0, Ordering::Relaxed);
             }
         }
@@ -330,7 +335,9 @@ pub mod perf {
     fn lane() -> usize {
         static NEXT: AtomicUsize = AtomicUsize::new(0);
         thread_local! {
-            static LANE: usize = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % LANES;
+            // ordering: Relaxed — round-robin lane assignment only needs RMW
+            // atomicity.
+            static LANE: usize = NEXT.fetch_add(1, qcm_sync::atomic::Ordering::Relaxed) % LANES;
         }
         LANE.with(|lane| *lane)
     }
@@ -415,6 +422,7 @@ pub mod perf {
     /// Raises the pooled-scratch-bytes high-water mark to at least `bytes`.
     #[inline]
     pub fn record_scratch_bytes(bytes: u64) {
+        // ordering: Relaxed — high-water gauge; monotonic within a pass.
         SCRATCH_BYTES_PEAK.fetch_max(bytes, Ordering::Relaxed);
     }
 
@@ -438,6 +446,7 @@ pub mod perf {
             intersections: INTERSECTIONS.sum(),
             allocations_avoided: ALLOCATIONS_AVOIDED.sum(),
             scratch_fresh_allocs: SCRATCH_FRESH_ALLOCS.sum(),
+            // ordering: Relaxed — monitoring snapshot, skew tolerated.
             scratch_bytes_peak: SCRATCH_BYTES_PEAK.load(Ordering::Relaxed),
             steals: STEALS.sum(),
             steal_failures: STEAL_FAILURES.sum(),
@@ -454,6 +463,7 @@ pub mod perf {
         SCRATCH_FRESH_ALLOCS.reset();
         STEALS.reset();
         STEAL_FAILURES.reset();
+        // ordering: Relaxed — bench-harness reset, serialised by the caller.
         SCRATCH_BYTES_PEAK.store(0, Ordering::Relaxed);
     }
 }

@@ -8,7 +8,7 @@ use qcm_graph::{
     bitset::VertexBitSet, subgraph::LocalGraph, Graph, GraphBuilder, IndexSpec, NeighborhoodIndex,
     Neighborhoods, VertexId,
 };
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 /// Strategy producing a random simple graph with up to `max_n` vertices.
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {

@@ -139,7 +139,7 @@ pub fn iteration_2(task: &mut QCTask, frontier: &Frontier, k: usize) -> bool {
 mod tests {
     use super::*;
     use qcm_graph::Graph;
-    use std::sync::Arc;
+    use qcm_sync::Arc;
 
     /// Figure 4 graph of the paper.
     fn figure4() -> Graph {

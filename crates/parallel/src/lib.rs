@@ -20,7 +20,7 @@
 //! use qcm_engine::EngineConfig;
 //! use qcm_parallel::ParallelMiner;
 //! use qcm_graph::Graph;
-//! use std::sync::Arc;
+//! use qcm_sync::Arc;
 //!
 //! let g = Arc::new(Graph::from_edges(9, [
 //!     (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 4), (2, 3), (2, 4), (3, 4),

@@ -14,7 +14,7 @@ use qcm_core::{
 };
 use qcm_engine::{Cluster, EngineConfig, EngineMetrics};
 use qcm_graph::Graph;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 /// Output of a parallel mining run.

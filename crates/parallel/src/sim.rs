@@ -23,7 +23,7 @@ use qcm_core::quasiclique::is_valid_quasi_clique_over;
 use qcm_core::{remove_non_maximal, MiningParams, PruneConfig, QuasiCliqueSet, RunOutcome};
 use qcm_engine::{EngineConfig, EngineMetrics, SimCluster, SimConfig};
 use qcm_graph::Graph;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 /// Output of a simulated mining run.

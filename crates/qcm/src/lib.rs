@@ -11,7 +11,7 @@
 //!
 //! ```
 //! use qcm::prelude::*;
-//! use std::sync::Arc;
+//! use qcm_sync::Arc;
 //!
 //! // Generate a small graph with two planted dense communities.
 //! let dataset = qcm::gen::datasets::tiny_test_dataset(7);
@@ -38,7 +38,7 @@
 //!
 //! ```
 //! use qcm::prelude::*;
-//! use std::sync::Arc;
+//! use qcm_sync::Arc;
 //! use std::time::Duration;
 //!
 //! let dataset = qcm::gen::datasets::tiny_test_dataset(7);
@@ -132,7 +132,7 @@ pub use session::{Backend, BackendStats, MiningReport, PreparedGraph, Session, S
 use qcm_core::{MiningOutput, MiningParams};
 use qcm_graph::Graph;
 use qcm_parallel::ParallelMiningOutput;
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 /// The most commonly used types and functions in one import.
 pub mod prelude {
@@ -223,7 +223,7 @@ pub fn mine_parallel(
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use std::sync::Arc;
+    use qcm_sync::Arc;
 
     #[test]
     fn facade_reexports_are_usable_together() {

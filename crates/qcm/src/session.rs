@@ -6,7 +6,7 @@
 //!
 //! ```
 //! use qcm::{Backend, Session};
-//! use std::sync::Arc;
+//! use qcm_sync::Arc;
 //!
 //! let dataset = qcm::gen::datasets::tiny_test_dataset(7);
 //! let graph = Arc::new(dataset.graph.clone());
@@ -36,7 +36,7 @@ use qcm_core::{
 use qcm_engine::{EngineConfig, EngineMetrics, SimConfig, TransportFactory, TransportKind};
 use qcm_graph::{Graph, IndexSpec, NeighborhoodIndex};
 use qcm_parallel::{DecompositionStrategy, ParallelMiner, SimMiner};
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 /// Which execution engine a [`Session`] drives.

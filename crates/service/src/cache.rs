@@ -11,8 +11,8 @@
 
 use crate::job::MinedAnswer;
 use qcm_core::QueryKey;
+use qcm_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[derive(Debug)]

@@ -3,8 +3,8 @@
 use qcm::core::{MiningParams, PruneConfig, QuasiCliqueSet, ResultSink, RunOutcome};
 use qcm::Backend;
 use qcm_graph::Graph;
+use qcm_sync::Arc;
 use std::fmt;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Opaque, service-unique job identifier, handed out by
@@ -132,7 +132,7 @@ pub(crate) enum ParamsInput {
 ///
 /// ```
 /// use qcm_service::{JobRequest, Priority};
-/// use std::sync::Arc;
+/// use qcm_sync::Arc;
 /// use std::time::Duration;
 ///
 /// let graph = Arc::new(qcm::gen::datasets::tiny_test_dataset(1).graph.clone());

@@ -33,7 +33,7 @@
 //!
 //! ```
 //! use qcm_service::{JobRequest, MiningService, ServiceConfig};
-//! use std::sync::Arc;
+//! use qcm_sync::Arc;
 //!
 //! let dataset = qcm::gen::datasets::tiny_test_dataset(7);
 //! let graph = Arc::new(dataset.graph.clone());

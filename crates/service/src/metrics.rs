@@ -1,7 +1,7 @@
 //! Service observability: counters, gauges and job-latency percentiles.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use qcm_sync::atomic::{AtomicU64, Ordering};
+use qcm_sync::Mutex;
 use std::time::Duration;
 
 /// How many recent job latencies the percentile window keeps. A power of two
@@ -47,7 +47,7 @@ impl ServiceMetrics {
     /// Records one job latency (submission to terminal state).
     pub fn record_latency(&self, latency: Duration) {
         let micros = latency.as_micros().min(u64::MAX as u128) as u64;
-        let mut window = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        let mut window = self.latencies.lock();
         if window.samples.len() < LATENCY_WINDOW {
             window.samples.push(micros);
         } else {
@@ -64,7 +64,7 @@ impl ServiceMetrics {
     /// window copy: `O(n)` rather than `O(n log n)` per metrics poll.
     pub fn latency_percentiles(&self) -> (Duration, Duration) {
         let mut samples = {
-            let window = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+            let window = self.latencies.lock();
             window.samples.clone()
         };
         if samples.is_empty() {
@@ -137,6 +137,8 @@ impl ServiceMetrics {
             queue_depth,
             in_flight,
             cache_entries,
+            // ordering: Relaxed — monitoring snapshot; counters may be mutually
+            // skewed by in-flight updates, which dashboards tolerate.
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),

@@ -9,10 +9,10 @@ use crate::queue::JobQueue;
 use qcm::{CancelToken, IndexSpec, PreparedGraph, ResultSink, RunOutcome, Session};
 use qcm_core::QueryKey;
 use qcm_graph::Graph;
+use qcm_sync::atomic::Ordering;
+use qcm_sync::thread::JoinHandle;
+use qcm_sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering::Relaxed;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Static configuration of a [`MiningService`].
@@ -193,7 +193,7 @@ impl Shared {
     /// Locks the state, recovering from poisoning: a panic in caller-supplied
     /// sink code must not brick the whole service.
     fn lock(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.state.lock()
     }
 
     /// The prepared (indexed) form of `graph`, built on first use per
@@ -203,7 +203,7 @@ impl Shared {
     /// racing on the same cold graph both build and the first insert wins.
     fn prepared_for(&self, hash: u64, session: &Session, graph: &Arc<Graph>) -> PreparedGraph {
         let key = (hash, session.index_spec());
-        let lock = || self.prepared.lock().unwrap_or_else(|e| e.into_inner());
+        let lock = || self.prepared.lock();
         if let Some(hit) = lock().get(key, graph) {
             return hit;
         }
@@ -247,7 +247,7 @@ impl MiningService {
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = shared.clone();
-                std::thread::Builder::new()
+                qcm_sync::thread::Builder::new()
                     .name(format!("qcm-service-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
                     .expect("spawning a service worker thread")
@@ -304,18 +304,35 @@ impl MiningService {
                     &request.tenant,
                     state.tenant_unfinished(&request.tenant),
                 ) {
-                    self.shared.metrics.rejected.fetch_add(1, Relaxed);
+                    // ordering: Relaxed — service stats counter; totals are read via
+                    // snapshot(), which tolerates skew.
+                    self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(rejection);
                 }
             }
             let id = JobId::from_raw(state.next_id);
             state.next_id += 1;
-            self.shared.metrics.submitted.fetch_add(1, Relaxed);
+            // ordering: Relaxed — service stats counter; totals are read via
+            // snapshot(), which tolerates skew.
+            self.shared
+                .metrics
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
 
             if let Some(answer) = hit {
                 // Served from cache: the job is born completed.
-                self.shared.metrics.cache_hits.fetch_add(1, Relaxed);
-                self.shared.metrics.completed.fetch_add(1, Relaxed);
+                // ordering: Relaxed — service stats counter; totals are read via
+                // snapshot(), which tolerates skew.
+                self.shared
+                    .metrics
+                    .cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                // ordering: Relaxed — service stats counter; totals are read via
+                // snapshot(), which tolerates skew.
+                self.shared
+                    .metrics
+                    .completed
+                    .fetch_add(1, Ordering::Relaxed);
                 self.shared.metrics.record_latency(Duration::ZERO);
                 state.jobs.insert(
                     id,
@@ -337,7 +354,12 @@ impl MiningService {
                 state.retire(id);
                 (id, Some(answer))
             } else {
-                self.shared.metrics.cache_misses.fetch_add(1, Relaxed);
+                // ordering: Relaxed — service stats counter; totals are read via
+                // snapshot(), which tolerates skew.
+                self.shared
+                    .metrics
+                    .cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
                 state.jobs.insert(
                     id,
                     JobEntry {
@@ -410,7 +432,12 @@ impl MiningService {
                 debug_assert!(removed, "queued job must be in the queue");
                 state.tenant_job_finished(&tenant);
                 state.retire(job);
-                self.shared.metrics.cancelled.fetch_add(1, Relaxed);
+                // ordering: Relaxed — service stats counter; totals are read via
+                // snapshot(), which tolerates skew.
+                self.shared
+                    .metrics
+                    .cancelled
+                    .fetch_add(1, Ordering::Relaxed);
                 self.shared.metrics.record_latency(latency);
                 drop(state);
                 self.shared.done_cv.notify_all();
@@ -438,11 +465,7 @@ impl MiningService {
             match Self::terminal_result(&state, job) {
                 Some(result) => return result,
                 None => {
-                    state = self
-                        .shared
-                        .done_cv
-                        .wait(state)
-                        .unwrap_or_else(|e| e.into_inner());
+                    state = self.shared.done_cv.wait(state);
                 }
             }
         }
@@ -523,7 +546,12 @@ impl MiningService {
                         let tenant = entry.tenant.clone();
                         state.tenant_job_finished(&tenant);
                         state.retire(id);
-                        self.shared.metrics.cancelled.fetch_add(1, Relaxed);
+                        // ordering: Relaxed — service stats counter; totals are read via
+                        // snapshot(), which tolerates skew.
+                        self.shared
+                            .metrics
+                            .cancelled
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 for entry in state.jobs.values() {
@@ -567,10 +595,7 @@ fn worker_loop(shared: &Shared) {
                         break id;
                     }
                 }
-                state = shared
-                    .work_cv
-                    .wait(state)
-                    .unwrap_or_else(|e| e.into_inner());
+                state = shared.work_cv.wait(state);
             };
             state.running += 1;
             let entry = state
@@ -606,7 +631,9 @@ fn worker_loop(shared: &Shared) {
         {
             let mut state = shared.lock();
             state.running -= 1;
-            shared.metrics.jobs_mined.fetch_add(1, Relaxed);
+            // ordering: Relaxed — service stats counter; totals are read via
+            // snapshot(), which tolerates skew.
+            shared.metrics.jobs_mined.fetch_add(1, Ordering::Relaxed);
             let entry = state
                 .jobs
                 .get_mut(&id)
@@ -620,10 +647,14 @@ fn worker_loop(shared: &Shared) {
                     entry.result = Some(answer.clone());
                     if answer.outcome == RunOutcome::Cancelled {
                         entry.status = JobStatus::Cancelled;
-                        shared.metrics.cancelled.fetch_add(1, Relaxed);
+                        // ordering: Relaxed — service stats counter; totals are read via
+                        // snapshot(), which tolerates skew.
+                        shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
                     } else {
                         entry.status = JobStatus::Completed;
-                        shared.metrics.completed.fetch_add(1, Relaxed);
+                        // ordering: Relaxed — service stats counter; totals are read via
+                        // snapshot(), which tolerates skew.
+                        shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
                     }
                     // Only complete answers may serve other jobs.
                     if answer.outcome.is_complete() {
@@ -633,7 +664,9 @@ fn worker_loop(shared: &Shared) {
                 Err(message) => {
                     entry.status = JobStatus::Failed;
                     entry.error = Some(message);
-                    shared.metrics.failed.fetch_add(1, Relaxed);
+                    // ordering: Relaxed — service stats counter; totals are read via
+                    // snapshot(), which tolerates skew.
+                    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 }
             }
             state.tenant_job_finished(&tenant);

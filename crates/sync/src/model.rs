@@ -1,0 +1,917 @@
+//! The deterministic schedule-exploration engine behind the
+//! `model-check` feature.
+//!
+//! # How it works
+//!
+//! A `Scheduler` serialises a multi-threaded test body: at every
+//! *schedule point* (each lock, unlock, condvar operation, atomic
+//! access, spawn and join routed through the facade) exactly one thread
+//! is running and the scheduler decides — from a seeded PRNG — which
+//! thread runs next. Every decision is appended to a trace, so a
+//! failing schedule is fully described by its seed (re-running the same
+//! seed reproduces the identical decision trace, which
+//! [`check_seed`] exposes for assertions and failure reports print).
+//!
+//! Three failure classes are detected:
+//!
+//! * **assertion failures / panics** in any participating thread, with
+//!   the schedule that produced them;
+//! * **deadlocks**: every live thread blocked on a lock, condvar or
+//!   join (this includes the classic lost-wakeup: a `notify_one` that
+//!   fires before the waiter sleeps is *not* remembered, exactly like
+//!   the real primitive);
+//! * **unsynchronised atomic communication**: a vector clock per thread
+//!   and a last-writer record per atomic location flag any load that
+//!   observes another thread's store without a happens-before edge
+//!   (Release store → Acquire load, or transitively through locks,
+//!   spawn and join). These are advisory diagnostics by default —
+//!   relaxed statistics counters are legitimate — and hard failures
+//!   under [`ModelConfig::strict`].
+//!
+//! # Model boundaries
+//!
+//! The checker explores *interleavings*, not weak-memory value
+//! reorderings: atomic cells always hold the latest written value
+//! (sequentially consistent storage), and `Ordering` choices feed the
+//! happens-before/diagnostic layer rather than a store-buffer
+//! simulation. Preemptions (switching away from a thread that could
+//! continue) are bounded per schedule, which is what makes random
+//! exploration effective in practice: most real concurrency bugs need
+//! only a few preemptions at the right points.
+
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Sentinel panic payload used to unwind threads of an aborted
+/// schedule without reporting a spurious user panic.
+pub(crate) struct ModelAbort;
+
+/// A source location captured with `#[track_caller]`.
+pub(crate) type Site = &'static Location<'static>;
+
+/// Identifier allocators for atomics / mutexes / condvars. Ids are
+/// process-global (so `static` facade primitives work across schedules)
+/// while the per-id state lives in the per-schedule tables.
+pub(crate) static NEXT_OBJECT_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Tuning knobs of one exploration run.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Maximum involuntary context switches per schedule (switching
+    /// away from a thread that could have continued). Voluntary
+    /// switches — the running thread blocking — are always allowed.
+    pub max_preemptions: usize,
+    /// Hard bound on schedule points per schedule; exceeding it fails
+    /// the schedule as a livelock.
+    pub max_steps: u64,
+    /// Treat unsynchronised-atomic diagnostics as schedule failures.
+    pub fail_on_unsync: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            max_preemptions: 6,
+            max_steps: 200_000,
+            fail_on_unsync: false,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A configuration where any unsynchronised atomic communication
+    /// fails the schedule.
+    pub fn strict() -> Self {
+        ModelConfig {
+            fail_on_unsync: true,
+            ..ModelConfig::default()
+        }
+    }
+}
+
+/// Everything known about one explored schedule.
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    /// The PRNG seed that produced this schedule.
+    pub seed: u64,
+    /// The decision trace: every nondeterministic choice made, in
+    /// order. Re-running the same seed reproduces this exactly.
+    pub trace: Vec<usize>,
+    /// Schedule points executed.
+    pub steps: u64,
+    /// The failure, if the schedule found one.
+    pub failure: Option<String>,
+    /// Unsynchronised-atomic diagnostics (advisory unless
+    /// [`ModelConfig::fail_on_unsync`]).
+    pub diagnostics: Vec<String>,
+}
+
+/// Aggregate of a whole exploration run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Schedules explored.
+    pub schedules: usize,
+    /// Total schedule points across all schedules.
+    pub total_steps: u64,
+    /// Distinct unsynchronised-atomic diagnostics across all schedules.
+    pub diagnostics: Vec<String>,
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadInfo {
+    run: Run,
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct MutexInfo {
+    holder: Option<usize>,
+    /// Clock released into the mutex by the last unlock; joined by the
+    /// next lock (the lock's happens-before edge).
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct CondvarInfo {
+    waiters: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct StoreEvent {
+    tid: usize,
+    /// The storing thread's own clock component at the store.
+    stamp: u64,
+    /// The storing thread's full clock, when the store had release
+    /// semantics (what an acquire load joins).
+    release: Option<VClock>,
+    site: Site,
+    order: std::sync::atomic::Ordering,
+}
+
+#[derive(Debug, Default)]
+struct LocInfo {
+    last_store: Option<StoreEvent>,
+}
+
+struct SchedState {
+    seed: u64,
+    rng: u64,
+    cfg: ModelConfig,
+    threads: Vec<ThreadInfo>,
+    /// The one thread allowed to execute; `usize::MAX` once everything
+    /// finished.
+    active: usize,
+    /// Registered threads that have not yet left the harness (includes
+    /// the main test body as thread 0).
+    live: usize,
+    trace: Vec<usize>,
+    steps: u64,
+    preemptions_left: usize,
+    mutexes: HashMap<usize, MutexInfo>,
+    condvars: HashMap<usize, CondvarInfo>,
+    locs: HashMap<usize, LocInfo>,
+    failure: Option<String>,
+    diagnostics: Vec<String>,
+    /// (load site, store site) pairs already reported, to keep loops
+    /// from flooding the diagnostics.
+    reported: Vec<(Site, Site)>,
+}
+
+impl SchedState {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: tiny, seedable, good enough for schedule sampling.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One recorded nondeterministic choice among `n` alternatives.
+    fn decide(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let choice = (self.next_u64() % n as u64) as usize;
+        self.trace.push(choice);
+        choice
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(message);
+        }
+    }
+
+    /// Picks the next active thread. The caller has already updated
+    /// `threads[me].run` and must notify the scheduler condvar after
+    /// releasing the state lock.
+    fn reschedule(&mut self, me: usize) {
+        if self.failure.is_some() {
+            return;
+        }
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            if self.threads.iter().all(|t| t.run == Run::Finished) {
+                self.active = usize::MAX;
+            } else {
+                let stuck: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.run != Run::Finished)
+                    .map(|(tid, t)| format!("thread {tid} {:?}", t.run))
+                    .collect();
+                self.fail(format!(
+                    "deadlock: every live thread is blocked ({})",
+                    stuck.join(", ")
+                ));
+            }
+            return;
+        }
+        let me_runnable = self.threads.get(me).is_some_and(|t| t.run == Run::Runnable);
+        let next = if me_runnable && self.preemptions_left == 0 {
+            me
+        } else {
+            runnable[self.decide(runnable.len())]
+        };
+        if me_runnable && next != me {
+            self.preemptions_left = self.preemptions_left.saturating_sub(1);
+        }
+        self.active = next;
+    }
+
+    fn count_step(&mut self) {
+        self.steps += 1;
+        if self.steps > self.cfg.max_steps {
+            self.fail(format!(
+                "livelock: schedule exceeded {} schedule points",
+                self.cfg.max_steps
+            ));
+        }
+    }
+}
+
+/// The per-schedule scheduler shared by every participating thread.
+pub(crate) struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// This thread's participation handle in a running schedule.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) tid: usize,
+}
+
+/// The calling thread's scheduler context, if it participates in a
+/// schedule.
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(value: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = value);
+}
+
+/// Installs the scheduler context on the current (child) thread.
+pub(crate) fn enter_thread(value: Ctx) {
+    set_ctx(Some(value));
+}
+
+/// Clears the scheduler context before the thread exits.
+pub(crate) fn leave_thread() {
+    set_ctx(None);
+}
+
+/// Allocates a fresh process-global object id for a facade primitive.
+pub(crate) fn fresh_object_id() -> usize {
+    NEXT_OBJECT_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+fn is_acquire(order: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(order, Acquire | AcqRel | SeqCst)
+}
+
+fn is_release(order: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(order, Release | AcqRel | SeqCst)
+}
+
+impl Scheduler {
+    fn new(seed: u64, cfg: ModelConfig) -> Scheduler {
+        let max_preemptions = cfg.max_preemptions;
+        Scheduler {
+            state: StdMutex::new(SchedState {
+                seed,
+                rng: seed ^ 0xA076_1D64_78BD_642F,
+                cfg,
+                threads: vec![ThreadInfo {
+                    run: Run::Runnable,
+                    clock: VClock::default(),
+                }],
+                active: 0,
+                live: 1,
+                trace: Vec::new(),
+                steps: 0,
+                preemptions_left: max_preemptions,
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                locs: HashMap::new(),
+                failure: None,
+                diagnostics: Vec::new(),
+                reported: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until `me` is the active thread. Panics with [`ModelAbort`]
+    /// when the schedule has failed (so the thread unwinds out of the
+    /// test body promptly).
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, SchedState> {
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Scheduler::wait_turn`] but never panics — for paths that
+    /// run inside `Drop` during unwinding (a double panic would abort
+    /// the process). On failure it simply returns; mutual exclusion is
+    /// moot on a failed schedule that is tearing down.
+    fn wait_turn_or_give_up<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, SchedState> {
+        loop {
+            if st.failure.is_some() || st.active == me {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A plain schedule point: the running thread stays runnable, the
+    /// scheduler may hand the token to any runnable thread.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock_state();
+        st = self.wait_turn(st, me);
+        st.count_step();
+        st.reschedule(me);
+        drop(st);
+        self.cv.notify_all();
+        let st = self.lock_state();
+        let _st = self.wait_turn(st, me);
+    }
+
+    // ---- threads ----------------------------------------------------
+
+    /// Registers a child thread spawned by `parent`; the child starts
+    /// runnable and inherits the parent's clock (spawn happens-before
+    /// everything in the child).
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock_state();
+        let mut clock = st.threads[parent].clock.clone();
+        st.threads[parent].clock.bump(parent);
+        let tid = st.threads.len();
+        clock.bump(tid);
+        st.threads.push(ThreadInfo {
+            run: Run::Runnable,
+            clock,
+        });
+        st.live += 1;
+        tid
+    }
+
+    /// First schedule of a child thread: parks until the scheduler
+    /// hands it the token.
+    pub(crate) fn first_schedule(&self, me: usize) {
+        let st = self.lock_state();
+        let _st = self.wait_turn(st, me);
+    }
+
+    /// Normal thread completion.
+    pub(crate) fn thread_finish(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me].clock.bump(me);
+        st.threads[me].run = Run::Finished;
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedJoin(me) {
+                t.run = Run::Runnable;
+            }
+        }
+        st.count_step();
+        st.reschedule(me);
+        st.live -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Rolls back a [`Scheduler::register_thread`] whose OS spawn
+    /// failed: the slot is marked finished so the live count drains.
+    pub(crate) fn unregister_thread(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.threads[tid].run = Run::Finished;
+        st.live -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Thread exit while unwinding from a [`ModelAbort`]: bookkeeping
+    /// only, no rescheduling (the schedule already failed).
+    pub(crate) fn thread_exit_after_abort(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me].run = Run::Finished;
+        st.live -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Thread exit via a user panic: records the failure (with the
+    /// decision trace) and tears the schedule down.
+    pub(crate) fn thread_panicked(&self, me: usize, message: String) {
+        let mut st = self.lock_state();
+        st.fail(format!("thread {me} panicked: {message}"));
+        st.threads[me].run = Run::Finished;
+        st.live -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until `target` finishes; join creates a
+    /// happens-before edge from everything `target` did.
+    pub(crate) fn thread_join(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock_state();
+            st = self.wait_turn(st, me);
+            if st.threads[target].run == Run::Finished {
+                let target_clock = st.threads[target].clock.clone();
+                st.threads[me].clock.join(&target_clock);
+                return;
+            }
+            st.threads[me].run = Run::BlockedJoin(target);
+            st.count_step();
+            st.reschedule(me);
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    // ---- mutexes ----------------------------------------------------
+
+    /// Model-acquires mutex `mid` for `me`, blocking while held.
+    pub(crate) fn mutex_lock(&self, me: usize, mid: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock_state();
+            st = self.wait_turn(st, me);
+            let info = st.mutexes.entry(mid).or_default();
+            if info.holder.is_none() {
+                info.holder = Some(me);
+                let mutex_clock = info.clock.clone();
+                st.threads[me].clock.join(&mutex_clock);
+                return;
+            }
+            if info.holder == Some(me) {
+                st.fail(format!(
+                    "thread {me} deadlocked re-locking a mutex it already holds"
+                ));
+                drop(st);
+                self.cv.notify_all();
+                std::panic::panic_any(ModelAbort);
+            }
+            st.threads[me].run = Run::BlockedMutex(mid);
+            st.count_step();
+            st.reschedule(me);
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Non-blocking model acquire; `true` on success.
+    pub(crate) fn mutex_try_lock(&self, me: usize, mid: usize) -> bool {
+        self.yield_point(me);
+        let guard = self.lock_state();
+        let mut guard = self.wait_turn(guard, me);
+        let st = &mut *guard;
+        let info = st.mutexes.entry(mid).or_default();
+        if info.holder.is_none() {
+            info.holder = Some(me);
+            let mutex_clock = info.clock.clone();
+            st.threads[me].clock.join(&mutex_clock);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Model-releases mutex `mid`. Runs inside guard `Drop`, so it must
+    /// never panic: on a failed schedule it degrades to bookkeeping.
+    pub(crate) fn mutex_unlock(&self, me: usize, mid: usize) {
+        let mut st = self.lock_state();
+        st = self.wait_turn_or_give_up(st, me);
+        st.threads[me].clock.bump(me);
+        let my_clock = st.threads[me].clock.clone();
+        let info = st.mutexes.entry(mid).or_default();
+        debug_assert_eq!(info.holder, Some(me), "unlock by non-holder");
+        info.holder = None;
+        info.clock.join(&my_clock);
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedMutex(mid) {
+                t.run = Run::Runnable;
+            }
+        }
+        st.count_step();
+        st.reschedule(me);
+        drop(st);
+        self.cv.notify_all();
+        let st = self.lock_state();
+        let _st = self.wait_turn_or_give_up(st, me);
+    }
+
+    // ---- condvars ---------------------------------------------------
+
+    /// Atomically releases mutex `mid`, parks on condvar `cvid`, and —
+    /// once notified — re-acquires the mutex. Exactly the lost-wakeup
+    /// semantics of the real primitive: a notify with no parked waiter
+    /// is forgotten.
+    pub(crate) fn condvar_wait(&self, me: usize, cvid: usize, mid: usize) {
+        let mut st = self.lock_state();
+        st = self.wait_turn(st, me);
+        // Release the mutex (release edge + wake lock waiters).
+        st.threads[me].clock.bump(me);
+        let my_clock = st.threads[me].clock.clone();
+        let minfo = st.mutexes.entry(mid).or_default();
+        debug_assert_eq!(minfo.holder, Some(me), "condvar wait without the lock");
+        minfo.holder = None;
+        minfo.clock.join(&my_clock);
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedMutex(mid) {
+                t.run = Run::Runnable;
+            }
+        }
+        // Park on the condvar.
+        st.condvars.entry(cvid).or_default().waiters.push(me);
+        st.threads[me].run = Run::BlockedCondvar(cvid);
+        st.count_step();
+        st.reschedule(me);
+        drop(st);
+        self.cv.notify_all();
+        {
+            let st = self.lock_state();
+            let _st = self.wait_turn(st, me);
+        }
+        // Notified and scheduled: take the mutex back.
+        self.mutex_relock_after_wait(me, mid);
+    }
+
+    /// The re-acquire half of [`Scheduler::condvar_wait`] (no leading
+    /// yield point: waking from a wait *is* the schedule point).
+    fn mutex_relock_after_wait(&self, me: usize, mid: usize) {
+        loop {
+            let mut st = self.lock_state();
+            st = self.wait_turn(st, me);
+            let info = st.mutexes.entry(mid).or_default();
+            if info.holder.is_none() {
+                info.holder = Some(me);
+                let mutex_clock = info.clock.clone();
+                st.threads[me].clock.join(&mutex_clock);
+                return;
+            }
+            st.threads[me].run = Run::BlockedMutex(mid);
+            st.count_step();
+            st.reschedule(me);
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wakes one (scheduler-chosen) or all threads parked on `cvid`.
+    pub(crate) fn condvar_notify(&self, me: usize, cvid: usize, all: bool) {
+        self.yield_point(me);
+        let guard = self.lock_state();
+        let mut guard = self.wait_turn(guard, me);
+        let st = &mut *guard;
+        let waiting = st.condvars.entry(cvid).or_default().waiters.len();
+        let woken: Vec<usize> = if waiting == 0 {
+            Vec::new()
+        } else if all {
+            std::mem::take(&mut st.condvars.entry(cvid).or_default().waiters)
+        } else {
+            let idx = st.decide(waiting);
+            vec![st
+                .condvars
+                .entry(cvid)
+                .or_default()
+                .waiters
+                .swap_remove(idx)]
+        };
+        for w in woken {
+            st.threads[w].run = Run::Runnable;
+        }
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    // ---- atomics ----------------------------------------------------
+
+    /// An atomic load: acquire loads join the release clock of the
+    /// store they observe; any cross-thread observation without a
+    /// happens-before edge is diagnosed.
+    pub(crate) fn atomic_load(
+        &self,
+        me: usize,
+        loc: usize,
+        order: std::sync::atomic::Ordering,
+        site: Site,
+    ) {
+        self.yield_point(me);
+        let guard = self.lock_state();
+        let mut guard = self.wait_turn(guard, me);
+        let st = &mut *guard;
+        let Some(ev) = st.locs.entry(loc).or_default().last_store.take() else {
+            return;
+        };
+        let mut abort = false;
+        if ev.tid != me {
+            let synced_already = st.threads[me].clock.get(ev.tid) >= ev.stamp;
+            if is_acquire(order) && ev.release.is_some() {
+                let release = ev.release.clone().expect("checked is_some");
+                st.threads[me].clock.join(&release);
+            } else if !synced_already {
+                let pair = (site, ev.site);
+                if !st.reported.contains(&pair) {
+                    st.reported.push(pair);
+                    let msg = format!(
+                        "unsynchronised atomic communication: {:?} load at {} observed {:?} store at {} (thread {} -> {}) with no happens-before edge",
+                        order, site, ev.order, ev.site, ev.tid, me
+                    );
+                    st.diagnostics.push(msg.clone());
+                    if st.cfg.fail_on_unsync {
+                        st.fail(msg);
+                        abort = true;
+                    }
+                }
+            }
+        }
+        st.locs.entry(loc).or_default().last_store = Some(ev);
+        drop(guard);
+        if abort {
+            self.cv.notify_all();
+            std::panic::panic_any(ModelAbort);
+        }
+    }
+
+    /// An atomic store: release stores publish the thread's clock.
+    pub(crate) fn atomic_store(
+        &self,
+        me: usize,
+        loc: usize,
+        order: std::sync::atomic::Ordering,
+        site: Site,
+    ) {
+        self.yield_point(me);
+        let guard = self.lock_state();
+        let mut guard = self.wait_turn(guard, me);
+        let st = &mut *guard;
+        st.threads[me].clock.bump(me);
+        let stamp = st.threads[me].clock.get(me);
+        let release = is_release(order).then(|| st.threads[me].clock.clone());
+        st.locs.entry(loc).or_default().last_store = Some(StoreEvent {
+            tid: me,
+            stamp,
+            release,
+            site,
+            order,
+        });
+    }
+
+    /// A read-modify-write (`fetch_add`, `swap`, `compare_exchange`,
+    /// …): one schedule point covering both halves. RMWs always read
+    /// the latest value in modification order, so the read half joins
+    /// clocks on acquire but is never diagnosed as unsynchronised;
+    /// the write half publishes on release.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        order: std::sync::atomic::Ordering,
+        site: Site,
+    ) {
+        self.yield_point(me);
+        let guard = self.lock_state();
+        let mut guard = self.wait_turn(guard, me);
+        let st = &mut *guard;
+        if is_acquire(order) {
+            if let Some(release) = st
+                .locs
+                .entry(loc)
+                .or_default()
+                .last_store
+                .as_ref()
+                .and_then(|ev| ev.release.clone())
+            {
+                st.threads[me].clock.join(&release);
+            }
+        }
+        st.threads[me].clock.bump(me);
+        let stamp = st.threads[me].clock.get(me);
+        let release = is_release(order).then(|| st.threads[me].clock.clone());
+        st.locs.entry(loc).or_default().last_store = Some(StoreEvent {
+            tid: me,
+            stamp,
+            release,
+            site,
+            order,
+        });
+    }
+}
+
+// ---- public entry points --------------------------------------------
+
+fn run_one(seed: u64, cfg: ModelConfig, f: &(dyn Fn() + Sync)) -> ScheduleResult {
+    let sched = Arc::new(Scheduler::new(seed, cfg));
+    set_ctx(Some(Ctx {
+        sched: sched.clone(),
+        tid: 0,
+    }));
+    let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match body {
+        Ok(()) => sched.thread_finish(0),
+        Err(payload) => {
+            if payload.downcast_ref::<ModelAbort>().is_some() {
+                sched.thread_exit_after_abort(0);
+            } else {
+                sched.thread_panicked(0, crate::panic_message(payload.as_ref()).to_string());
+            }
+        }
+    }
+    // Reap: wait for every participating OS thread to leave the
+    // harness before reading the final state.
+    {
+        let mut st = sched.lock_state();
+        while st.live > 0 {
+            st = sched.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    set_ctx(None);
+    let st = sched.lock_state();
+    ScheduleResult {
+        seed: st.seed,
+        trace: st.trace.clone(),
+        steps: st.steps,
+        failure: st.failure.clone(),
+        diagnostics: st.diagnostics.clone(),
+    }
+}
+
+/// Runs `f` once under the scheduler with an explicit `seed` and
+/// returns everything about the schedule — including its decision
+/// trace, which is identical on every run of the same seed.
+pub fn check_seed(seed: u64, cfg: ModelConfig, f: impl Fn() + Sync) -> ScheduleResult {
+    run_one(seed, cfg, &f)
+}
+
+/// The base seed for exploration: `QCM_MC_SEED` or 1.
+pub fn base_seed() -> u64 {
+    std::env::var("QCM_MC_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Extra seeds appended to every exploration (`QCM_MC_EXTRA_SEED`,
+/// comma-separated) — CI logs one random value here so every green run
+/// still documents a reproducible novel schedule set.
+pub fn extra_seeds() -> Vec<u64> {
+    std::env::var("QCM_MC_EXTRA_SEED")
+        .map(|s| {
+            s.split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn failure_message(name: &str, result: &ScheduleResult) -> String {
+    format!(
+        "model-check failure in scenario '{name}' (seed {seed}):\n  {failure}\n  \
+         decision trace ({points} points): {trace:?}\n  \
+         replay with: qcm_sync::model::check_seed({seed}, ...) or QCM_MC_SEED={seed}",
+        seed = result.seed,
+        failure = result.failure.as_deref().unwrap_or("<none>"),
+        points = result.trace.len(),
+        trace = result.trace,
+    )
+}
+
+/// Explores `schedules` seeded schedules of `f` (seeds
+/// `base_seed()..base_seed()+schedules`, plus any [`extra_seeds`]).
+/// Panics on the first failing schedule with its seed and decision
+/// trace; returns the aggregate [`Report`] when everything passes.
+pub fn explore(name: &str, schedules: usize, cfg: ModelConfig, f: impl Fn() + Sync) -> Report {
+    let base = base_seed();
+    let seeds: Vec<u64> = (0..schedules as u64)
+        .map(|i| base.wrapping_add(i))
+        .chain(extra_seeds())
+        .collect();
+    explore_seeds(name, &seeds, cfg, f)
+}
+
+/// [`explore`] over an explicit seed list.
+pub fn explore_seeds(name: &str, seeds: &[u64], cfg: ModelConfig, f: impl Fn() + Sync) -> Report {
+    let mut report = Report::default();
+    for &seed in seeds {
+        let result = run_one(seed, cfg.clone(), &f);
+        if result.failure.is_some() {
+            panic!("{}", failure_message(name, &result));
+        }
+        report.schedules += 1;
+        report.total_steps += result.steps;
+        for d in result.diagnostics {
+            if !report.diagnostics.contains(&d) {
+                report.diagnostics.push(d);
+            }
+        }
+    }
+    report
+}
+
+/// Explores up to `schedules` schedules and returns the first failing
+/// one (`None` when all pass) — for tests that *expect* to find a bug.
+pub fn find_failure(
+    schedules: usize,
+    cfg: ModelConfig,
+    f: impl Fn() + Sync,
+) -> Option<ScheduleResult> {
+    let base = base_seed();
+    (0..schedules as u64)
+        .map(|i| run_one(base.wrapping_add(i), cfg.clone(), &f))
+        .find(|r| r.failure.is_some())
+}

@@ -12,7 +12,7 @@
 //! ```
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 fn main() -> Result<(), QcmError> {
     // A 5,000-vertex power-law background with six planted communities:

@@ -13,7 +13,7 @@
 //! `dataset` is one of the Table 1 names (default: `CX_GSE10158`).
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 fn main() -> Result<(), QcmError> {

@@ -11,7 +11,7 @@
 //! ```
 
 use qcm_service::{JobRequest, MiningService, Priority, ServiceConfig, ServiceError};
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 fn main() -> Result<(), ServiceError> {

@@ -11,7 +11,7 @@
 //! ```
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 fn main() -> Result<(), QcmError> {

@@ -14,7 +14,7 @@
 //! ```
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 fn main() -> Result<(), QcmError> {
     // ~5k proteins, sparse power-law interactions, plus a handful of planted

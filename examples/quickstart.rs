@@ -10,7 +10,7 @@
 //! both paths return the same answer through one unified API.
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 fn figure4() -> Graph {
     Graph::from_edges(

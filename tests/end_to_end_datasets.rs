@@ -8,7 +8,7 @@
 //! suite stays fast.
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 /// Shrinks a dataset spec to a debug-test-friendly size while keeping its
 /// mining parameters and structural character.

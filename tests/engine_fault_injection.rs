@@ -5,7 +5,7 @@
 //! serial reference and no spill file may be left behind.
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 fn test_graph() -> (Arc<Graph>, MiningParams) {

@@ -27,9 +27,9 @@ use qcm::engine::EngineConfig;
 use qcm::graph::Graph;
 use qcm::parallel::{SimMiner, SimMiningOutput};
 use qcm::{RunOutcome, SimConfig};
+use qcm_sync::Arc;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::Duration;
 
 const SEEDS: [u64; 3] = [11, 42, 1337];

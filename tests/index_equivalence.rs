@@ -4,7 +4,7 @@
 //! index may only change how fast edge queries run, never what is mined.
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 
 fn datasets() -> Vec<Arc<qcm::graph::Graph>> {
     let tiny = qcm::gen::datasets::tiny_test_dataset(7);

@@ -10,7 +10,7 @@
 use qcm::core::naive;
 use qcm::parallel::DecompositionStrategy;
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 /// Deterministic pseudo-random small graphs without pulling in a RNG: a

@@ -8,7 +8,7 @@
 //! exactly what the serial reference returns.
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 fn planted_graph(seed: u64) -> (Arc<Graph>, SessionBuilder) {

@@ -8,7 +8,7 @@ use qcm::RunOutcome;
 use qcm_service::{
     AdmissionControl, JobRequest, JobStatus, MiningService, Priority, ServiceConfig, ServiceError,
 };
-use std::sync::{Arc, Mutex};
+use qcm_sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A small graph that mines in milliseconds.
@@ -194,7 +194,7 @@ fn cancelling_a_running_job_stops_it_via_its_cancel_token() {
     let deadline = Instant::now() + Duration::from_secs(30);
     while service.status(job).unwrap() != JobStatus::Running {
         assert!(Instant::now() < deadline, "job never started running");
-        std::thread::sleep(Duration::from_millis(2));
+        qcm_sync::thread::sleep(Duration::from_millis(2));
     }
     assert_eq!(service.cancel(job).unwrap(), JobStatus::Running);
     // The run over this graph cannot finish on its own in test time, so a
@@ -216,10 +216,10 @@ struct SharedSink {
 
 impl ResultSink for SharedSink {
     fn on_candidate(&mut self, _members: &[VertexId]) {
-        *self.candidates.lock().unwrap() += 1;
+        *self.candidates.lock() += 1;
     }
     fn on_maximal(&mut self, members: &[VertexId]) {
-        self.maximal.lock().unwrap().push(members.to_vec());
+        self.maximal.lock().push(members.to_vec());
     }
 }
 
@@ -233,14 +233,8 @@ fn streaming_sinks_fire_for_mined_jobs_and_cache_hits() {
         .submit(JobRequest::new(graph.clone(), gamma, min_size).stream(Box::new(cold_sink.clone())))
         .unwrap();
     let cold = service.fetch(job).unwrap();
-    assert_eq!(
-        cold_sink.maximal.lock().unwrap().len(),
-        cold.maximal().len()
-    );
-    assert_eq!(
-        *cold_sink.candidates.lock().unwrap(),
-        cold.answer.raw_reported
-    );
+    assert_eq!(cold_sink.maximal.lock().len(), cold.maximal().len());
+    assert_eq!(*cold_sink.candidates.lock(), cold.answer.raw_reported);
 
     // A cache hit delivers the maximal sets to the sink at submit time.
     let hot_sink = SharedSink::default();
@@ -248,7 +242,7 @@ fn streaming_sinks_fire_for_mined_jobs_and_cache_hits() {
         .submit(JobRequest::new(graph, gamma, min_size).stream(Box::new(hot_sink.clone())))
         .unwrap();
     assert_eq!(
-        hot_sink.maximal.lock().unwrap().len(),
+        hot_sink.maximal.lock().len(),
         cold.maximal().len(),
         "hit delivery happens before fetch"
     );

@@ -4,7 +4,7 @@
 //! blocks), streaming delivery, and the deprecated shims' delegation.
 
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 fn planted() -> (Arc<Graph>, SessionBuilder) {

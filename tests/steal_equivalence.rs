@@ -13,7 +13,7 @@ use qcm_engine::codec::{put_u32, take_u32};
 use qcm_engine::queue::TaskQueue;
 use qcm_engine::spill::{SpillMetrics, SpillStore};
 use qcm_engine::{TaskCodec, WorkerQueues};
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 fn test_graph() -> (Arc<Graph>, MiningParams) {

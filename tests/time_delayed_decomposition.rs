@@ -13,7 +13,7 @@
 
 use qcm::parallel::{DecompositionStrategy, ParallelMiner};
 use qcm::prelude::*;
-use std::sync::Arc;
+use qcm_sync::Arc;
 use std::time::Duration;
 
 /// A graph with one moderately dense hard core that takes real work to mine,
