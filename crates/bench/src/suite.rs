@@ -291,6 +291,12 @@ pub struct WorkloadResult {
     pub deterministic: bool,
     /// See [`WorkloadSpec::tracked`].
     pub tracked: bool,
+    /// Per-span-kind self time (µs, children subtracted) of one *untimed*
+    /// traced pass of the optimised variant — where this workload spends its
+    /// wall time, attached so a BENCH regression can be read against the
+    /// phase breakdown without re-running under a profiler. Empty when the
+    /// process-global recorder was busy.
+    pub phase_self_time_us: Vec<(&'static str, u64)>,
 }
 
 /// Runs one workload: `iters` timed runs per variant (baseline / optimised
@@ -313,6 +319,7 @@ pub fn run_workload(spec: &WorkloadSpec, iters: usize) -> WorkloadResult {
         "workload {}: results must be variant-invariant",
         spec.name
     );
+    let phase_self_time_us = traced_self_time(spec, &graph, params);
 
     let index = NeighborhoodIndex::build(graph.clone(), IndexSpec::Auto);
     WorkloadResult {
@@ -341,6 +348,76 @@ pub fn run_workload(spec: &WorkloadSpec, iters: usize) -> WorkloadResult {
         index_memory_bytes: index.memory_bytes(),
         deterministic: spec.deterministic,
         tracked: spec.tracked,
+        phase_self_time_us,
+    }
+}
+
+/// The per-pass `perf::reset()` in [`run_variant`] zeroes *process-wide*
+/// counters, and the span recorder behind [`traced_self_time`] is a
+/// process-wide singleton — concurrent measured regions would corrupt each
+/// other's deltas or lose the trace (e.g. `cargo test` running two suite
+/// tests on parallel threads). One lock serialises them; the bench binaries
+/// take it uncontended.
+static MEASURE_LOCK: qcm_sync::Mutex<()> = qcm_sync::Mutex::new(());
+
+/// Resolves a workload's variant axis into the three mechanism knobs. Every
+/// axis keeps the other two optimisations at their defaults, so a row
+/// isolates exactly one mechanism.
+fn variant_knobs(spec: &WorkloadSpec, baseline: bool) -> (IndexSpec, ScratchMode, bool) {
+    let index = match (spec.variant, baseline) {
+        (VariantAxis::Index, true) => IndexSpec::Disabled,
+        _ => IndexSpec::Auto,
+    };
+    let scratch = match (spec.variant, baseline) {
+        (VariantAxis::Scratch, true) => ScratchMode::Fresh,
+        _ => ScratchMode::Pooled,
+    };
+    let steal = spec.variant != VariantAxis::Steal || !baseline;
+    (index, scratch, steal)
+}
+
+/// One mining pass with explicit mechanism knobs; returns the maximal count.
+fn mine_pass(
+    spec: &WorkloadSpec,
+    graph: &Arc<Graph>,
+    params: MiningParams,
+    index: IndexSpec,
+    scratch: ScratchMode,
+    steal: bool,
+) -> usize {
+    match spec.backend {
+        WorkloadBackend::Serial => SerialMiner::with_config(params, spec.prune)
+            .with_index(index)
+            .with_scratch_mode(scratch)
+            .mine(graph)
+            .maximal
+            .len(),
+        WorkloadBackend::Parallel { threads } => {
+            let mut config = EngineConfig::single_machine(threads)
+                .with_decomposition(
+                    spec.dataset.tau_split,
+                    Duration::from_millis(spec.dataset.tau_time_ms),
+                )
+                .with_index(index);
+            if spec.variant == VariantAxis::Steal {
+                // Both variants: a deque deep enough to hold the skewed
+                // decomposition burst and coarse spawn batches (one
+                // worker grabs long consecutive id runs, so the hard
+                // core's roots concentrate), isolating exactly the steal
+                // protocol (the pre-stealing engine's L_small was
+                // worker-private too, not shared through overflow).
+                config.local_capacity = 4096;
+                config.batch_size = 256;
+            }
+            if !steal {
+                config.steal_batch = 0;
+            }
+            ParallelMiner::new(params, config)
+                .with_prune_config(spec.prune)
+                .mine(graph.clone())
+                .maximal
+                .len()
+        }
     }
 }
 
@@ -353,23 +430,7 @@ fn run_variant(
     baseline: bool,
     iters: usize,
 ) -> (f64, usize, perf::PerfSnapshot) {
-    // Every axis keeps the other two optimisations at their defaults, so a
-    // row isolates exactly one mechanism.
-    let index = match (spec.variant, baseline) {
-        (VariantAxis::Index, true) => IndexSpec::Disabled,
-        _ => IndexSpec::Auto,
-    };
-    let scratch = match (spec.variant, baseline) {
-        (VariantAxis::Scratch, true) => ScratchMode::Fresh,
-        _ => ScratchMode::Pooled,
-    };
-    let steal = spec.variant != VariantAxis::Steal || !baseline;
-
-    // The per-pass `perf::reset()` below zeroes *process-wide* counters, so
-    // concurrent measured regions would corrupt each other's deltas (e.g.
-    // `cargo test` running two suite tests on parallel threads). One lock
-    // serialises them; the bench binaries take it uncontended.
-    static MEASURE_LOCK: qcm_sync::Mutex<()> = qcm_sync::Mutex::new(());
+    let (index, scratch, steal) = variant_knobs(spec, baseline);
     let _measuring = MEASURE_LOCK.lock();
 
     let mut best_ms = f64::INFINITY;
@@ -381,45 +442,35 @@ fn run_variant(
         perf::reset();
         let before = perf::snapshot();
         let start = Instant::now();
-        result_count = match spec.backend {
-            WorkloadBackend::Serial => SerialMiner::with_config(params, spec.prune)
-                .with_index(index)
-                .with_scratch_mode(scratch)
-                .mine(graph)
-                .maximal
-                .len(),
-            WorkloadBackend::Parallel { threads } => {
-                let mut config = EngineConfig::single_machine(threads)
-                    .with_decomposition(
-                        spec.dataset.tau_split,
-                        Duration::from_millis(spec.dataset.tau_time_ms),
-                    )
-                    .with_index(index);
-                if spec.variant == VariantAxis::Steal {
-                    // Both variants: a deque deep enough to hold the skewed
-                    // decomposition burst and coarse spawn batches (one
-                    // worker grabs long consecutive id runs, so the hard
-                    // core's roots concentrate), isolating exactly the steal
-                    // protocol (the pre-stealing engine's L_small was
-                    // worker-private too, not shared through overflow).
-                    config.local_capacity = 4096;
-                    config.batch_size = 256;
-                }
-                if !steal {
-                    config.steal_batch = 0;
-                }
-                ParallelMiner::new(params, config)
-                    .with_prune_config(spec.prune)
-                    .mine(graph.clone())
-                    .maximal
-                    .len()
-            }
-        };
+        result_count = mine_pass(spec, graph, params, index, scratch, steal);
         let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
         counters = perf::snapshot().since(&before);
         best_ms = best_ms.min(elapsed_ms);
     }
     (best_ms, result_count, counters)
+}
+
+/// One extra pass of the optimised variant under span recording, reduced to
+/// self time per span kind. Runs *after* the timed passes so tracing
+/// overhead never leaks into `wall_ms`. The span recorder is process-global
+/// and exclusive; if another recording is active (parallel suite tests) the
+/// breakdown is simply omitted.
+fn traced_self_time(
+    spec: &WorkloadSpec,
+    graph: &Arc<Graph>,
+    params: MiningParams,
+) -> Vec<(&'static str, u64)> {
+    let (index, scratch, steal) = variant_knobs(spec, false);
+    let _measuring = MEASURE_LOCK.lock();
+    if !qcm_obs::start_recording(&qcm_obs::TraceConfig::default()) {
+        return Vec::new();
+    }
+    {
+        let _run = qcm_obs::span(qcm_obs::SpanKind::Run);
+        mine_pass(spec, graph, params, index, scratch, steal);
+    }
+    let trace = qcm_obs::finish_recording();
+    qcm_obs::self_time_by_kind(&trace).into_iter().collect()
 }
 
 /// The whole suite run, ready to serialise.
@@ -503,6 +554,15 @@ fn workload_json(w: &WorkloadResult) -> Json {
         ("index_memory_bytes", Json::from(w.index_memory_bytes)),
         ("deterministic", Json::from(w.deterministic)),
         ("tracked", Json::from(w.tracked)),
+        (
+            "phase_self_time_us",
+            object(
+                w.phase_self_time_us
+                    .iter()
+                    .map(|&(kind, us)| (kind, Json::from(us)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -578,6 +638,17 @@ mod tests {
             json.get("allocations_avoided").and_then(Json::as_f64),
             Some(row.allocations_avoided as f64)
         );
+        // The traced pass ran with the recorder held under MEASURE_LOCK, so
+        // the breakdown must be present and must include the mining phase.
+        assert!(
+            row.phase_self_time_us
+                .iter()
+                .any(|&(kind, _)| kind == "mine_phase"),
+            "traced pass must observe mine_phase spans: {:?}",
+            row.phase_self_time_us
+        );
+        let phases = json.get("phase_self_time_us").expect("phase map");
+        assert!(phases.get("mine_phase").and_then(Json::as_f64).is_some());
     }
 
     #[test]

@@ -18,12 +18,21 @@ qcm — maximal quasi-clique miner (algorithm-system codesign reproduction)
 
 USAGE:
     qcm mine <edge_list> --gamma <0..1> --min-size <n> [options]
+    qcm trace <edge_list> [mine options] [--out <file>]
     qcm serve [--workers <n>] [--format json|text] [options]
     qcm generate --dataset <name> --output <file> [--seed <n>]
     qcm stats <edge_list>
     qcm fingerprint <edge_list>
     qcm datasets
     qcm help
+
+TRACE:
+    runs one traced mining run (hierarchical spans: run → decompose → task →
+    mine_phase → steal/pull/spill) and writes Chrome trace-event JSON — load
+    it in Perfetto or chrome://tracing. Takes the MINE OPTIONS below (except
+    --format/--output) plus:
+
+    --out <file>          trace output path (default trace.json)
 
 SERVE:
     runs the multi-tenant mining job service over stdin/stdout: one
@@ -73,6 +82,21 @@ const MINE_FLAGS: FlagSpec = FlagSpec {
         "transport",
         "format",
         "output",
+    ],
+    switches: &["serial"],
+};
+
+const TRACE_FLAGS: FlagSpec = FlagSpec {
+    values: &[
+        "gamma",
+        "min-size",
+        "threads",
+        "machines",
+        "tau-split",
+        "tau-time-ms",
+        "deadline-ms",
+        "transport",
+        "out",
     ],
     switches: &["serial"],
 };
@@ -179,11 +203,41 @@ pub fn mine(args: &[String]) -> Result<(), QcmError> {
         }
     };
     let graph = load_graph(path)?;
+    let (builder, gamma, min_size) = session_builder_from_flags(&flags)?;
+    let session = builder.build()?;
+
+    if format == OutputFormat::Text {
+        println!(
+            "graph: {} vertices, {} edges; mining γ={gamma}, τ_size={min_size}",
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+    }
+    let graph = Arc::new(graph);
+    let report = session.run(&graph)?;
+
+    match format {
+        OutputFormat::Json => println!("{}", report_to_json(&report, gamma, min_size)),
+        OutputFormat::Text => print_text_report(&report),
+    }
+    if let Some(path) = flags.values.get("output") {
+        write_results(&report, path)?;
+        if format == OutputFormat::Text {
+            println!("results written to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Builds a [`SessionBuilder`] from the shared mine/trace flag set,
+/// validating the cluster-shape flags unconditionally so a bad value is
+/// rejected even when `--serial` makes them unused. Returns the builder
+/// plus the parsed `(γ, τ_size)` for report headers.
+fn session_builder_from_flags(
+    flags: &Flags,
+) -> Result<(qcm::SessionBuilder, f64, usize), QcmError> {
     let gamma: f64 = flags.get("gamma", 0.9)?;
     let min_size: usize = flags.get("min-size", 10)?;
-
-    // Parse and range-check the cluster-shape flags unconditionally so a bad
-    // value is rejected even when --serial makes them unused.
     let threads: usize = flags.get("threads", default_threads())?;
     let machines: usize = flags.get("machines", 1usize)?;
     if threads == 0 {
@@ -226,29 +280,7 @@ pub fn mine(args: &[String]) -> Result<(), QcmError> {
     if let Some(ms) = flags.get_opt::<u64>("deadline-ms")? {
         builder = builder.deadline(Duration::from_millis(ms));
     }
-    let session = builder.build()?;
-
-    if format == OutputFormat::Text {
-        println!(
-            "graph: {} vertices, {} edges; mining γ={gamma}, τ_size={min_size}",
-            graph.num_vertices(),
-            graph.num_edges()
-        );
-    }
-    let graph = Arc::new(graph);
-    let report = session.run(&graph)?;
-
-    match format {
-        OutputFormat::Json => println!("{}", report_to_json(&report, gamma, min_size)),
-        OutputFormat::Text => print_text_report(&report),
-    }
-    if let Some(path) = flags.values.get("output") {
-        write_results(&report, path)?;
-        if format == OutputFormat::Text {
-            println!("results written to {path}");
-        }
-    }
-    Ok(())
+    Ok((builder, gamma, min_size))
 }
 
 fn print_text_report(report: &MiningReport) {
@@ -262,6 +294,17 @@ fn print_text_report(report: &MiningReport) {
             "note: run ended early ({:?}); only part of the search space was explored and \
              some reported sets may not be maximal in the full graph",
             report.outcome
+        );
+    }
+    if let Some(p) = report
+        .engine_metrics()
+        .and_then(|m| m.task_time_percentiles())
+    {
+        println!(
+            "task time p50/p95/p99: {:.3} / {:.3} / {:.3} ms",
+            p.p50.as_secs_f64() * 1e3,
+            p.p95.as_secs_f64() * 1e3,
+            p.p99.as_secs_f64() * 1e3
         );
     }
     for (i, members) in report.maximal.iter().take(10).enumerate() {
@@ -299,9 +342,23 @@ fn report_to_json(report: &MiningReport, gamma: f64, min_size: usize) -> String 
             format!("[{}]", ids.join(","))
         })
         .collect();
+    // Per-task wall-time percentiles, present only for engine-backed runs
+    // (the serial miner has no task log).
+    let task_time = report
+        .engine_metrics()
+        .and_then(|m| m.task_time_percentiles())
+        .map(|p| {
+            format!(
+                ",\"task_time_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}}",
+                p.p50.as_secs_f64() * 1e3,
+                p.p95.as_secs_f64() * 1e3,
+                p.p99.as_secs_f64() * 1e3
+            )
+        })
+        .unwrap_or_default();
     format!(
         "{{\"gamma\":{gamma},\"min_size\":{min_size},\"outcome\":\"{outcome}\",\
-         \"complete\":{},\"elapsed_ms\":{},\"raw_reported\":{},\"num_maximal\":{},\
+         \"complete\":{},\"elapsed_ms\":{},\"raw_reported\":{},\"num_maximal\":{}{task_time},\
          \"maximal\":[{}]}}",
         report.is_complete(),
         report.elapsed.as_millis(),
@@ -309,6 +366,59 @@ fn report_to_json(report: &MiningReport, gamma: f64, min_size: usize) -> String 
         report.maximal.len(),
         sets.join(",")
     )
+}
+
+/// `qcm trace <edge_list> … --out <file>` — one traced mining run.
+///
+/// Accepts the `qcm mine` run flags, enables span recording for the run and
+/// writes the result as Chrome trace-event JSON (loadable in Perfetto /
+/// `chrome://tracing`), then prints a one-line span summary plus the
+/// per-phase self-time breakdown — the greppable surface CI's trace-smoke
+/// step asserts on.
+pub fn trace(args: &[String]) -> Result<(), QcmError> {
+    let flags = Flags::parse(args, &TRACE_FLAGS)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| QcmError::InvalidConfig("trace requires an edge-list path".into()))?;
+    let out_path = flags
+        .values
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "trace.json".to_string());
+    let graph = Arc::new(load_graph(path)?);
+    let (builder, gamma, min_size) = session_builder_from_flags(&flags)?;
+    let session = builder.tracing(qcm_obs::TraceConfig::default()).build()?;
+    println!(
+        "graph: {} vertices, {} edges; tracing mine γ={gamma}, τ_size={min_size}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let report = session.run(&graph)?;
+    let trace = report.trace.as_ref().ok_or_else(|| {
+        QcmError::Engine(
+            "tracing was unavailable: another recording is active in this process".into(),
+        )
+    })?;
+    let json = qcm_obs::chrome::render(trace);
+    std::fs::write(&out_path, &json)
+        .map_err(|e| QcmError::Engine(format!("cannot write {out_path}: {e}")))?;
+    println!(
+        "spans={} run={} mine_phase={} task={} dropped={}",
+        trace.spans.len(),
+        trace.count(qcm_obs::SpanKind::Run),
+        trace.count(qcm_obs::SpanKind::MinePhase),
+        trace.count(qcm_obs::SpanKind::Task),
+        trace.dropped
+    );
+    for (kind, us) in qcm_obs::self_time_by_kind(trace) {
+        println!("self_time_us {kind}={us}");
+    }
+    println!(
+        "found {} maximal quasi-cliques; trace written to {out_path}",
+        report.maximal.len()
+    );
+    Ok(())
 }
 
 /// `qcm generate --dataset <name> --output <file>`

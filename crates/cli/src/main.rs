@@ -4,6 +4,7 @@
 //! qcm mine <edge_list> --gamma 0.9 --min-size 10 [--threads 8] [--machines 1]
 //!                      [--tau-split 100] [--tau-time-ms 10] [--deadline-ms 5000]
 //!                      [--format json|text] [--serial] [--output results.txt]
+//! qcm trace <edge_list> [mine flags] [--out trace.json]   # traced run → Chrome trace JSON
 //! qcm serve [--workers 4] [--format json]                  # mining job service on stdin/stdout
 //! qcm generate --dataset <name> --output graph.txt        # synthetic stand-in datasets
 //! qcm stats <edge_list>                                    # graph summary statistics
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "mine" => commands::mine(rest),
+        "trace" => commands::trace(rest),
         "serve" => serve::serve(rest),
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),

@@ -10,10 +10,14 @@
 //! status <job_id>
 //! cancel <job_id>
 //! fetch <job_id>
-//! metrics
+//! metrics [prom]
 //! help
 //! quit
 //! ```
+//!
+//! `metrics` answers with one line of counters (text or JSON); `metrics prom`
+//! answers with the full Prometheus text exposition (multi-line) rendered
+//! from the unified `qcm_obs` registry.
 //!
 //! `submit` waits for the job and responds with its result (a repeated query
 //! responds instantly with `cache_hit` true); `submit --nowait` responds with
@@ -63,7 +67,7 @@ requests (one per line, one response line each):
   status <job_id>
   cancel <job_id>
   fetch <job_id>
-  metrics
+  metrics [prom]      (prom: multi-line Prometheus text exposition)
   help
   quit";
 
@@ -306,13 +310,32 @@ fn fetch(service: &MiningService, args: &[String], format: Format) -> Result<Str
 }
 
 fn metrics(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
-    Flags::parse(args, &BARE_FLAGS).map_err(|e| e.to_string())?;
+    let flags = Flags::parse(args, &BARE_FLAGS).map_err(|e| e.to_string())?;
     let m = service.metrics();
+    match flags.positional.first().map(String::as_str) {
+        // `metrics prom`: Prometheus text exposition (multi-line — the one
+        // deliberate exception to the line-per-response protocol, so a
+        // scraper can be pointed straight at a serve session).
+        Some("prom") => {
+            let registry = qcm_obs::Registry::new();
+            m.publish(&registry);
+            qcm_graph::neighborhoods::perf::snapshot().publish(&registry);
+            return Ok(qcm_obs::prometheus::render(&registry)
+                .trim_end()
+                .to_string());
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown metrics view {other:?} (expected `metrics` or `metrics prom`)"
+            ))
+        }
+        None => {}
+    }
     Ok(match format {
         Format::Text => format!(
             "queue {} | in-flight {} | submitted {} (rejected {}) | completed {} | \
              cancelled {} | cache {}/{} hits (entries {}) | mined {} | \
-             latency p50 {:?} p99 {:?}",
+             latency p50 {:?} p99 {:?} over {} samples ({} dropped)",
             m.queue_depth,
             m.in_flight,
             m.submitted,
@@ -325,12 +348,15 @@ fn metrics(service: &MiningService, args: &[String], format: Format) -> Result<S
             m.jobs_mined,
             m.p50_latency,
             m.p99_latency,
+            m.latency_samples,
+            m.latency_samples_dropped,
         ),
         Format::Json => format!(
             "{{\"ok\":true,\"cmd\":\"metrics\",\"queue_depth\":{},\"in_flight\":{},\
              \"submitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\
              \"failed\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
-             \"jobs_mined\":{},\"p50_latency_ms\":{},\"p99_latency_ms\":{}}}",
+             \"jobs_mined\":{},\"p50_latency_ms\":{},\"p99_latency_ms\":{},\
+             \"latency_samples\":{},\"latency_samples_dropped\":{}}}",
             m.queue_depth,
             m.in_flight,
             m.submitted,
@@ -344,6 +370,8 @@ fn metrics(service: &MiningService, args: &[String], format: Format) -> Result<S
             m.jobs_mined,
             m.p50_latency.as_millis(),
             m.p99_latency.as_millis(),
+            m.latency_samples,
+            m.latency_samples_dropped,
         ),
     })
 }
@@ -459,6 +487,28 @@ mod tests {
             assert!(fetched.contains("\"tenant\":\"lab\""), "{fetched}");
             let status = request(&service, &mut graphs, "status 1", Format::Json);
             assert!(status.contains("\"status\":\"completed\""), "{status}");
+            service.shutdown();
+        });
+    }
+
+    #[test]
+    fn metrics_prom_is_wellformed_exposition() {
+        with_tiny_graph_file("prom", |path| {
+            let service = MiningService::start(ServiceConfig::default());
+            let mut graphs = GraphRegistry::default();
+            let line = format!("submit {path} --gamma 0.8 --min-size 6");
+            let submitted = request(&service, &mut graphs, &line, Format::Json);
+            assert!(submitted.contains("\"ok\":true"), "{submitted}");
+            let prom = request(&service, &mut graphs, "metrics prom", Format::Text);
+            qcm_obs::prometheus::check_text(&prom).expect("exposition must be well-formed");
+            assert!(
+                prom.contains("# TYPE qcm_service_jobs_mined_total counter"),
+                "{prom}"
+            );
+            assert!(prom.contains("qcm_service_jobs_mined_total 1"), "{prom}");
+            assert!(prom.contains("qcm_graph_edge_queries_total"), "{prom}");
+            let bogus = request(&service, &mut graphs, "metrics nope", Format::Text);
+            assert!(bogus.starts_with("error:"), "{bogus}");
             service.shutdown();
         });
     }

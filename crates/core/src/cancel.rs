@@ -12,9 +12,10 @@
 //! observes its parent's flag, which is how a session-held manual token and a
 //! per-run deadline compose into one poll.
 
+use qcm_obs::clock::Instant;
 use qcm_sync::atomic::{AtomicBool, Ordering};
 use qcm_sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why a run stopped before completing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

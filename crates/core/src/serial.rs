@@ -7,7 +7,8 @@
 //! finally remove non-maximal results. The parallel engine in `qcm-parallel`
 //! produces exactly the same result set; tests assert that equivalence.
 
-use std::time::{Duration, Instant};
+use qcm_obs::clock::Instant;
+use std::time::Duration;
 
 use crate::cancel::{CancelToken, RunOutcome};
 use crate::config::PruneConfig;
@@ -171,6 +172,9 @@ impl SerialMiner {
                     interrupted = true;
                     break;
                 }
+                // One mine_phase span per root vertex; the payload is the
+                // root's local id.
+                let _phase = qcm_obs::span_with(qcm_obs::SpanKind::MinePhase, v as u64);
                 let mut tee = TeeSink {
                     set: &mut sink,
                     observer: observer.as_deref_mut(),

@@ -30,11 +30,12 @@ use crate::vertex_table::{DataService, FetchMetrics, PartitionedVertexTable};
 
 use qcm_core::{MiningScratch, RunOutcome};
 use qcm_graph::{Graph, VertexId};
+use qcm_obs::clock::Instant;
 use qcm_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use qcm_sync::Arc;
 use qcm_sync::Mutex;
 use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The output of an engine run: raw result rows (the application's emitted
 /// quasi-cliques, before maximality post-processing) and the run metrics.
@@ -302,6 +303,9 @@ fn worker_loop<A: GThinkerApp>(
     worker_id: usize,
 ) -> Duration {
     let config = shared.config;
+    // Tag this thread's trace lane with its (simulated) machine, so the
+    // Chrome export renders one swimlane group per machine.
+    qcm_obs::set_lane(machine_id as u32);
     // The worker's mining scratch arena, loaned to every task it processes —
     // the recursion frames warmed up by one task serve all later tasks on
     // this worker without reallocating.
@@ -493,7 +497,15 @@ fn pop_task<A: GThinkerApp>(
     match shared.machines[machine_id].global_queue.try_lock() {
         Some(mut gq) => {
             if gq.needs_refill() {
+                // Spill span (refill direction): recorded only when tasks
+                // actually came back from the spill store.
+                let mut refill_span = qcm_obs::span(qcm_obs::SpanKind::Spill);
                 let restored = gq.refill_from_spill();
+                if restored > 0 {
+                    refill_span.set_arg(restored as u64);
+                } else {
+                    refill_span.cancel();
+                }
                 if restored > 0 {
                     // Lock order is global-queue → inbox here and inbox →
                     // global-queue in the pump, but the pump releases the
@@ -519,7 +531,13 @@ fn pop_task<A: GThinkerApp>(
     }
     let tpm = shared.config.threads_per_machine;
     let siblings = machine_id * tpm..(machine_id + 1) * tpm;
-    shared.worker_queues.steal_into(worker_id, siblings)
+    // Steal span: recorded only when the sweep actually moved a task.
+    let mut steal_span = qcm_obs::span(qcm_obs::SpanKind::Steal);
+    let stolen = shared.worker_queues.steal_into(worker_id, siblings);
+    if stolen.is_none() {
+        steal_span.cancel();
+    }
+    stolen
 }
 
 /// Routes a freshly created task: big tasks go to the machine's global queue
@@ -534,6 +552,9 @@ fn route_task<A: GThinkerApp>(
     task: A::Task,
 ) -> bool {
     let big = shared.app.is_big(&task);
+    // Spill span: measures the push-with-possible-spill; cancelled (nothing
+    // recorded) when the push stayed in memory.
+    let mut spill_span = qcm_obs::span(qcm_obs::SpanKind::Spill);
     let (spilled, pending) = if big {
         let mut gq = shared.machines[machine_id].global_queue.lock();
         (gq.push(task), gq.total_pending())
@@ -543,6 +564,11 @@ fn route_task<A: GThinkerApp>(
     } else {
         (0, 0)
     };
+    if spilled > 0 {
+        spill_span.set_arg(spilled as u64);
+    } else {
+        spill_span.cancel();
+    }
     if spilled > 0 {
         // Tell the master this machine is under memory pressure; the
         // balancer reads authoritative depths itself, so the notice is a
@@ -637,31 +663,40 @@ fn process_task<A: GThinkerApp>(
     mut task: A::Task,
 ) {
     let start = Instant::now();
+    let mut task_span = qcm_obs::span(qcm_obs::SpanKind::Task);
     let mut mem = shared.app.task_memory_bytes(&task) as u64;
     shared.add_active_bytes(mem);
     let mut timings = TaskTimings::default();
     let mut fetch_scratch = crate::vertex_table::FetchScratch::default();
     loop {
         let mut frontier = Frontier::new();
-        for &v in shared.app.pending_pulls(&task) {
-            match shared.machines[machine_id]
-                .data
-                .fetch_with(v, &mut fetch_scratch)
-            {
-                Ok(adj) => frontier.insert(v, adj),
-                Err(_) => {
-                    // The pull exhausted its retry budget: abandon the task
-                    // and label the run as partial. Results already emitted
-                    // by this task's earlier iterations are kept.
-                    // ordering: Release — the fault flag must be visible before the
-                    // pending slot it excuses is released.
-                    shared.faulted.store(true, Ordering::Release);
-                    shared.machines[machine_id].data.flush(&mut fetch_scratch);
-                    shared.sub_active_bytes(mem);
-                    // ordering: AcqRel — counter protocol: releases this task's pending
-                    // slot after its effects are written.
-                    shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
-                    return;
+        {
+            let pending = shared.app.pending_pulls(&task);
+            // Pull span: one fetch round; payload is the number of vertices
+            // resolved. Skipped entirely when the task needs nothing, and
+            // closed before compute runs so it measures only the fetches.
+            let _pull_span = (!pending.is_empty())
+                .then(|| qcm_obs::span_with(qcm_obs::SpanKind::Pull, pending.len() as u64));
+            for &v in pending {
+                match shared.machines[machine_id]
+                    .data
+                    .fetch_with(v, &mut fetch_scratch)
+                {
+                    Ok(adj) => frontier.insert(v, adj),
+                    Err(_) => {
+                        // The pull exhausted its retry budget: abandon the task
+                        // and label the run as partial. Results already emitted
+                        // by this task's earlier iterations are kept.
+                        // ordering: Release — the fault flag must be visible before the
+                        // pending slot it excuses is released.
+                        shared.faulted.store(true, Ordering::Release);
+                        shared.machines[machine_id].data.flush(&mut fetch_scratch);
+                        shared.sub_active_bytes(mem);
+                        // ordering: AcqRel — counter protocol: releases this task's pending
+                        // slot after its effects are written.
+                        shared.pending_tasks.fetch_sub(1, Ordering::AcqRel);
+                        return;
+                    }
                 }
             }
         }
@@ -702,6 +737,7 @@ fn process_task<A: GThinkerApp>(
         }
     }
     let label = shared.app.task_label(&task);
+    task_span.set_arg(label.root.map_or(0, |v| u64::from(v.raw())));
     shared.machines[machine_id].data.flush(&mut fetch_scratch);
     shared.sub_active_bytes(mem);
     // ordering: Relaxed — statistics counter; no other memory depends on it and readers tolerate skew.

@@ -535,7 +535,7 @@ impl<A: GThinkerApp> SimCluster<A> {
 
     /// Runs the application over `graph` in virtual time under the scenario.
     pub fn run(&self, graph: Arc<Graph>) -> SimOutput {
-        let wall_start = std::time::Instant::now();
+        let wall_start = qcm_obs::clock::now();
         let index = match &self.engine.shared_index {
             Some(shared) if Arc::ptr_eq(shared.graph(), &graph) => shared.clone(),
             _ => Arc::new(NeighborhoodIndex::build(graph, self.engine.index)),

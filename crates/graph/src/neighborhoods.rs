@@ -369,6 +369,58 @@ pub mod perf {
     }
 
     impl PerfSnapshot {
+        /// Publishes this snapshot into `registry` under the `qcm_graph_*`
+        /// namespace — the graph layer's bridge into the unified registry.
+        /// Idempotent: re-publishing overwrites the previous values.
+        pub fn publish(&self, registry: &qcm_obs::Registry) {
+            let counters: [(&'static str, &'static str, u64); 7] = [
+                (
+                    "qcm_graph_edge_queries_total",
+                    "Edge-membership probes.",
+                    self.edge_queries,
+                ),
+                (
+                    "qcm_graph_bitset_hits_total",
+                    "Edge queries served by a bitset row.",
+                    self.bitset_hits,
+                ),
+                (
+                    "qcm_graph_intersections_total",
+                    "Neighborhood intersections performed.",
+                    self.intersections,
+                ),
+                (
+                    "qcm_graph_allocations_avoided_total",
+                    "Scratch-frame requests served from a pool.",
+                    self.allocations_avoided,
+                ),
+                (
+                    "qcm_graph_scratch_fresh_allocs_total",
+                    "Scratch-frame requests that hit the heap.",
+                    self.scratch_fresh_allocs,
+                ),
+                (
+                    "qcm_graph_steals_total",
+                    "Tasks moved between worker deques.",
+                    self.steals,
+                ),
+                (
+                    "qcm_graph_steal_failures_total",
+                    "Steal sweeps that found nothing.",
+                    self.steal_failures,
+                ),
+            ];
+            for (name, help, value) in counters {
+                registry.counter(name, help).set_total(value);
+            }
+            registry
+                .gauge(
+                    "qcm_graph_scratch_bytes_peak",
+                    "High-water mark of pooled scratch bytes.",
+                )
+                .set(self.scratch_bytes_peak as f64);
+        }
+
         /// Counter deltas `self − earlier` (saturating, for reset races).
         /// `scratch_bytes_peak` is a gauge and keeps the later value.
         pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {

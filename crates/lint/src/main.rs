@@ -18,6 +18,10 @@
 //! 4. **no-stray-print** — no `println!`/`eprintln!`/`dbg!` in library
 //!    crates; user-facing output belongs to `crates/cli` and
 //!    `crates/bench`.
+//! 5. **clock-facade** — no direct `std::time::Instant` outside
+//!    `crates/obs` (which owns the trace epoch), `crates/bench` and
+//!    `crates/cli`; library code imports `qcm_obs::clock` so spans and
+//!    measurements share one clock.
 //!
 //! Violations are matched against a shrink-only allowlist
 //! (`crates/lint/allowlist.txt`). Unknown violations fail; stale
@@ -47,6 +51,10 @@ const EXEMPT_PREFIXES: &[&str] = &["crates/sync", "crates/lint", "vendor", "targ
 
 /// Crates allowed to print: the CLI and the bench harness own stdout.
 const PRINT_OK_PREFIXES: &[&str] = &["crates/cli", "crates/bench"];
+
+/// Crates allowed to name `std::time::Instant` directly: the clock facade
+/// itself (`qcm_obs::clock` re-exports it) and the measurement layers.
+const INSTANT_OK_PREFIXES: &[&str] = &["crates/obs", "crates/bench", "crates/cli"];
 
 /// Basenames of the mining hot-path modules (rule 3).
 const HOT_PATH_FILES: &[&str] = &[
@@ -393,6 +401,28 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
                     });
                 }
             }
+        }
+
+        // Rule 5: clock facade — wall-clock readings go through
+        // `qcm_obs::clock`, so span timestamps and timing measurements
+        // share one epoch. (Matches brace imports too: any line that
+        // names both `std::time::` and `Instant`.)
+        if in_src
+            && idx < test_cutoff
+            && !INSTANT_OK_PREFIXES.iter().any(|p| rel.starts_with(p))
+            && code.contains("std::time::")
+            && code.contains("Instant")
+        {
+            out.push(Violation {
+                rule: "clock-facade",
+                path: rel.to_string(),
+                line: idx + 1,
+                content: code.trim().to_string(),
+                message: "direct `std::time::Instant`; import from \
+                          `qcm_obs::clock` so traces and timings share one \
+                          epoch"
+                    .to_string(),
+            });
         }
 
         // Rule 4: no stray prints in library crates.

@@ -1,0 +1,16 @@
+//! The workspace timing facade.
+//!
+//! Mirroring the `qcm-sync` concurrency facade, every crate below the CLI
+//! takes its monotonic clock from here instead of `std::time`
+//! (`qcm-lint` enforces it: `std::time::Instant` is permitted only in
+//! `crates/obs`, `crates/bench` and `crates/cli`). A single interception
+//! point keeps the door open for virtual clocks (the fault simulator) and
+//! makes every timing site visible to the tracing layer.
+
+pub use std::time::{Duration, Instant};
+
+/// The current instant on the facade clock.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}

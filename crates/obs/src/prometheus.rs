@@ -1,0 +1,187 @@
+//! Prometheus text-exposition exporter.
+//!
+//! Renders a [`Registry`] in the Prometheus text format (version 0.0.4):
+//! a `# HELP` / `# TYPE` header per family, `name{labels} value` sample
+//! lines, and for histograms the cumulative `_bucket{le=…}` series plus
+//! `_sum` / `_count`. [`check_text`] is the well-formedness gate CI runs
+//! over `qcm serve`'s `metrics prom` output.
+
+use crate::registry::{Registry, Value};
+use std::fmt::Write as _;
+
+fn write_value(out: &mut String, v: f64) {
+    if v == v.trunc() && v.abs() < 9e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders every metric in `registry` as Prometheus text exposition.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, help, kind, samples) in registry.snapshot() {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {}", kind.as_str());
+        for (labels, value) in samples {
+            match value {
+                Value::Int(v) => {
+                    let _ = writeln!(out, "{name}{labels} {v}");
+                }
+                Value::Float(v) => {
+                    out.push_str(&name);
+                    out.push_str(&labels);
+                    out.push(' ');
+                    write_value(&mut out, v);
+                    out.push('\n');
+                }
+                Value::Hist {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    // `le` buckets are cumulative; the registry stores
+                    // per-bucket counts.
+                    let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                    let sep = if inner.is_empty() { "" } else { "," };
+                    let mut acc = 0u64;
+                    for (bound, bucket) in bounds.iter().zip(&counts) {
+                        acc += bucket;
+                        let _ = writeln!(out, "{name}_bucket{{{inner}{sep}le=\"{bound}\"}} {acc}");
+                    }
+                    acc += counts.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "{name}_bucket{{{inner}{sep}le=\"+Inf\"}} {acc}");
+                    out.push_str(&name);
+                    out.push_str("_sum");
+                    out.push_str(&labels);
+                    out.push(' ');
+                    write_value(&mut out, sum);
+                    out.push('\n');
+                    let _ = writeln!(out, "{name}_count{labels} {count}");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks Prometheus text exposition for well-formedness: every sample
+/// line must parse as `name[{labels}] value`, its metric must have been
+/// declared by a preceding `# TYPE`, and the value must be a finite
+/// number (or `+Inf`-bucket syntax inside labels, which this does not
+/// affect). Returns the first offence.
+pub fn check_text(text: &str) -> Result<(), String> {
+    let mut declared: Vec<String> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: TYPE without a name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: TYPE without a kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+            }
+            declared.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find(['{', ' ']) {
+            Some(i) if line.as_bytes()[i] == b'{' => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+                (&line[..i], line[close + 1..].trim())
+            }
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => return Err(format!("line {lineno}: sample without a value")),
+        };
+        if name_part.is_empty()
+            || !name_part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {lineno}: bad metric name {name_part:?}"));
+        }
+        let base = name_part
+            .strip_suffix("_bucket")
+            .or_else(|| name_part.strip_suffix("_sum"))
+            .or_else(|| name_part.strip_suffix("_count"))
+            .unwrap_or(name_part);
+        if !declared.iter().any(|d| d == name_part || d == base) {
+            return Err(format!(
+                "line {lineno}: sample {name_part:?} has no preceding # TYPE"
+            ));
+        }
+        let numeric = value_part.parse::<f64>().map(|v| v.is_finite());
+        if !matches!(numeric, Ok(true)) {
+            return Err(format!(
+                "line {lineno}: value {value_part:?} is not a finite number"
+            ));
+        }
+    }
+    if declared.is_empty() {
+        return Err("no # TYPE declarations found".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_passes_its_own_checker() {
+        let reg = Registry::new();
+        reg.counter("qcm_jobs_total", "Jobs accepted.").inc_by(3);
+        reg.gauge_with("qcm_queue_depth", "Waiting jobs.", &[("pool", "a")])
+            .set(7.0);
+        let h = reg.histogram_with(
+            "qcm_latency_seconds",
+            "Job latency.",
+            &[("pool", "a")],
+            &[0.1, 1.0],
+        );
+        h.observe(0.05);
+        h.observe(5.0);
+        let text = render(&reg);
+        assert!(text.contains("# TYPE qcm_jobs_total counter"));
+        assert!(text.contains("qcm_jobs_total 3"));
+        assert!(text.contains("qcm_queue_depth{pool=\"a\"} 7"));
+        assert!(text.contains("qcm_latency_seconds_bucket{pool=\"a\",le=\"0.1\"} 1"));
+        assert!(text.contains("qcm_latency_seconds_bucket{pool=\"a\",le=\"+Inf\"} 2"));
+        assert!(text.contains("qcm_latency_seconds_count{pool=\"a\"} 2"));
+        check_text(&text).expect("rendered exposition must be well-formed");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_exposition() {
+        assert!(check_text("").is_err(), "empty exposition");
+        assert!(
+            check_text("qcm_x 1\n").is_err(),
+            "sample without # TYPE must fail"
+        );
+        assert!(
+            check_text("# TYPE qcm_x counter\nqcm_x banana\n").is_err(),
+            "non-numeric value must fail"
+        );
+        assert!(
+            check_text("# TYPE qcm_x counter\nqcm-x 1\n").is_err(),
+            "bad metric name must fail"
+        );
+        assert!(check_text("# TYPE qcm_x counter\nqcm_x 1\n").is_ok());
+    }
+}

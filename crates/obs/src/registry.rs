@@ -1,0 +1,377 @@
+//! The unified metrics registry.
+//!
+//! One typed `Counter` / `Gauge` / `Histogram` API with labels, behind
+//! which the previously disjoint telemetry surfaces — `EngineMetrics`,
+//! `ServiceMetrics` and the striped graph perf counters — publish their
+//! snapshots (each owning crate provides a `publish(&Registry)` bridge).
+//! The [Prometheus exporter](crate::prometheus) renders a registry as text
+//! exposition; handles are cheap `Arc` clones, safe to update from any
+//! thread.
+
+use qcm_sync::atomic::{AtomicU64, Ordering};
+use qcm_sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+
+/// What a metric family measures (drives the Prometheus `# TYPE` line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Distribution over fixed buckets.
+    Histogram,
+}
+
+impl MetricKind {
+    pub(crate) fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A monotone counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        // ordering: Relaxed — independent statistic, no data published
+        // through it.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the total — for snapshot bridges that publish an
+    /// externally-accumulated monotone count (e.g. `EngineMetrics`).
+    pub fn set_total(&self, total: u64) {
+        // ordering: Relaxed — see `inc_by`.
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // ordering: Relaxed — see `inc_by`.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (an `f64` stored as bits).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the current value.
+    pub fn set(&self, value: f64) {
+        // ordering: Relaxed — independent statistic.
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        // ordering: Relaxed — independent statistic.
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    /// Upper bounds of the finite buckets (ascending); `+Inf` is implicit.
+    pub(crate) bounds: Vec<f64>,
+    /// Cumulative-later counts per finite bucket (non-cumulative here;
+    /// the exporter accumulates).
+    pub(crate) counts: Vec<AtomicU64>,
+    /// (sum, count) of all observations; a mutex because `f64` addition
+    /// has no atomic — exposition-path cost only.
+    pub(crate) sum_count: Mutex<(f64, u64)>,
+}
+
+/// A histogram handle with fixed buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.0.bounds.len());
+        // ordering: Relaxed — independent statistic.
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut sc = self.0.sum_count.lock();
+        sc.0 += value;
+        sc.1 += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.sum_count.lock().1
+    }
+}
+
+#[derive(Debug)]
+enum Cell {
+    Num(Arc<AtomicU64>),
+    Hist(Arc<HistCore>),
+}
+
+#[derive(Debug)]
+pub(crate) struct Family {
+    pub(crate) help: &'static str,
+    pub(crate) kind: MetricKind,
+    /// Samples keyed by their rendered label set (`""` for none); the
+    /// `BTreeMap` keeps exposition deterministic.
+    samples: BTreeMap<String, Cell>,
+}
+
+/// The metric store. Registering the same (name, labels) twice returns a
+/// handle to the same underlying cell, so bridges are idempotent.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+/// Renders a label set in Prometheus syntax: `{k="v",…}` or `""`.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn num_cell(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+    ) -> Arc<AtomicU64> {
+        let mut families = self.families.lock();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind,
+            samples: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric {name} registered twice with different kinds"
+        );
+        match family
+            .samples
+            .entry(label_key(labels))
+            .or_insert_with(|| Cell::Num(Arc::new(AtomicU64::new(0))))
+        {
+            Cell::Num(cell) => cell.clone(),
+            Cell::Hist(_) => unreachable!("kind check above rejects mixing"),
+        }
+    }
+
+    /// Registers (or finds) an unlabelled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or finds) a labelled counter.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        Counter(self.num_cell(name, help, MetricKind::Counter, labels))
+    }
+
+    /// Registers (or finds) an unlabelled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or finds) a labelled gauge.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Gauge {
+        Gauge(self.num_cell(name, help, MetricKind::Gauge, labels))
+    }
+
+    /// Registers (or finds) a histogram with the given finite bucket
+    /// bounds (ascending; `+Inf` is implicit).
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut families = self.families.lock();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind: MetricKind::Histogram,
+            samples: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind,
+            MetricKind::Histogram,
+            "metric {name} registered twice with different kinds"
+        );
+        match family.samples.entry(label_key(labels)).or_insert_with(|| {
+            Cell::Hist(Arc::new(HistCore {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum_count: Mutex::new((0.0, 0)),
+            }))
+        }) {
+            Cell::Hist(core) => Histogram(core.clone()),
+            Cell::Num(_) => unreachable!("kind check above rejects mixing"),
+        }
+    }
+
+    /// A deterministic snapshot for the exporters.
+    pub(crate) fn snapshot(&self) -> Vec<FamilySnapshot> {
+        let families = self.families.lock();
+        families
+            .iter()
+            .map(|(name, family)| {
+                let samples = family
+                    .samples
+                    .iter()
+                    .map(|(labels, cell)| {
+                        let value = match cell {
+                            // ordering: Relaxed — exposition snapshot;
+                            // mutually-skewed counters are acceptable.
+                            Cell::Num(v) => match family.kind {
+                                MetricKind::Counter => Value::Int(v.load(Ordering::Relaxed)),
+                                _ => Value::Float(f64::from_bits(v.load(Ordering::Relaxed))),
+                            },
+                            Cell::Hist(core) => {
+                                let sc = core.sum_count.lock();
+                                Value::Hist {
+                                    bounds: core.bounds.clone(),
+                                    counts: core
+                                        .counts
+                                        .iter()
+                                        // ordering: Relaxed — see above.
+                                        .map(|c| c.load(Ordering::Relaxed))
+                                        .collect(),
+                                    sum: sc.0,
+                                    count: sc.1,
+                                }
+                            }
+                        };
+                        (labels.clone(), value)
+                    })
+                    .collect();
+                (name.to_string(), family.help, family.kind, samples)
+            })
+            .collect()
+    }
+}
+
+/// One exported family: `(name, help, kind, [(label_key, value)])`.
+pub(crate) type FamilySnapshot = (String, &'static str, MetricKind, Vec<(String, Value)>);
+
+/// A sampled metric value (exporter-side view).
+#[derive(Clone, Debug)]
+pub(crate) enum Value {
+    Int(u64),
+    Float(f64),
+    Hist {
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_typed() {
+        let reg = Registry::new();
+        let a = reg.counter("qcm_test_total", "help");
+        let b = reg.counter("qcm_test_total", "help");
+        a.inc_by(3);
+        b.inc();
+        assert_eq!(a.get(), 4, "same (name, labels) must share one cell");
+
+        let g = reg.gauge_with("qcm_depth", "help", &[("machine", "0")]);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        let other = reg.gauge_with("qcm_depth", "help", &[("machine", "1")]);
+        assert_eq!(other.get(), 0.0, "distinct labels are distinct cells");
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("qcm_lat", "help", &[], &[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        let snap = reg.snapshot();
+        let (_, _, kind, samples) = &snap[0];
+        assert_eq!(*kind, MetricKind::Histogram);
+        match &samples[0].1 {
+            Value::Hist {
+                counts, sum, count, ..
+            } => {
+                assert_eq!(counts, &[2, 1, 1], "per-bucket (non-cumulative)");
+                assert_eq!(*count, 4);
+                assert!((sum - 56.2).abs() < 1e-9);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn kind_mismatch_is_a_programmer_error() {
+        let reg = Registry::new();
+        let _ = reg.counter("qcm_x", "help");
+        let _ = reg.gauge("qcm_x", "help");
+    }
+}

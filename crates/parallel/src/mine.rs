@@ -24,8 +24,9 @@ use qcm_core::{
     MiningParams, MiningScratch, MiningStats, PruneConfig, QuasiCliqueSet,
 };
 use qcm_graph::{IndexSpec, LocalGraph, VertexId};
+use qcm_obs::clock::Instant;
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How a big mining task is decomposed into subtasks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +85,8 @@ pub fn run_mine_phase(
     scratch: &mut MiningScratch,
 ) -> MineOutcome {
     let started = Instant::now();
+    // One mine_phase span per task timeslice; the payload is the root vertex.
+    let _phase_span = qcm_obs::span_with(qcm_obs::SpanKind::MinePhase, task.root.raw() as u64);
     let mut outcome = MineOutcome::default();
 
     let (mut graph, index) = task.subgraph.to_local_graph();
@@ -165,6 +168,12 @@ impl SubtaskCollector<'_> {
     /// subgraph is induced by `S' ∪ ext(S')` (Algorithm 8 line 19).
     fn add(&mut self, s_local: &[u32], ext_local: &[u32]) {
         let t0 = Instant::now();
+        // Decompose span: materialising one subtask; payload is the child
+        // subgraph's vertex count.
+        let _decompose = qcm_obs::span_with(
+            qcm_obs::SpanKind::Decompose,
+            (s_local.len() + ext_local.len()) as u64,
+        );
         let mut keep: Vec<u32> = s_local.iter().chain(ext_local).copied().collect();
         keep.sort_unstable();
         keep.dedup();

@@ -127,6 +127,7 @@ pub use qcm_core::{
 };
 pub use qcm_engine::{Fault, FaultEvent, SimConfig, TransportKind};
 pub use qcm_graph::{IndexSpec, NeighborhoodIndex, Neighborhoods, VertexBitSet};
+pub use qcm_obs::{SpanKind, Trace, TraceConfig};
 pub use session::{Backend, BackendStats, MiningReport, PreparedGraph, Session, SessionBuilder};
 
 use qcm_core::{MiningOutput, MiningParams};
@@ -143,6 +144,7 @@ pub mod prelude {
         ResultSink, RunOutcome, Session, SessionBuilder,
     };
     pub use crate::{Fault, FaultEvent, IndexSpec, PreparedGraph, SimConfig, TransportKind};
+    pub use crate::{SpanKind, Trace, TraceConfig};
     pub use qcm_core::{
         quick_mine, Gamma, MiningOutput, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
         QueryKey, SerialMiner,

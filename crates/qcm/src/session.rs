@@ -35,6 +35,7 @@ use qcm_core::{
 };
 use qcm_engine::{EngineConfig, EngineMetrics, SimConfig, TransportFactory, TransportKind};
 use qcm_graph::{Graph, IndexSpec, NeighborhoodIndex};
+use qcm_obs::{SpanKind, Trace, TraceConfig};
 use qcm_parallel::{DecompositionStrategy, ParallelMiner, SimMiner};
 use qcm_sync::Arc;
 use std::time::Duration;
@@ -109,6 +110,10 @@ pub struct MiningReport {
     pub outcome: RunOutcome,
     /// Backend-specific statistics.
     pub stats: BackendStats,
+    /// The span trace of this run, when the session was built with
+    /// [`SessionBuilder::tracing`] (and the process-wide recorder was
+    /// free). Export with [`qcm_obs::chrome::render`].
+    pub trace: Option<Trace>,
 }
 
 impl MiningReport {
@@ -171,6 +176,7 @@ pub struct SessionBuilder {
     cancel: Option<CancelToken>,
     index: IndexSpec,
     transport: Option<TransportKind>,
+    tracing: Option<TraceConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -189,6 +195,7 @@ impl Default for SessionBuilder {
             cancel: None,
             index: IndexSpec::Auto,
             transport: None,
+            tracing: None,
         }
     }
 }
@@ -295,6 +302,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables span tracing for this session's runs: each run records the
+    /// `run → decompose → task → mine_phase → steal/pull/spill` hierarchy
+    /// into bounded per-thread buffers and attaches the captured
+    /// [`Trace`] to [`MiningReport::trace`].
+    ///
+    /// The recorder is process-wide with a single active recording; when
+    /// another traced run is already in flight, this run proceeds untraced
+    /// (`trace: None`). Sessions without tracing pay one relaxed atomic
+    /// load per span site.
+    pub fn tracing(mut self, config: TraceConfig) -> Self {
+        self.tracing = Some(config);
+        self
+    }
+
     /// Validates the configuration and builds the [`Session`].
     ///
     /// # Errors
@@ -362,6 +383,7 @@ impl SessionBuilder {
             #[allow(clippy::unwrap_or_default)]
             cancel: self.cancel.unwrap_or_else(CancelToken::new),
             index: self.index,
+            tracing: self.tracing,
         })
     }
 }
@@ -382,6 +404,7 @@ pub struct Session {
     balance_period: Option<Duration>,
     cancel: CancelToken,
     index: IndexSpec,
+    tracing: Option<TraceConfig>,
 }
 
 /// A graph bundled with its neighborhood index, built **once** and reusable
@@ -506,6 +529,13 @@ impl Session {
         // Arm the per-run token: session cancellation plus this run's
         // deadline, composed into one poll.
         let run_token = self.cancel.with_deadline(self.deadline);
+        // One process-wide recording at a time: if another traced run is
+        // in flight, this one proceeds untraced rather than blocking.
+        let recording = match &self.tracing {
+            Some(config) => qcm_obs::start_recording(config),
+            None => false,
+        };
+        let run_span = recording.then(|| qcm_obs::span(SpanKind::Run));
         let report = match &self.backend {
             Backend::Serial => self.run_serial(graph.as_ref(), run_token, sink.as_deref_mut()),
             Backend::Parallel {
@@ -522,6 +552,11 @@ impl Session {
                 sink.as_deref_mut(),
             ),
         };
+        drop(run_span);
+        let mut report = report;
+        if recording {
+            report.trace = Some(qcm_obs::finish_recording());
+        }
         if let Some(sink) = sink {
             for members in report.maximal.iter() {
                 sink.on_maximal(members);
@@ -555,6 +590,7 @@ impl Session {
                 stats: output.stats,
                 kcore_vertices: output.kcore_vertices,
             },
+            trace: None,
         }
     }
 
@@ -608,6 +644,7 @@ impl Session {
             stats: BackendStats::Parallel {
                 metrics: Box::new(output.metrics),
             },
+            trace: None,
         }
     }
 
@@ -641,6 +678,7 @@ impl Session {
             stats: BackendStats::Parallel {
                 metrics: Box::new(output.metrics),
             },
+            trace: None,
         }
     }
 }

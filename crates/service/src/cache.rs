@@ -11,9 +11,10 @@
 
 use crate::job::MinedAnswer;
 use qcm_core::QueryKey;
+use qcm_obs::clock::Instant;
 use qcm_sync::Arc;
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 #[derive(Debug)]
 struct Entry {

@@ -41,6 +41,10 @@ struct LatencyWindow {
     samples: Vec<u64>,
     /// Next overwrite position once the window is full (ring buffer).
     cursor: usize,
+    /// Every latency ever recorded, including ones the ring has since
+    /// overwritten — the *true* sample count the percentiles are a window
+    /// over.
+    total: u64,
 }
 
 impl ServiceMetrics {
@@ -48,6 +52,7 @@ impl ServiceMetrics {
     pub fn record_latency(&self, latency: Duration) {
         let micros = latency.as_micros().min(u64::MAX as u128) as u64;
         let mut window = self.latencies.lock();
+        window.total += 1;
         if window.samples.len() < LATENCY_WINDOW {
             window.samples.push(micros);
         } else {
@@ -55,6 +60,16 @@ impl ServiceMetrics {
             window.samples[cursor] = micros;
             window.cursor = (cursor + 1) % LATENCY_WINDOW;
         }
+    }
+
+    /// `(recorded, dropped)` latency sample counts: how many latencies were
+    /// ever recorded, and how many of those the sliding window has already
+    /// overwritten. `dropped > 0` means the percentiles describe only the
+    /// most recent `LATENCY_WINDOW` (4096) jobs, not the whole run.
+    pub fn latency_sample_counts(&self) -> (u64, u64) {
+        let window = self.latencies.lock();
+        let kept = window.samples.len() as u64;
+        (window.total, window.total.saturating_sub(kept))
     }
 
     /// The (p50, p99) job latencies over the recent window, or zeros when no
@@ -110,6 +125,12 @@ pub struct MetricsSnapshot {
     pub p50_latency: Duration,
     /// 99th-percentile job latency over the recent window.
     pub p99_latency: Duration,
+    /// Every latency ever recorded (the true sample count; the percentile
+    /// window holds at most the most recent 4096 of these).
+    pub latency_samples: u64,
+    /// Samples the sliding window has overwritten. Non-zero means the
+    /// percentiles cover a suffix of the run, not all of it.
+    pub latency_samples_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -123,6 +144,99 @@ impl MetricsSnapshot {
             Some(self.cache_hits as f64 / total as f64)
         }
     }
+
+    /// Publishes this snapshot into `registry` under the `qcm_service_*`
+    /// namespace — the bridge the Prometheus exposition of `qcm serve`'s
+    /// `metrics prom` command is rendered from. Idempotent: re-publishing
+    /// overwrites the previous snapshot's values.
+    pub fn publish(&self, registry: &qcm_obs::Registry) {
+        let gauges: [(&'static str, &'static str, f64); 3] = [
+            (
+                "qcm_service_queue_depth",
+                "Jobs waiting in the queue.",
+                self.queue_depth as f64,
+            ),
+            (
+                "qcm_service_jobs_in_flight",
+                "Jobs currently being mined.",
+                self.in_flight as f64,
+            ),
+            (
+                "qcm_service_cache_entries",
+                "Live answers in the result cache.",
+                self.cache_entries as f64,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            registry.gauge(name, help).set(value);
+        }
+        let counters: [(&'static str, &'static str, u64); 10] = [
+            (
+                "qcm_service_submitted_total",
+                "Jobs accepted by admission control.",
+                self.submitted,
+            ),
+            (
+                "qcm_service_rejected_total",
+                "Submits rejected by admission control.",
+                self.rejected,
+            ),
+            (
+                "qcm_service_completed_total",
+                "Jobs that reached a terminal state with a result.",
+                self.completed,
+            ),
+            (
+                "qcm_service_cancelled_total",
+                "Jobs cancelled before or during their run.",
+                self.cancelled,
+            ),
+            (
+                "qcm_service_failed_total",
+                "Jobs whose run failed inside the engine.",
+                self.failed,
+            ),
+            (
+                "qcm_service_cache_hits_total",
+                "Submits answered from the result cache.",
+                self.cache_hits,
+            ),
+            (
+                "qcm_service_cache_misses_total",
+                "Submits that had to mine.",
+                self.cache_misses,
+            ),
+            (
+                "qcm_service_jobs_mined_total",
+                "Mining runs executed by the worker pool.",
+                self.jobs_mined,
+            ),
+            (
+                "qcm_service_latency_samples_total",
+                "Job latencies ever recorded.",
+                self.latency_samples,
+            ),
+            (
+                "qcm_service_latency_samples_dropped_total",
+                "Latency samples overwritten by the sliding percentile window.",
+                self.latency_samples_dropped,
+            ),
+        ];
+        for (name, help, value) in counters {
+            registry.counter(name, help).set_total(value);
+        }
+        let latency = |q: &'static str, d: Duration| {
+            registry
+                .gauge_with(
+                    "qcm_service_job_latency_seconds",
+                    "Job latency (submit to terminal state) over the recent window.",
+                    &[("quantile", q)],
+                )
+                .set(d.as_secs_f64());
+        };
+        latency("0.5", self.p50_latency);
+        latency("0.99", self.p99_latency);
+    }
 }
 
 impl ServiceMetrics {
@@ -133,6 +247,7 @@ impl ServiceMetrics {
         cache_entries: usize,
     ) -> MetricsSnapshot {
         let (p50, p99) = self.latency_percentiles();
+        let (latency_samples, latency_samples_dropped) = self.latency_sample_counts();
         MetricsSnapshot {
             queue_depth,
             in_flight,
@@ -149,6 +264,8 @@ impl ServiceMetrics {
             jobs_mined: self.jobs_mined.load(Ordering::Relaxed),
             p50_latency: p50,
             p99_latency: p99,
+            latency_samples,
+            latency_samples_dropped,
         }
     }
 }
@@ -188,6 +305,48 @@ mod tests {
         // Half the window is now the high plateau: the p99 must reflect it.
         assert_eq!(p99, Duration::from_secs(1));
         assert!(p50 <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn wrap_reports_true_count_and_drops() {
+        let metrics = ServiceMetrics::default();
+        for _ in 0..LATENCY_WINDOW / 2 {
+            metrics.record_latency(Duration::from_micros(1));
+        }
+        assert_eq!(
+            metrics.latency_sample_counts(),
+            (LATENCY_WINDOW as u64 / 2, 0),
+            "no drops before the window fills"
+        );
+        for _ in 0..LATENCY_WINDOW {
+            metrics.record_latency(Duration::from_micros(1));
+        }
+        let (total, dropped) = metrics.latency_sample_counts();
+        assert_eq!(
+            total,
+            LATENCY_WINDOW as u64 * 3 / 2,
+            "true count keeps growing"
+        );
+        assert_eq!(dropped, LATENCY_WINDOW as u64 / 2, "overwrites are drops");
+        let snap = metrics.snapshot(0, 0, 0);
+        assert_eq!(snap.latency_samples, total);
+        assert_eq!(snap.latency_samples_dropped, dropped);
+    }
+
+    #[test]
+    fn snapshot_publishes_to_a_registry() {
+        let metrics = ServiceMetrics::default();
+        metrics.submitted.store(5, Ordering::Relaxed);
+        metrics.record_latency(Duration::from_millis(8));
+        let snap = metrics.snapshot(2, 1, 0);
+        let registry = qcm_obs::Registry::new();
+        snap.publish(&registry);
+        let text = qcm_obs::prometheus::render(&registry);
+        qcm_obs::prometheus::check_text(&text).expect("exposition must be well-formed");
+        assert!(text.contains("qcm_service_submitted_total 5"));
+        assert!(text.contains("qcm_service_queue_depth 2"));
+        assert!(text.contains("qcm_service_latency_samples_total 1"));
+        assert!(text.contains("qcm_service_job_latency_seconds{quantile=\"0.5\"} 0.008"));
     }
 
     #[test]

@@ -9,11 +9,12 @@ use crate::queue::JobQueue;
 use qcm::{CancelToken, IndexSpec, PreparedGraph, ResultSink, RunOutcome, Session};
 use qcm_core::QueryKey;
 use qcm_graph::Graph;
+use qcm_obs::clock::Instant;
 use qcm_sync::atomic::Ordering;
 use qcm_sync::thread::JoinHandle;
 use qcm_sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Static configuration of a [`MiningService`].
 #[derive(Clone, Debug)]
