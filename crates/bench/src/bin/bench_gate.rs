@@ -18,6 +18,14 @@
 //!   (a within-machine ratio, immune to machine speed) must not fall below
 //!   `baseline_speedup · (1 − max_regress)`.
 //!
+//! When the baseline carries a `serve_overload` row (the HTTP service under
+//! 2× closed-loop overload), the current report must too, and it is gated
+//! on the overload SLO: normalised `p99_ms` within a doubled tolerance of
+//! the baseline (socket latency is noisier than mining wall time, with a
+//! 5 ms absolute floor), a positive `shed_rate` within ±0.35 of the
+//! baseline's (the service must shed, not queue unboundedly), zero
+//! `errors`, and zero `shed_without_retry_after`.
+//!
 //! Exit code 0 when every check passes, 1 on any regression, 2 on bad input.
 
 use qcm_bench::json::Json;
@@ -190,6 +198,8 @@ fn main() -> ExitCode {
         }
     }
 
+    serve_overload_checks(&current, &baseline, speed, max_regress, &mut checks);
+
     let mut failed = false;
     for check in &checks {
         let verdict = if check.ok { "ok  " } else { "FAIL" };
@@ -215,6 +225,72 @@ fn main() -> ExitCode {
             checks.len()
         );
         ExitCode::SUCCESS
+    }
+}
+
+/// Gates the `serve_overload` SLO row (when the baseline has one).
+fn serve_overload_checks(
+    current: &Json,
+    baseline: &Json,
+    speed: f64,
+    max_regress: f64,
+    checks: &mut Vec<Check>,
+) {
+    let name = "serve_overload".to_string();
+    let Some(base) = baseline.get("serve_overload") else {
+        return; // pre-HTTP baseline: nothing to gate
+    };
+    let Some(cur) = current.get("serve_overload") else {
+        checks.push(Check {
+            workload: name,
+            what: "present in current report".to_string(),
+            current: 0.0,
+            limit: 1.0,
+            ok: false,
+        });
+        return;
+    };
+
+    if let (Some(base_p99), Some(cur_p99)) = (number(base, "p99_ms"), number(cur, "p99_ms")) {
+        // Socket round trips and thread scheduling make this row noisier
+        // than a mining wall time: double the tolerance and never gate
+        // below a 5 ms absolute limit.
+        let normalised = cur_p99 / speed;
+        let limit = (base_p99 * (1.0 + 2.0 * max_regress)).max(5.0);
+        checks.push(Check {
+            workload: name.clone(),
+            what: format!("p99_ms (normalised {normalised:.1})"),
+            current: normalised,
+            limit,
+            ok: normalised <= limit,
+        });
+    }
+    if let (Some(base_shed), Some(cur_shed)) = (number(base, "shed_rate"), number(cur, "shed_rate"))
+    {
+        // The service must shed under 2× overload (a zero rate means it
+        // queued unboundedly instead), and the rate must stay in the same
+        // regime as the baseline's — ±0.35 absolute, since the exact value
+        // depends on scheduling races.
+        let limit = base_shed + 0.35;
+        let floor = (base_shed - 0.35).max(0.0);
+        checks.push(Check {
+            workload: name.clone(),
+            what: format!("shed_rate (> 0, {floor:.2}..{limit:.2})"),
+            current: cur_shed,
+            limit,
+            ok: cur_shed > 0.0 && cur_shed >= floor && cur_shed <= limit,
+        });
+    }
+    for exact_zero in ["errors", "shed_without_retry_after"] {
+        if let Some(cur_n) = number(cur, exact_zero) {
+            checks.push(Check {
+                workload: name.clone(),
+                what: format!("{exact_zero} (= 0)"),
+                current: cur_n,
+                limit: 0.0,
+                ok: cur_n == 0.0,
+            });
+        }
     }
 }
 

@@ -1,10 +1,11 @@
 //! `bench_suite` — runs the paper-table workloads along each one's variant
-//! axis (index off/on, scratch arena fresh/pooled, work stealing off/on) and
-//! emits the machine-readable `BENCH_<pr>.json` perf artefact (see BENCH.md
-//! for the schema).
+//! axis (index off/on, scratch arena fresh/pooled, work stealing off/on),
+//! plus the `serve_overload` HTTP-service SLO row, and emits the
+//! machine-readable `BENCH_<pr>.json` perf artefact (see BENCH.md for the
+//! schema).
 //!
 //! ```text
-//! bench_suite [--output BENCH_5.json] [--quick] [--iters N] [--pr N]
+//! bench_suite [--output BENCH_9.json] [--quick] [--iters N] [--pr N]
 //! ```
 //!
 //! The default (full) mode runs the scaled stand-in datasets in a few
@@ -16,10 +17,10 @@ use qcm_bench::suite::SuiteReport;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut output = String::from("BENCH_5.json");
+    let mut output = String::from("BENCH_9.json");
     let mut quick = false;
     let mut iters = 3usize;
-    let mut pr = 5u64;
+    let mut pr = 9u64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -77,6 +78,25 @@ fn main() -> ExitCode {
             w.steals,
             w.steal_failures,
             w.maximal_results
+        );
+    }
+    if let Some(row) = &report.serve_overload {
+        let r = &row.report;
+        eprintln!(
+            "  {:<22} [{:<7}] {} clients vs {}+{} capacity | {}/{} completed, {} shed \
+             ({:.0}%), {} errors | p50 {:.1} ms p99 {:.1} ms",
+            "serve_overload",
+            "slo",
+            r.clients,
+            row.workers,
+            row.max_queued,
+            r.completed,
+            r.total,
+            r.shed,
+            r.shed_rate * 100.0,
+            r.errors,
+            r.p50_ms,
+            r.p99_ms
         );
     }
     let json = report.to_json().render();

@@ -1,0 +1,97 @@
+//! `load_gen` — closed-loop HTTP load generator for a running `qcm serve
+//! --listen` instance.
+//!
+//! ```text
+//! load_gen --addr 127.0.0.1:8080 --graph /tmp/tiny.txt
+//!          [--clients 8] [--requests 8] [--gamma 0.8] [--min-size 6]
+//!          [--wait-ms 2000]
+//! ```
+//!
+//! Each client submits a job, long-polls it to a terminal state, and
+//! immediately submits again. `429` responses count as shed load (the
+//! overload SLO), everything else but `202`/`200` as an error. The report —
+//! the same JSON object as the suite's `serve_overload` BENCH row — goes to
+//! stdout.
+
+use qcm_bench::loadgen::{self, LoadGenConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = LoadGenConfig::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            return usage(&format!("{flag} needs a value"));
+        };
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--graph" => config.graph_path = value.clone(),
+            "--clients" => match value.parse() {
+                Ok(n) if n >= 1 => config.clients = n,
+                _ => return usage("--clients needs a positive integer"),
+            },
+            "--requests" => match value.parse() {
+                Ok(n) if n >= 1 => config.requests_per_client = n,
+                _ => return usage("--requests needs a positive integer"),
+            },
+            "--gamma" => match value.parse() {
+                Ok(g) => config.gamma = g,
+                Err(_) => return usage("--gamma needs a number"),
+            },
+            "--min-size" => match value.parse() {
+                Ok(n) => config.min_size = n,
+                Err(_) => return usage("--min-size needs an integer"),
+            },
+            "--wait-ms" => match value.parse() {
+                Ok(ms) => config.wait_ms = ms,
+                Err(_) => return usage("--wait-ms needs an integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if config.addr.is_empty() || config.graph_path.is_empty() {
+        return usage("--addr and --graph are required");
+    }
+
+    eprintln!(
+        "load_gen: {} clients x {} requests against http://{} ({})",
+        config.clients, config.requests_per_client, config.addr, config.graph_path
+    );
+    let report = loadgen::run(&config);
+    println!("{}", report.to_json().render());
+    eprintln!(
+        "load_gen: {}/{} completed, {} shed ({:.0}%), {} errors, p50 {:.1} ms, p99 {:.1} ms",
+        report.completed,
+        report.total,
+        report.shed,
+        report.shed_rate * 100.0,
+        report.errors,
+        report.p50_ms,
+        report.p99_ms
+    );
+    if report.errors > 0 || report.shed_without_retry_after > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("load_gen: {error}");
+    }
+    eprintln!(
+        "usage: load_gen --addr HOST:PORT --graph FILE [--clients N] [--requests N] \
+         [--gamma F] [--min-size N] [--wait-ms N]"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -13,7 +13,12 @@
 //! (per-experiment index) and the observed numbers are recorded in
 //! EXPERIMENTS.md.
 
-pub mod json;
+/// The hand-rolled JSON value (moved to `qcm_obs::json` so the HTTP
+/// listener can share it; re-exported here for the pipeline's call sites).
+pub mod json {
+    pub use qcm_obs::json::*;
+}
+pub mod loadgen;
 pub mod report;
 pub mod runner;
 pub mod scaled;

@@ -25,12 +25,15 @@
 //! deterministic counters exactly.
 
 use crate::json::{object, Json};
+use crate::loadgen::{self, LoadGenConfig, LoadGenReport};
 use qcm_core::{MiningParams, PruneConfig, ScratchMode, SerialMiner};
 use qcm_engine::EngineConfig;
 use qcm_gen::DatasetSpec;
 use qcm_graph::neighborhoods::{perf, IndexSpec};
-use qcm_graph::{Graph, NeighborhoodIndex};
+use qcm_graph::{io, Graph, NeighborhoodIndex};
+use qcm_http::{Api, AuthConfig, Server, ServerConfig};
 use qcm_parallel::ParallelMiner;
+use qcm_service::{AdmissionControl, ServiceConfig};
 use qcm_sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -473,6 +476,82 @@ fn traced_self_time(
     qcm_obs::self_time_by_kind(&trace).into_iter().collect()
 }
 
+/// The `serve_overload` SLO row: the HTTP service under 2× closed-loop
+/// overload.
+#[derive(Clone, Debug)]
+pub struct ServeOverloadResult {
+    /// Mining worker threads of the service under test.
+    pub workers: usize,
+    /// Admission-control queue bound.
+    pub max_queued: usize,
+    /// What the load generator measured.
+    pub report: LoadGenReport,
+}
+
+impl ServeOverloadResult {
+    fn to_json(&self) -> Json {
+        // The row is the load-gen report's fields plus the capacity knobs.
+        let Json::Object(mut map) = self.report.to_json() else {
+            unreachable!("LoadGenReport::to_json always renders an object");
+        };
+        map.insert("workers".to_string(), Json::from(self.workers));
+        map.insert("max_queued".to_string(), Json::from(self.max_queued));
+        Json::Object(map)
+    }
+}
+
+/// Runs the HTTP service under 2× overload: `workers = 1`, `max_queued = 4`
+/// (capacity 5), driven by `2 × capacity` closed-loop clients over the real
+/// socket. The result cache is disabled so every admitted job actually
+/// mines — the row measures the service under load, not the cache.
+///
+/// The SLO this row gates: excess load is shed with `429` + `Retry-After`
+/// (positive `shed_rate`, zero `shed_without_retry_after`) while admitted
+/// jobs keep a bounded `p99_ms` — instead of every request queueing
+/// unboundedly.
+pub fn run_serve_overload(quick: bool) -> Result<ServeOverloadResult, String> {
+    let (workers, max_queued) = (1usize, 4usize);
+    let clients = 2 * (workers + max_queued);
+
+    let dir = std::env::temp_dir().join(format!("qcm_bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let graph_path = dir.join("overload.txt");
+    let dataset = qcm_gen::datasets::tiny_test_dataset(9);
+    io::write_edge_list_file(&dataset.graph, &graph_path).map_err(|e| e.to_string())?;
+
+    let api = Api::start(
+        ServiceConfig {
+            workers,
+            admission: AdmissionControl {
+                max_queued,
+                max_in_flight: usize::MAX,
+                per_tenant_quota: usize::MAX,
+            },
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+        AuthConfig::open(),
+    );
+    let server =
+        Server::start(Arc::new(api), ServerConfig::default()).map_err(|e| e.to_string())?;
+    let report = loadgen::run(&LoadGenConfig {
+        addr: server.local_addr().to_string(),
+        clients,
+        requests_per_client: if quick { 4 } else { 8 },
+        graph_path: graph_path.to_string_lossy().to_string(),
+        gamma: 0.8,
+        min_size: 6,
+        wait_ms: 2_000,
+    });
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(ServeOverloadResult {
+        workers,
+        max_queued,
+        report,
+    })
+}
+
 /// The whole suite run, ready to serialise.
 #[derive(Clone, Debug)]
 pub struct SuiteReport {
@@ -490,16 +569,27 @@ pub struct SuiteReport {
     pub peak_rss_bytes: u64,
     /// Per-workload rows.
     pub workloads: Vec<WorkloadResult>,
+    /// The HTTP-service SLO row; `None` only when the listener could not
+    /// start (no loopback in the environment — the gate then flags the
+    /// missing row against a baseline that has one).
+    pub serve_overload: Option<ServeOverloadResult>,
 }
 
 impl SuiteReport {
-    /// Runs every workload.
+    /// Runs every workload plus the service SLO row.
     pub fn run(pr: u64, quick: bool, iters: usize) -> SuiteReport {
         let calibration_ms = calibration_ms();
         let workloads = workloads(quick)
             .iter()
             .map(|w| run_workload(w, iters))
             .collect();
+        let serve_overload = match run_serve_overload(quick) {
+            Ok(row) => Some(row),
+            Err(e) => {
+                eprintln!("bench_suite: serve_overload row skipped: {e}");
+                None
+            }
+        };
         SuiteReport {
             pr,
             quick,
@@ -507,12 +597,13 @@ impl SuiteReport {
             calibration_ms,
             peak_rss_bytes: peak_rss_bytes(),
             workloads,
+            serve_overload,
         }
     }
 
     /// Serialises the report (see BENCH.md for the schema).
     pub fn to_json(&self) -> Json {
-        object(vec![
+        let mut fields = vec![
             ("schema", Json::from("qcm-bench/v1")),
             ("pr", Json::from(self.pr)),
             ("quick", Json::from(self.quick)),
@@ -523,7 +614,11 @@ impl SuiteReport {
                 "workloads",
                 Json::Array(self.workloads.iter().map(workload_json).collect()),
             ),
-        ])
+        ];
+        if let Some(row) = &self.serve_overload {
+            fields.push(("serve_overload", row.to_json()));
+        }
+        object(fields)
     }
 }
 
@@ -690,6 +785,35 @@ mod tests {
             let names: Vec<_> = all.iter().map(|w| w.name).collect();
             assert_eq!(names.len(), 5);
         }
+    }
+
+    #[test]
+    fn serve_overload_row_sheds_with_retry_after_and_completes_the_rest() {
+        let row = run_serve_overload(true).expect("loopback listener must start");
+        let report = &row.report;
+        assert_eq!(report.total, report.clients * 4, "quick mode: 4 per client");
+        assert_eq!(
+            report.errors, 0,
+            "only 202 and 429 are acceptable: {report:?}"
+        );
+        assert_eq!(
+            report.shed_without_retry_after, 0,
+            "every 429 must carry Retry-After: {report:?}"
+        );
+        assert!(
+            report.shed > 0,
+            "2x closed-loop overload must shed load: {report:?}"
+        );
+        assert_eq!(
+            report.completed + report.shed,
+            report.total,
+            "every request either completes or is shed: {report:?}"
+        );
+        assert!(report.completed > 0 && report.p99_ms > 0.0, "{report:?}");
+        let json = row.to_json();
+        assert!(json.get("p99_ms").and_then(Json::as_f64).is_some());
+        assert!(json.get("shed_rate").and_then(Json::as_f64).is_some());
+        assert_eq!(json.get("workers").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]

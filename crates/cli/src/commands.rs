@@ -19,7 +19,7 @@ qcm — maximal quasi-clique miner (algorithm-system codesign reproduction)
 USAGE:
     qcm mine <edge_list> --gamma <0..1> --min-size <n> [options]
     qcm trace <edge_list> [mine options] [--out <file>]
-    qcm serve [--workers <n>] [--format json|text] [options]
+    qcm serve [--listen <addr>] [--workers <n>] [--format json|text] [options]
     qcm generate --dataset <name> --output <file> [--seed <n>]
     qcm stats <edge_list>
     qcm fingerprint <edge_list>
@@ -35,10 +35,16 @@ TRACE:
     --out <file>          trace output path (default trace.json)
 
 SERVE:
-    runs the multi-tenant mining job service over stdin/stdout: one
-    line-delimited request per line, one response line each. Type `help`
-    inside the session (or see `qcm serve` docs) for the request grammar.
+    runs the multi-tenant mining job service. With --listen it speaks the
+    versioned HTTP/1.1 JSON API (POST /v1/jobs, GET /v1/jobs/<id>?wait_ms=,
+    DELETE /v1/jobs/<id>, GET|PUT /v1/graphs, GET /metrics, GET /healthz);
+    without it, the DEPRECATED stdin/stdout line protocol (one request per
+    line, one response line each — type `help` inside the session).
 
+    --listen <addr>       serve HTTP on <addr> (e.g. 127.0.0.1:8080; port 0
+                          picks a free port, printed at startup)
+    --token <t>=<tenant>  HTTP bearer-token auth (comma-separate for more);
+                          without it the service is open access
     --workers <n>         worker threads (default 2)
     --max-queued <n>      admission: max queued jobs (default 64)
     --max-in-flight <n>   admission: max concurrently mined jobs (default: unbounded)
@@ -474,14 +480,7 @@ pub fn stats(args: &[String]) -> Result<(), QcmError> {
 /// snapshot, sniffing the magic bytes (the snapshot path goes through the
 /// checksummed loader, so corrupt files are rejected with a typed error).
 pub(crate) fn load_graph(path: &str) -> Result<Graph, QcmError> {
-    let bytes =
-        std::fs::read(path).map_err(|e| QcmError::GraphLoad(qcm_graph::GraphError::Io(e)))?;
-    let graph = if bytes.starts_with(b"QCMGRPH") {
-        io::read_binary(bytes.as_slice())?
-    } else {
-        io::read_edge_list(bytes.as_slice())?
-    };
-    Ok(graph)
+    Ok(io::read_auto_file(path)?)
 }
 
 /// `qcm fingerprint <edge_list>` — prints the stable content hash that keys

@@ -5,7 +5,7 @@
 //!                      [--tau-split 100] [--tau-time-ms 10] [--deadline-ms 5000]
 //!                      [--format json|text] [--serial] [--output results.txt]
 //! qcm trace <edge_list> [mine flags] [--out trace.json]   # traced run → Chrome trace JSON
-//! qcm serve [--workers 4] [--format json]                  # mining job service on stdin/stdout
+//! qcm serve [--listen addr] [--workers 4] [--format json]  # mining job service (HTTP with --listen)
 //! qcm generate --dataset <name> --output graph.txt        # synthetic stand-in datasets
 //! qcm stats <edge_list>                                    # graph summary statistics
 //! qcm fingerprint <edge_list>                              # stable content hash (cache key)
@@ -13,9 +13,12 @@
 //! ```
 //!
 //! All subcommands report failures through the workspace-wide typed
-//! [`qcm::QcmError`]; configuration mistakes (unknown flags, out-of-range γ,
-//! zero threads) exit with status 2, runtime failures with status 1.
+//! [`qcm::QcmError`]; exit codes come from the shared service error table
+//! (`qcm_core::api::ERROR_CODE_TABLE`): configuration mistakes (unknown
+//! flags, out-of-range γ, zero threads) exit with status 2, runtime
+//! failures with status 1, retry-later conditions with status 3.
 
+use qcm::prelude::ErrorCode;
 use qcm::QcmError;
 use std::process::ExitCode;
 
@@ -50,10 +53,13 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("error: {err}");
-            match err {
-                QcmError::InvalidConfig(_) => ExitCode::from(2),
-                _ => ExitCode::from(1),
-            }
+            // Route through the shared code table so the CLI and the HTTP
+            // surface can never disagree on what a failure class means.
+            let code = match err {
+                QcmError::InvalidConfig(_) => ErrorCode::BadRequest,
+                _ => ErrorCode::Internal,
+            };
+            ExitCode::from(code.cli_exit_code())
         }
     }
 }

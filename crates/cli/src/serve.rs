@@ -1,39 +1,43 @@
-//! `qcm serve` — the mining job service over stdin/stdout.
+//! `qcm serve` — the mining job service.
 //!
-//! One line-delimited request per input line, exactly one response line per
-//! request, in text (default) or JSON (`--format json`). The request grammar
-//! mirrors the library API:
+//! Two wire surfaces, one handler table ([`qcm_http::Api`]):
+//!
+//! * **HTTP mode** (`--listen <addr>`): the versioned HTTP/1.1 JSON API —
+//!   `POST /v1/jobs`, `GET /v1/jobs/{id}?wait_ms=`, `DELETE /v1/jobs/{id}`,
+//!   `GET`/`PUT /v1/graphs`, `GET /metrics`, `GET /healthz`. Multi-tenant
+//!   auth via repeatable `--token <token>=<tenant>` (comma-separated);
+//!   without tokens the service is open and trusts `X-Qcm-Tenant`.
+//! * **Line protocol** (default, DEPRECATED): one line-delimited request per
+//!   stdin line, one response line each, in text (default) or JSON
+//!   (`--format json`). This surface is kept exactly one release behind the
+//!   HTTP API and will be removed; new integrations should use `--listen`.
 //!
 //! ```text
 //! submit <graph_file> [--gamma <f>] [--min-size <n>] [--tenant <s>]
 //!        [--priority low|normal|high] [--deadline-ms <n>] [--nowait]
 //! status <job_id>
 //! cancel <job_id>
-//! fetch <job_id>
+//! fetch <job_id>       (deprecated: use submit without --nowait, or status)
 //! metrics [prom]
 //! help
 //! quit
 //! ```
 //!
-//! `metrics` answers with one line of counters (text or JSON); `metrics prom`
-//! answers with the full Prometheus text exposition (multi-line) rendered
-//! from the unified `qcm_obs` registry.
-//!
-//! `submit` waits for the job and responds with its result (a repeated query
-//! responds instantly with `cache_hit` true); `submit --nowait` responds with
-//! the job id immediately so `status`/`cancel`/`fetch` can drive the
-//! lifecycle asynchronously. Graph files are loaded once per path (edge list
-//! or checksummed binary snapshot) and reused across submits.
+//! Errors on both surfaces carry the same stable machine-readable code
+//! (`qcm_core::api::ErrorCode`): the line protocol answers
+//! `{"ok":false,"error":{"code":…,"message":…}}` in JSON mode and
+//! `error[<code>]: <message>` in text mode; the HTTP surface maps the same
+//! code through `ErrorCode::http_status` (shed load → `429` +
+//! `Retry-After`). Graph files are loaded through the shared stat-aware
+//! registry: a repeat submit of an unchanged path skips the file read and
+//! the content hash, an edited file is reloaded.
 
-use crate::commands::{load_graph, FlagSpec, Flags};
-use qcm::{QcmError, RunOutcome};
-use qcm_graph::Graph;
-use qcm_service::{
-    AdmissionControl, JobId, JobRequest, JobResult, MiningService, Priority, ServiceConfig,
-    ServiceError,
-};
+use crate::commands::{FlagSpec, Flags};
+use qcm::prelude::{ApiError, ErrorCode, JobView, SubmitRequest};
+use qcm::QcmError;
+use qcm_http::{api::MAX_WAIT, Api, AuthConfig, Server, ServerConfig};
+use qcm_service::{AdmissionControl, MiningService, ServiceConfig};
 use qcm_sync::Arc;
-use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
@@ -46,6 +50,8 @@ const SERVE_FLAGS: FlagSpec = FlagSpec {
         "cache-capacity",
         "cache-ttl-ms",
         "format",
+        "listen",
+        "token",
     ],
     switches: &[],
 };
@@ -66,10 +72,12 @@ requests (one per line, one response line each):
          [--priority low|normal|high] [--deadline-ms <n>] [--nowait]
   status <job_id>
   cancel <job_id>
-  fetch <job_id>
+  fetch <job_id>      (deprecated: use submit without --nowait, or status)
   metrics [prom]      (prom: multi-line Prometheus text exposition)
   help
-  quit";
+  quit
+note: this line protocol is deprecated; prefer `qcm serve --listen <addr>`
+      and the versioned HTTP/1.1 JSON API";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -77,50 +85,9 @@ enum Format {
     Json,
 }
 
-/// How many distinct graphs the serve registry keeps resident at once.
-const GRAPH_REGISTRY_CAP: usize = 64;
-
-/// Graphs loaded so far, keyed by path, with the content hash computed once
-/// at load: repeat submits of a registered path skip both the file read and
-/// the `O(|V| + |E|)` fingerprint scan, so hot (cache-served) requests stay
-/// cheap. Bounded like every other long-lived structure in the service: past
-/// [`GRAPH_REGISTRY_CAP`] paths, the least-recently-used graph is dropped
-/// (in-flight jobs keep their own `Arc`; a later submit just reloads the
-/// file).
-#[derive(Default)]
-struct GraphRegistry {
-    loaded: HashMap<String, (Arc<Graph>, u64, u64)>,
-    tick: u64,
-}
-
-impl GraphRegistry {
-    fn get_or_load(&mut self, path: &str) -> Result<(Arc<Graph>, u64), String> {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some((graph, fingerprint, last_used)) = self.loaded.get_mut(path) {
-            *last_used = tick;
-            return Ok((graph.clone(), *fingerprint));
-        }
-        let graph = Arc::new(load_graph(path).map_err(|e| e.to_string())?);
-        let fingerprint = graph.content_hash();
-        if self.loaded.len() >= GRAPH_REGISTRY_CAP {
-            if let Some(victim) = self
-                .loaded
-                .iter()
-                .min_by_key(|(_, (_, _, last_used))| *last_used)
-                .map(|(k, _)| k.clone())
-            {
-                self.loaded.remove(&victim);
-            }
-        }
-        self.loaded
-            .insert(path.to_string(), (graph.clone(), fingerprint, tick));
-        Ok((graph, fingerprint))
-    }
-}
-
-/// `qcm serve …` — reads requests from stdin until EOF or `quit`, then
-/// drains the service and exits.
+/// `qcm serve …` — HTTP listener with `--listen`, otherwise the deprecated
+/// stdin/stdout line protocol. Either way the process drains the service
+/// before exiting.
 pub fn serve(args: &[String]) -> Result<(), QcmError> {
     let flags = Flags::parse(args, &SERVE_FLAGS)?;
     let format = match flags.values.get("format").map(String::as_str) {
@@ -151,16 +118,91 @@ pub fn serve(args: &[String]) -> Result<(), QcmError> {
             .map(Duration::from_millis),
         ..ServiceConfig::default()
     };
-    let service = MiningService::start(config);
-    let mut graphs = GraphRegistry::default();
+    let auth = match flags.values.get("token") {
+        None => AuthConfig::open(),
+        Some(_) if !flags.values.contains_key("listen") => {
+            return Err(QcmError::InvalidConfig(
+                "--token requires --listen (the line protocol carries no auth header)".into(),
+            ))
+        }
+        Some(raw) => AuthConfig::with_tokens(parse_tokens(raw)?),
+    };
+    let api = Api::over(MiningService::start(config), auth);
 
+    if let Some(addr) = flags.values.get("listen") {
+        return serve_http(api, addr, workers);
+    }
+    serve_lines(api, workers, format)
+}
+
+/// Parses `--token tok=tenant[,tok2=tenant2,…]`.
+fn parse_tokens(raw: &str) -> Result<Vec<(String, String)>, QcmError> {
+    raw.split(',')
+        .map(|pair| {
+            pair.split_once('=')
+                .map(|(token, tenant)| (token.trim().to_string(), tenant.trim().to_string()))
+                .filter(|(token, tenant)| !token.is_empty() && !tenant.is_empty())
+                .ok_or_else(|| {
+                    QcmError::InvalidConfig(format!(
+                        "invalid --token entry {pair:?} (expected <token>=<tenant>)"
+                    ))
+                })
+        })
+        .collect()
+}
+
+/// HTTP mode: bind, announce the address, then hold the process open until
+/// `quit` on stdin (graceful drain) or the process is killed.
+fn serve_http(api: Api, addr: &str, _workers: usize) -> Result<(), QcmError> {
+    let authed = api.auth().requires_token();
+    let server = Server::start(
+        Arc::new(api),
+        ServerConfig {
+            addr: addr.to_string(),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| QcmError::InvalidConfig(format!("cannot listen on {addr:?}: {e}")))?;
+    println!(
+        "qcm serve listening on http://{} (API v1{}); `quit` on stdin stops it",
+        server.local_addr(),
+        if authed {
+            ", token auth"
+        } else {
+            ", open access"
+        },
+    );
+    let _ = std::io::stdout().flush();
+    let mut quit = false;
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| QcmError::Engine(format!("stdin read error: {e}")))?;
+        if matches!(line.trim(), "quit" | "exit" | "shutdown") {
+            quit = true;
+            break;
+        }
+    }
+    if !quit {
+        // stdin hit EOF (e.g. backgrounded with stdin on /dev/null): keep
+        // the listener up until the process is signalled.
+        loop {
+            qcm_sync::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// Line-protocol mode: reads requests from stdin until EOF or `quit`, then
+/// drains the service and exits.
+fn serve_lines(api: Api, workers: usize, format: Format) -> Result<(), QcmError> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     if format == Format::Text {
         let _ = writeln!(
             out,
-            "qcm serve ready ({workers} workers); `help` lists requests"
+            "qcm serve ready ({workers} workers); `help` lists requests \
+             [deprecated: prefer `qcm serve --listen <addr>` — HTTP/1.1 JSON API v1]"
         );
         let _ = out.flush();
     }
@@ -173,164 +215,166 @@ pub fn serve(args: &[String]) -> Result<(), QcmError> {
         if matches!(verb.as_str(), "quit" | "exit" | "shutdown") {
             break;
         }
-        let response = handle_request(&service, &mut graphs, verb, &tokens[1..], format);
+        let response = handle_request(&api, verb, &tokens[1..], format);
         let _ = writeln!(out, "{response}");
         let _ = out.flush();
     }
     drop(out);
-    service.shutdown();
+    api.shutdown();
     Ok(())
 }
 
 /// Dispatches one request line; never fails the server — every error becomes
-/// an error response.
-fn handle_request(
-    service: &MiningService,
-    graphs: &mut GraphRegistry,
-    verb: &str,
-    args: &[String],
-    format: Format,
-) -> String {
+/// an error response carrying its stable code.
+fn handle_request(api: &Api, verb: &str, args: &[String], format: Format) -> String {
     let result = match verb {
-        "submit" => submit(service, graphs, args, format),
-        "status" => status(service, args, format),
-        "cancel" => cancel(service, args, format),
-        "fetch" => fetch(service, args, format),
-        "metrics" => metrics(service, args, format),
+        "submit" => submit(api, args, format),
+        "status" => status(api, args, format),
+        "cancel" => cancel(api, args, format),
+        "fetch" => fetch(api, args, format),
+        "metrics" => metrics(api, args, format),
         "help" => Ok(match format {
             Format::Text => SESSION_HELP.to_string(),
             Format::Json => format!(
-                "{{\"ok\":true,\"cmd\":\"help\",\"requests\":{}}}",
+                "{{\"ok\":true,\"cmd\":\"help\",\"requests\":{},\"deprecated\":[\"fetch\"]}}",
                 json_string("submit status cancel fetch metrics help quit")
             ),
         }),
-        other => Err(format!("unknown request {other:?} (try `help`)")),
+        other => Err(ApiError::new(
+            ErrorCode::NotFound,
+            format!("unknown request {other:?} (try `help`)"),
+        )),
     };
     match result {
         Ok(response) => response,
-        Err(message) => match format {
-            Format::Text => format!("error: {message}"),
-            Format::Json => format!("{{\"ok\":false,\"error\":{}}}", json_string(&message)),
+        Err(e) => match format {
+            Format::Text => format!("error[{}]: {}", e.code, e.message),
+            Format::Json => format!(
+                "{{\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":{}}}}}",
+                e.code,
+                json_string(&e.message)
+            ),
         },
     }
 }
 
-fn submit(
-    service: &MiningService,
-    graphs: &mut GraphRegistry,
-    args: &[String],
-    format: Format,
-) -> Result<String, String> {
-    let flags = Flags::parse(args, &SUBMIT_FLAGS).map_err(|e| e.to_string())?;
+fn bad_request(e: impl std::fmt::Display) -> ApiError {
+    ApiError::bad_request(e.to_string())
+}
+
+fn submit(api: &Api, args: &[String], format: Format) -> Result<String, ApiError> {
+    let flags = Flags::parse(args, &SUBMIT_FLAGS).map_err(bad_request)?;
     let path = flags
         .positional
         .first()
-        .ok_or("submit requires a graph file path")?;
-    let (graph, fingerprint) = graphs.get_or_load(path)?;
-    let gamma: f64 = flags.get("gamma", 0.9).map_err(|e| e.to_string())?;
-    let min_size: usize = flags.get("min-size", 10).map_err(|e| e.to_string())?;
+        .ok_or_else(|| ApiError::bad_request("submit requires a graph file path"))?;
+    let mut request = SubmitRequest::new(
+        path.clone(),
+        flags.get("gamma", 0.9).map_err(bad_request)?,
+        flags.get("min-size", 10).map_err(bad_request)?,
+    );
+    if let Some(priority) = flags.values.get("priority") {
+        request.priority = priority.clone();
+    }
+    request.deadline_ms = flags.get_opt::<u64>("deadline-ms").map_err(bad_request)?;
     let tenant = flags
         .values
         .get("tenant")
         .cloned()
         .unwrap_or_else(|| "default".to_string());
-    let priority = match flags.values.get("priority") {
-        None => Priority::Normal,
-        Some(raw) => Priority::parse(raw).ok_or_else(|| format!("invalid priority {raw:?}"))?,
-    };
-    let mut request = JobRequest::new(graph, gamma, min_size)
-        .tenant(tenant)
-        .priority(priority)
-        .fingerprint(fingerprint);
-    if let Some(ms) = flags
-        .get_opt::<u64>("deadline-ms")
-        .map_err(|e| e.to_string())?
-    {
-        request = request.deadline(Duration::from_millis(ms));
-    }
-    let job = service.submit(request).map_err(|e| e.to_string())?;
+    let submitted = api.submit(&request, &tenant)?;
     if flags.has_switch("nowait") {
-        let status = service.status(job).map_err(|e| e.to_string())?;
         return Ok(match format {
-            Format::Text => format!("job {job} {status}"),
-            Format::Json => {
-                format!("{{\"ok\":true,\"cmd\":\"submit\",\"job\":{job},\"status\":\"{status}\"}}")
-            }
+            Format::Text => format!("job {} {}", submitted.job, submitted.status),
+            Format::Json => format!(
+                "{{\"ok\":true,\"cmd\":\"submit\",\"job\":{},\"status\":\"{}\"}}",
+                submitted.job, submitted.status
+            ),
         });
     }
-    let result = service.fetch(job).map_err(|e| e.to_string())?;
-    Ok(render_result("submit", &result, format))
+    let view = wait_terminal(api, submitted.job)?;
+    Ok(render_view("submit", &view, format))
 }
 
-fn parse_job_id(args: &[String], verb: &str) -> Result<JobId, String> {
-    let flags = Flags::parse(args, &BARE_FLAGS).map_err(|e| e.to_string())?;
+fn parse_job_id(args: &[String], verb: &str) -> Result<u64, ApiError> {
+    let flags = Flags::parse(args, &BARE_FLAGS).map_err(bad_request)?;
     let raw = flags
         .positional
         .first()
-        .ok_or_else(|| format!("{verb} requires a job id"))?;
+        .ok_or_else(|| ApiError::bad_request(format!("{verb} requires a job id")))?;
     raw.parse::<u64>()
-        .map(JobId::from_raw)
-        .map_err(|_| format!("invalid job id {raw:?}"))
+        .map_err(|_| ApiError::bad_request(format!("invalid job id {raw:?}")))
 }
 
-fn status(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
+fn status(api: &Api, args: &[String], format: Format) -> Result<String, ApiError> {
     let job = parse_job_id(args, "status")?;
-    let status = service.status(job).map_err(|e| e.to_string())?;
+    let view = api.job(job, Duration::ZERO)?;
     Ok(match format {
-        Format::Text => format!("job {job} {status}"),
-        Format::Json => {
-            format!("{{\"ok\":true,\"cmd\":\"status\",\"job\":{job},\"status\":\"{status}\"}}")
-        }
+        Format::Text => format!("job {} {}", view.job, view.status),
+        Format::Json => format!(
+            "{{\"ok\":true,\"cmd\":\"status\",\"job\":{},\"status\":\"{}\"}}",
+            view.job, view.status
+        ),
     })
 }
 
-fn cancel(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
+fn cancel(api: &Api, args: &[String], format: Format) -> Result<String, ApiError> {
     let job = parse_job_id(args, "cancel")?;
-    let status = service.cancel(job).map_err(|e| e.to_string())?;
+    let view = api.cancel(job)?;
     Ok(match format {
-        Format::Text => format!("job {job} {status}"),
-        Format::Json => {
-            format!("{{\"ok\":true,\"cmd\":\"cancel\",\"job\":{job},\"status\":\"{status}\"}}")
-        }
+        Format::Text => format!("job {} {}", view.job, view.status),
+        Format::Json => format!(
+            "{{\"ok\":true,\"cmd\":\"cancel\",\"job\":{},\"status\":\"{}\"}}",
+            view.job, view.status
+        ),
     })
 }
 
-fn fetch(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
+/// Deprecated verb, kept one release for line-protocol clients: equivalent
+/// to long-polling `status` until terminal.
+fn fetch(api: &Api, args: &[String], format: Format) -> Result<String, ApiError> {
     let job = parse_job_id(args, "fetch")?;
-    match service.fetch(job) {
-        Ok(result) => Ok(render_result("fetch", &result, format)),
-        Err(ServiceError::Cancelled(job)) => Ok(match format {
-            Format::Text => format!("job {job} cancelled (never ran, no result)"),
-            Format::Json => {
-                format!("{{\"ok\":true,\"cmd\":\"fetch\",\"job\":{job},\"status\":\"cancelled\"}}")
-            }
-        }),
-        Err(e) => Err(e.to_string()),
+    let view = wait_terminal(api, job)?;
+    if view.outcome.as_deref() == Some("cancelled") && view.num_maximal.is_none() {
+        return Ok(match format {
+            Format::Text => format!("job {} cancelled (never ran, no result)", view.job),
+            Format::Json => format!(
+                "{{\"ok\":true,\"cmd\":\"fetch\",\"job\":{},\"status\":\"cancelled\"}}",
+                view.job
+            ),
+        });
+    }
+    Ok(render_view("fetch", &view, format))
+}
+
+/// Long-polls in bounded [`MAX_WAIT`] slices until the job is terminal —
+/// the blocking the deprecated `MiningService::fetch` used to do, rebuilt
+/// on the deadline-bounded API.
+fn wait_terminal(api: &Api, job: u64) -> Result<JobView, ApiError> {
+    loop {
+        let view = api.job(job, MAX_WAIT)?;
+        if view.outcome.is_some() {
+            return Ok(view);
+        }
     }
 }
 
-fn metrics(service: &MiningService, args: &[String], format: Format) -> Result<String, String> {
-    let flags = Flags::parse(args, &BARE_FLAGS).map_err(|e| e.to_string())?;
-    let m = service.metrics();
+fn metrics(api: &Api, args: &[String], format: Format) -> Result<String, ApiError> {
+    let flags = Flags::parse(args, &BARE_FLAGS).map_err(bad_request)?;
     match flags.positional.first().map(String::as_str) {
         // `metrics prom`: Prometheus text exposition (multi-line — the one
         // deliberate exception to the line-per-response protocol, so a
-        // scraper can be pointed straight at a serve session).
-        Some("prom") => {
-            let registry = qcm_obs::Registry::new();
-            m.publish(&registry);
-            qcm_graph::neighborhoods::perf::snapshot().publish(&registry);
-            return Ok(qcm_obs::prometheus::render(&registry)
-                .trim_end()
-                .to_string());
-        }
+        // scraper can be pointed straight at a serve session). Same renderer
+        // as `GET /metrics` on the HTTP surface.
+        Some("prom") => return Ok(api.metrics_prometheus().trim_end().to_string()),
         Some(other) => {
-            return Err(format!(
+            return Err(ApiError::bad_request(format!(
                 "unknown metrics view {other:?} (expected `metrics` or `metrics prom`)"
-            ))
+            )))
         }
         None => {}
     }
+    let m = api.metrics();
     Ok(match format {
         Format::Text => format!(
             "queue {} | in-flight {} | submitted {} (rejected {}) | completed {} | \
@@ -376,38 +420,31 @@ fn metrics(service: &MiningService, args: &[String], format: Format) -> Result<S
     })
 }
 
-fn render_result(cmd: &str, result: &JobResult, format: Format) -> String {
-    let outcome = match result.outcome() {
-        RunOutcome::Complete => "complete",
-        RunOutcome::Cancelled => "cancelled",
-        RunOutcome::DeadlineExceeded => "deadline_exceeded",
-        RunOutcome::Faulted => "faulted",
-    };
+/// Renders a terminal [`JobView`] (same field names as the HTTP wire
+/// format, wrapped in the line protocol's `ok`/`cmd` envelope).
+fn render_view(cmd: &str, view: &JobView, format: Format) -> String {
+    let outcome = view.outcome.as_deref().unwrap_or("unknown");
+    let cache_hit = view.cache_hit.unwrap_or(false);
+    let complete = outcome == "complete";
     match format {
         Format::Text => format!(
-            "job {} {} {} — {} maximal sets, mined in {:?}{}",
-            result.job,
-            if result.cache_hit { "HOT" } else { "cold" },
+            "job {} {} {} — {} maximal sets, mined in {}ms{}",
+            view.job,
+            if cache_hit { "HOT" } else { "cold" },
             outcome,
-            result.maximal().len(),
-            result.answer.mining_time,
-            if result.is_complete() {
-                ""
-            } else {
-                " (partial)"
-            },
+            view.num_maximal.unwrap_or(0),
+            view.mining_ms.unwrap_or(0),
+            if complete { "" } else { " (partial)" },
         ),
         Format::Json => format!(
             "{{\"ok\":true,\"cmd\":\"{cmd}\",\"job\":{},\"tenant\":{},\
-             \"outcome\":\"{outcome}\",\"complete\":{},\"cache_hit\":{},\
+             \"outcome\":\"{outcome}\",\"complete\":{complete},\"cache_hit\":{cache_hit},\
              \"num_maximal\":{},\"raw_reported\":{},\"mining_ms\":{}}}",
-            result.job,
-            json_string(&result.tenant),
-            result.is_complete(),
-            result.cache_hit,
-            result.maximal().len(),
-            result.answer.raw_reported,
-            result.answer.mining_time.as_millis(),
+            view.job,
+            json_string(&view.tenant),
+            view.num_maximal.unwrap_or(0),
+            view.raw_reported.unwrap_or(0),
+            view.mining_ms.unwrap_or(0),
         ),
     }
 }
@@ -436,14 +473,9 @@ mod tests {
     use super::*;
     use qcm_graph::io;
 
-    fn request(
-        service: &MiningService,
-        graphs: &mut GraphRegistry,
-        line: &str,
-        format: Format,
-    ) -> String {
+    fn request(api: &Api, line: &str, format: Format) -> String {
         let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
-        handle_request(service, graphs, &tokens[0], &tokens[1..], format)
+        handle_request(api, &tokens[0], &tokens[1..], format)
     }
 
     fn with_tiny_graph_file<R>(tag: &str, f: impl FnOnce(&str) -> R) -> R {
@@ -457,49 +489,51 @@ mod tests {
         result
     }
 
+    fn open_api() -> Api {
+        Api::start(ServiceConfig::default(), AuthConfig::open())
+    }
+
     #[test]
     fn submit_twice_reports_cache_hit_in_json() {
         with_tiny_graph_file("hit", |path| {
-            let service = MiningService::start(ServiceConfig::default());
-            let mut graphs = GraphRegistry::default();
+            let api = open_api();
             let line = format!("submit {path} --gamma 0.8 --min-size 6");
-            let cold = request(&service, &mut graphs, &line, Format::Json);
+            let cold = request(&api, &line, Format::Json);
             assert!(cold.contains("\"ok\":true"), "{cold}");
             assert!(cold.contains("\"cache_hit\":false"), "{cold}");
-            let hot = request(&service, &mut graphs, &line, Format::Json);
+            let hot = request(&api, &line, Format::Json);
             assert!(hot.contains("\"cache_hit\":true"), "{hot}");
-            let metrics = request(&service, &mut graphs, "metrics", Format::Json);
+            let metrics = request(&api, "metrics", Format::Json);
             assert!(metrics.contains("\"cache_hits\":1"), "{metrics}");
             assert!(metrics.contains("\"jobs_mined\":1"), "{metrics}");
-            service.shutdown();
+            assert_eq!(api.graph_loads(), 1, "repeat submit must not reload");
+            api.shutdown();
         });
     }
 
     #[test]
     fn nowait_submit_supports_status_and_fetch() {
         with_tiny_graph_file("nowait", |path| {
-            let service = MiningService::start(ServiceConfig::default());
-            let mut graphs = GraphRegistry::default();
+            let api = open_api();
             let line = format!("submit {path} --gamma 0.8 --min-size 6 --nowait --tenant lab");
-            let resp = request(&service, &mut graphs, &line, Format::Json);
+            let resp = request(&api, &line, Format::Json);
             assert!(resp.contains("\"job\":1"), "{resp}");
-            let fetched = request(&service, &mut graphs, "fetch 1", Format::Json);
+            let fetched = request(&api, "fetch 1", Format::Json);
             assert!(fetched.contains("\"tenant\":\"lab\""), "{fetched}");
-            let status = request(&service, &mut graphs, "status 1", Format::Json);
+            let status = request(&api, "status 1", Format::Json);
             assert!(status.contains("\"status\":\"completed\""), "{status}");
-            service.shutdown();
+            api.shutdown();
         });
     }
 
     #[test]
     fn metrics_prom_is_wellformed_exposition() {
         with_tiny_graph_file("prom", |path| {
-            let service = MiningService::start(ServiceConfig::default());
-            let mut graphs = GraphRegistry::default();
+            let api = open_api();
             let line = format!("submit {path} --gamma 0.8 --min-size 6");
-            let submitted = request(&service, &mut graphs, &line, Format::Json);
+            let submitted = request(&api, &line, Format::Json);
             assert!(submitted.contains("\"ok\":true"), "{submitted}");
-            let prom = request(&service, &mut graphs, "metrics prom", Format::Text);
+            let prom = request(&api, "metrics prom", Format::Text);
             qcm_obs::prometheus::check_text(&prom).expect("exposition must be well-formed");
             assert!(
                 prom.contains("# TYPE qcm_service_jobs_mined_total counter"),
@@ -507,32 +541,53 @@ mod tests {
             );
             assert!(prom.contains("qcm_service_jobs_mined_total 1"), "{prom}");
             assert!(prom.contains("qcm_graph_edge_queries_total"), "{prom}");
-            let bogus = request(&service, &mut graphs, "metrics nope", Format::Text);
-            assert!(bogus.starts_with("error:"), "{bogus}");
-            service.shutdown();
+            let bogus = request(&api, "metrics nope", Format::Text);
+            assert!(bogus.starts_with("error[bad_request]:"), "{bogus}");
+            api.shutdown();
         });
     }
 
     #[test]
-    fn errors_are_responses_not_crashes() {
-        let service = MiningService::start(ServiceConfig::default());
-        let mut graphs = GraphRegistry::default();
-        for (line, needle) in [
-            ("status 99", "unknown job"),
-            ("status abc", "invalid job id"),
-            ("submit /no/such/file.txt", "I/O"),
-            ("frobnicate 1", "unknown request"),
-            ("submit", "requires a graph file"),
+    fn errors_carry_stable_codes_in_both_formats() {
+        let api = open_api();
+        for (line, code, needle) in [
+            ("status 99", "unknown_job", "unknown job"),
+            ("status abc", "bad_request", "invalid job id"),
+            ("submit /no/such/file.txt", "unknown_graph", "cannot stat"),
+            ("frobnicate 1", "not_found", "unknown request"),
+            ("submit", "bad_request", "requires a graph file"),
         ] {
-            let text = request(&service, &mut graphs, line, Format::Text);
+            let text = request(&api, line, Format::Text);
             assert!(
-                text.starts_with("error:") && text.contains(needle),
+                text.starts_with(&format!("error[{code}]:")) && text.contains(needle),
                 "{line} → {text}"
             );
-            let json = request(&service, &mut graphs, line, Format::Json);
-            assert!(json.starts_with("{\"ok\":false"), "{line} → {json}");
+            let json = request(&api, line, Format::Json);
+            assert!(
+                json.starts_with("{\"ok\":false,\"error\":{\"code\":"),
+                "{line} → {json}"
+            );
+            assert!(
+                json.contains(&format!("\"code\":\"{code}\"")),
+                "{line} → {json}"
+            );
         }
-        service.shutdown();
+        api.shutdown();
+    }
+
+    #[test]
+    fn token_flag_parses_pairs_and_rejects_garbage() {
+        let pairs = parse_tokens("a=alpha,b=beta").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".to_string(), "alpha".to_string()),
+                ("b".to_string(), "beta".to_string())
+            ]
+        );
+        assert!(parse_tokens("missing-equals").is_err());
+        assert!(parse_tokens("=tenant").is_err());
+        assert!(parse_tokens("token=").is_err());
     }
 
     #[test]

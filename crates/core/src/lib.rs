@@ -35,6 +35,7 @@
 //! [`MiningContext`], the bounds and rules modules), which is what the paper
 //! means by algorithm–system codesign.
 
+pub mod api;
 pub mod bounds;
 pub mod cancel;
 pub mod config;
@@ -57,6 +58,7 @@ pub mod scratch;
 pub mod serial;
 pub mod stats;
 
+pub use api::{ApiError, ErrorCode, GraphInfo, JobView, SubmitRequest, SubmitResponse};
 pub use cancel::{CancelReason, CancelToken, RunOutcome};
 pub use config::PruneConfig;
 pub use context::MiningContext;

@@ -73,6 +73,25 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
     read_edge_list(file)
 }
 
+/// Loads a graph from bytes in either supported on-disk format, sniffing the
+/// `QCMGRPH` magic: a binary snapshot goes through the checksummed
+/// [`read_binary`] loader (corrupt files are rejected with a typed error),
+/// anything else is parsed as a SNAP-style edge list. This is the loader
+/// behind the CLI and the service graph registries.
+pub fn read_auto(bytes: &[u8]) -> Result<Graph> {
+    if bytes.starts_with(BINARY_MAGIC) {
+        read_binary(bytes)
+    } else {
+        read_edge_list(bytes)
+    }
+}
+
+/// [`read_auto`] over a file path.
+pub fn read_auto_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let bytes = std::fs::read(path)?;
+    read_auto(&bytes)
+}
+
 /// Writes the graph as a SNAP-style edge list (one `u v` pair per line, each
 /// undirected edge written once, preceded by a summary comment).
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<()> {

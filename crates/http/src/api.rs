@@ -1,0 +1,366 @@
+//! The transport-independent handler table.
+//!
+//! Every front door — the versioned HTTP surface in this crate and the
+//! deprecated `qcm serve` line protocol in the CLI — is a thin adapter over
+//! this one struct: parse the wire format into the shared DTOs
+//! (`qcm_core::api`), call the matching [`Api`] method, render the result.
+//! Behaviour (auth, graph resolution, admission, long-poll) therefore
+//! cannot diverge between transports.
+
+use crate::registry::GraphRegistry;
+use qcm::prelude::{ApiError, ErrorCode, GraphInfo, JobView, SubmitRequest, SubmitResponse};
+use qcm::RunOutcome;
+use qcm_service::{
+    JobId, JobRequest, JobResult, JobStatus, MetricsSnapshot, MiningService, Priority,
+    ServiceConfig, ServiceError,
+};
+use qcm_sync::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Longest long-poll wait the service grants, whatever the client asks for:
+/// a connection-pool thread parked in `poll_fetch` must come back in
+/// bounded time.
+pub const MAX_WAIT: Duration = Duration::from_secs(30);
+
+/// Authentication configuration: bearer token → tenant.
+///
+/// With no tokens configured the service runs *open* (every caller is
+/// tenant `default`, or whatever `X-Qcm-Tenant` names — convenient for
+/// local use and for the line protocol). With tokens configured, a missing
+/// or unknown `Authorization: Bearer` is a 401.
+#[derive(Default)]
+pub struct AuthConfig {
+    tokens: HashMap<String, String>,
+}
+
+impl AuthConfig {
+    /// Open access (single-machine/dev mode).
+    pub fn open() -> AuthConfig {
+        AuthConfig::default()
+    }
+
+    /// Requires one of `token → tenant` mappings.
+    pub fn with_tokens(tokens: impl IntoIterator<Item = (String, String)>) -> AuthConfig {
+        AuthConfig {
+            tokens: tokens.into_iter().collect(),
+        }
+    }
+
+    /// Whether any tokens are configured.
+    pub fn requires_token(&self) -> bool {
+        !self.tokens.is_empty()
+    }
+
+    /// Resolves the tenant for a request.
+    pub fn tenant(
+        &self,
+        bearer: Option<&str>,
+        tenant_header: Option<&str>,
+    ) -> Result<String, ApiError> {
+        if self.tokens.is_empty() {
+            return Ok(tenant_header.unwrap_or("default").to_string());
+        }
+        let token = bearer.ok_or_else(|| {
+            ApiError::new(
+                ErrorCode::Unauthorized,
+                "missing Authorization: Bearer token",
+            )
+        })?;
+        self.tokens
+            .get(token)
+            .cloned()
+            .ok_or_else(|| ApiError::new(ErrorCode::Unauthorized, "unknown auth token"))
+    }
+}
+
+/// The shared service API: one mining service, one graph registry, one auth
+/// table.
+pub struct Api {
+    service: MiningService,
+    graphs: Mutex<GraphRegistry>,
+    auth: AuthConfig,
+}
+
+impl Api {
+    /// Starts a mining service with `config` behind a fresh registry.
+    pub fn start(config: ServiceConfig, auth: AuthConfig) -> Api {
+        Api::over(MiningService::start(config), auth)
+    }
+
+    /// Wraps an already-running service.
+    pub fn over(service: MiningService, auth: AuthConfig) -> Api {
+        Api {
+            service,
+            graphs: Mutex::new(GraphRegistry::default()),
+            auth,
+        }
+    }
+
+    /// The auth table (transports resolve the tenant before dispatching).
+    pub fn auth(&self) -> &AuthConfig {
+        &self.auth
+    }
+
+    /// The underlying service (for metrics snapshots and shutdown).
+    pub fn service(&self) -> &MiningService {
+        &self.service
+    }
+
+    /// Actual graph loads so far (stays flat across repeat submits of an
+    /// unchanged path — the registry's stat cache at work).
+    pub fn graph_loads(&self) -> u64 {
+        self.graphs.lock().loads()
+    }
+
+    /// `POST /v1/jobs` / line-protocol `submit`: validates, resolves the
+    /// graph, submits, and reports the job's immediate state (a repeat of a
+    /// cached query completes at submit time with `cache_hit`).
+    pub fn submit(
+        &self,
+        request: &SubmitRequest,
+        tenant: &str,
+    ) -> Result<SubmitResponse, ApiError> {
+        let priority = Priority::parse(&request.priority).ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "invalid priority {:?} (expected low, normal or high)",
+                request.priority
+            ))
+        })?;
+        let loaded = self.graphs.lock().resolve(&request.graph)?;
+        let mut job_request = JobRequest::new(loaded.graph, request.gamma, request.min_size)
+            .tenant(tenant)
+            .priority(priority)
+            .fingerprint(loaded.fingerprint);
+        if let Some(ms) = request.deadline_ms {
+            job_request = job_request.deadline(Duration::from_millis(ms));
+        }
+        let job = self.service.submit(job_request).map_err(ApiError::from)?;
+        // A result-cache hit completes synchronously inside submit; report
+        // it so clients can skip the status poll entirely.
+        let cache_hit = match self.service.try_fetch(job) {
+            Ok(Some(result)) => result.cache_hit,
+            _ => false,
+        };
+        let status = self.service.status(job).map_err(ApiError::from)?;
+        Ok(SubmitResponse {
+            job: job.raw(),
+            status: status.to_string(),
+            cache_hit,
+        })
+    }
+
+    /// `GET /v1/jobs/{id}?wait_ms=` / line-protocol `status` + `fetch`:
+    /// waits up to `wait` (clamped to [`MAX_WAIT`]) for a terminal state,
+    /// then describes the job as it stands.
+    pub fn job(&self, id: u64, wait: Duration) -> Result<JobView, ApiError> {
+        let job = JobId::from_raw(id);
+        match self.service.poll_fetch(job, wait.min(MAX_WAIT)) {
+            Ok(Some(result)) => Ok(self.view(job, result)),
+            // Deadline expired with the job still queued/running — that is a
+            // successful status response, not an error.
+            Ok(None) => {
+                let status = self.service.status(job).map_err(ApiError::from)?;
+                Ok(JobView {
+                    job: id,
+                    status: status.to_string(),
+                    tenant: String::new(),
+                    outcome: None,
+                    cache_hit: None,
+                    num_maximal: None,
+                    raw_reported: None,
+                    mining_ms: None,
+                })
+            }
+            // Cancelled-while-queued is a terminal state of the resource,
+            // not a request failure: report it as a view.
+            Err(ServiceError::Cancelled(_)) => Ok(JobView {
+                job: id,
+                status: JobStatus::Cancelled.to_string(),
+                tenant: String::new(),
+                outcome: Some("cancelled".to_string()),
+                cache_hit: None,
+                num_maximal: None,
+                raw_reported: None,
+                mining_ms: None,
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// `DELETE /v1/jobs/{id}` / line-protocol `cancel`: requests
+    /// cancellation and reports the job's state at that instant.
+    pub fn cancel(&self, id: u64) -> Result<JobView, ApiError> {
+        let job = JobId::from_raw(id);
+        let status = self.service.cancel(job).map_err(ApiError::from)?;
+        Ok(JobView {
+            job: id,
+            status: status.to_string(),
+            tenant: String::new(),
+            outcome: None,
+            cache_hit: None,
+            num_maximal: None,
+            raw_reported: None,
+            mining_ms: None,
+        })
+    }
+
+    /// `GET /v1/graphs`: the registered (named) graphs.
+    pub fn graphs(&self) -> Vec<GraphInfo> {
+        self.graphs.lock().list()
+    }
+
+    /// `PUT /v1/graphs/{name}`: registers `name` for the snapshot or edge
+    /// list at `path`.
+    pub fn register_graph(&self, name: &str, path: &str) -> Result<GraphInfo, ApiError> {
+        self.graphs.lock().register(name, path)
+    }
+
+    /// `GET /metrics`: the Prometheus text exposition of the unified
+    /// registry (service counters/gauges/latency quantiles plus the graph
+    /// perf counters).
+    pub fn metrics_prometheus(&self) -> String {
+        let registry = qcm_obs::Registry::new();
+        self.service.metrics().publish(&registry);
+        qcm_graph::neighborhoods::perf::snapshot().publish(&registry);
+        qcm_obs::prometheus::render(&registry)
+    }
+
+    /// The raw metrics snapshot (the line protocol's one-line `metrics`
+    /// view).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.service.metrics()
+    }
+
+    /// Graceful shutdown: drains admitted jobs, joins the worker pool.
+    pub fn shutdown(self) {
+        self.service.shutdown();
+    }
+
+    fn view(&self, job: JobId, result: JobResult) -> JobView {
+        let status = self
+            .service
+            .status(job)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|_| JobStatus::Completed.to_string());
+        JobView {
+            job: job.raw(),
+            status,
+            tenant: result.tenant.clone(),
+            outcome: Some(
+                match result.outcome() {
+                    RunOutcome::Complete => "complete",
+                    RunOutcome::Cancelled => "cancelled",
+                    RunOutcome::DeadlineExceeded => "deadline_exceeded",
+                    RunOutcome::Faulted => "faulted",
+                }
+                .to_string(),
+            ),
+            cache_hit: Some(result.cache_hit),
+            num_maximal: Some(result.maximal().len()),
+            raw_reported: Some(result.answer.raw_reported),
+            mining_ms: Some(result.answer.mining_time.as_millis() as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcm_graph::io;
+
+    fn with_graph_file<R>(tag: &str, f: impl FnOnce(&str) -> R) -> R {
+        let dir = std::env::temp_dir().join(format!("qcm_http_api_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.txt");
+        let dataset = qcm_gen::datasets::tiny_test_dataset(9);
+        io::write_edge_list_file(&dataset.graph, &path).unwrap();
+        let result = f(&path.to_string_lossy());
+        std::fs::remove_dir_all(&dir).ok();
+        result
+    }
+
+    fn submit_request(path: &str) -> SubmitRequest {
+        SubmitRequest::new(path, 0.8, 6)
+    }
+
+    #[test]
+    fn submit_then_long_poll_round_trip_with_cache_hit_on_repeat() {
+        with_graph_file("roundtrip", |path| {
+            let api = Api::start(ServiceConfig::default(), AuthConfig::open());
+            let cold = api.submit(&submit_request(path), "alpha").unwrap();
+            assert!(!cold.cache_hit);
+            let view = api.job(cold.job, Duration::from_secs(60)).unwrap();
+            assert_eq!(view.status, "completed");
+            assert_eq!(view.outcome.as_deref(), Some("complete"));
+            assert_eq!(view.tenant, "alpha");
+            assert!(view.num_maximal.unwrap() > 0);
+
+            let hot = api.submit(&submit_request(path), "beta").unwrap();
+            assert!(hot.cache_hit, "repeat query must be served from cache");
+            assert_eq!(hot.status, "completed");
+            assert_eq!(
+                api.graph_loads(),
+                1,
+                "repeat submit must not reload the file"
+            );
+            api.shutdown();
+        });
+    }
+
+    #[test]
+    fn zero_wait_is_a_status_probe_and_unknown_jobs_are_typed() {
+        with_graph_file("probe", |path| {
+            let api = Api::start(
+                ServiceConfig {
+                    start_paused: true,
+                    ..ServiceConfig::default()
+                },
+                AuthConfig::open(),
+            );
+            let submitted = api.submit(&submit_request(path), "t").unwrap();
+            let view = api.job(submitted.job, Duration::ZERO).unwrap();
+            assert_eq!(view.status, "queued");
+            assert_eq!(view.outcome, None);
+            let err = api.job(999, Duration::ZERO).unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnknownJob);
+            let cancelled = api.cancel(submitted.job).unwrap();
+            assert_eq!(cancelled.status, "cancelled");
+            let view = api.job(submitted.job, Duration::ZERO).unwrap();
+            assert_eq!(view.status, "cancelled");
+            api.shutdown();
+        });
+    }
+
+    #[test]
+    fn auth_modes_resolve_tenants_and_reject_bad_tokens() {
+        let open = AuthConfig::open();
+        assert_eq!(open.tenant(None, None).unwrap(), "default");
+        assert_eq!(open.tenant(None, Some("lab")).unwrap(), "lab");
+
+        let auth = AuthConfig::with_tokens([("sekrit".to_string(), "alpha".to_string())]);
+        assert!(auth.requires_token());
+        assert_eq!(auth.tenant(Some("sekrit"), None).unwrap(), "alpha");
+        assert_eq!(
+            auth.tenant(None, None).unwrap_err().code,
+            ErrorCode::Unauthorized
+        );
+        assert_eq!(
+            auth.tenant(Some("wrong"), None).unwrap_err().code,
+            ErrorCode::Unauthorized
+        );
+    }
+
+    #[test]
+    fn metrics_exposition_is_wellformed() {
+        with_graph_file("prom", |path| {
+            let api = Api::start(ServiceConfig::default(), AuthConfig::open());
+            api.submit(&submit_request(path), "t").unwrap();
+            api.job(1, Duration::from_secs(60)).unwrap();
+            let text = api.metrics_prometheus();
+            qcm_obs::prometheus::check_text(&text).expect("exposition must be well-formed");
+            assert!(text.contains("qcm_service_jobs_mined_total"));
+            api.shutdown();
+        });
+    }
+}

@@ -1,0 +1,379 @@
+//! Hand-rolled HTTP/1.1 request parsing.
+//!
+//! The workspace vendors no external crates, so the request parser is
+//! written here against the subset of RFC 9112 the service actually needs:
+//! `GET`/`POST`/`PUT`/`DELETE`, fixed-length bodies via `Content-Length`,
+//! and plain (non-obs-folded, non-chunked) headers. Everything else is
+//! rejected with a typed [`ParseError`] that maps onto the wire taxonomy —
+//! never a panic, which a proptest over arbitrary bytes enforces.
+//!
+//! Hard limits are part of the contract, not tuning: a front door that
+//! buffers an unbounded request head or body converts one hostile client
+//! into whole-service memory pressure.
+
+use std::str;
+
+/// Upper bound on the request line + headers block, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the number of header fields.
+pub const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// The request methods the service routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+}
+
+impl Method {
+    fn parse(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed request head: everything before the body.
+#[derive(Debug)]
+pub struct Head {
+    /// The request method.
+    pub method: Method,
+    /// Decoded path component of the request target (no query string).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header fields in order, with lower-cased names.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Head {
+    /// First value of a (lower-cased) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request's `Content-Length`, defaulting to 0 when absent.
+    ///
+    /// A malformed or over-limit length, or any `Transfer-Encoding`, is an
+    /// error: the server only speaks fixed-length bodies.
+    pub fn content_length(&self) -> Result<usize, ParseError> {
+        if self.header("transfer-encoding").is_some() {
+            return Err(ParseError::Unsupported("transfer-encoding not supported"));
+        }
+        match self.header("content-length") {
+            None => Ok(0),
+            Some(raw) => {
+                let len: usize = raw
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::BadRequest("malformed content-length"))?;
+                if len > MAX_BODY_BYTES {
+                    return Err(ParseError::BodyTooLarge(len));
+                }
+                Ok(len)
+            }
+        }
+    }
+
+    /// Whether the client asked to close the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Typed parse failures; each maps to one HTTP status in the responder.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Syntactically invalid request (→ 400).
+    BadRequest(&'static str),
+    /// Request line + headers exceed [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`]
+    /// (→ 431).
+    HeadTooLarge,
+    /// Declared body length exceeds [`MAX_BODY_BYTES`] (→ 413).
+    BodyTooLarge(usize),
+    /// Recognisable HTTP the server deliberately does not speak: unknown
+    /// method or `Transfer-Encoding` (→ 501).
+    Unsupported(&'static str),
+}
+
+impl ParseError {
+    /// The HTTP status this failure answers with.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ParseError::BadRequest(_) => 400,
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge(_) => 413,
+            ParseError::Unsupported(_) => 501,
+        }
+    }
+
+    /// Human-readable message for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            ParseError::BadRequest(detail) => format!("malformed request: {detail}"),
+            ParseError::HeadTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes or {MAX_HEADERS} headers")
+            }
+            ParseError::BodyTooLarge(len) => {
+                format!("request body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit")
+            }
+            ParseError::Unsupported(detail) => format!("unsupported request: {detail}"),
+        }
+    }
+}
+
+/// Finds the end of the request head (the byte index just past
+/// `\r\n\r\n`), or `None` while more input is needed.
+///
+/// Returns `Err(HeadTooLarge)` once the buffer exceeds [`MAX_HEAD_BYTES`]
+/// without a terminator, so the connection loop stops reading instead of
+/// buffering a hostile head forever.
+pub fn find_head_end(buf: &[u8]) -> Result<Option<usize>, ParseError> {
+    if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        let end = pos + 4;
+        if end > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        return Ok(Some(end));
+    }
+    if buf.len() >= MAX_HEAD_BYTES {
+        return Err(ParseError::HeadTooLarge);
+    }
+    Ok(None)
+}
+
+/// Parses a complete request head (bytes up to and including the blank
+/// line). Total function over arbitrary bytes: any input either yields a
+/// `Head` or a typed error.
+pub fn parse_head(bytes: &[u8]) -> Result<Head, ParseError> {
+    let text = str::from_utf8(bytes).map_err(|_| ParseError::BadRequest("head is not UTF-8"))?;
+    let text = text
+        .strip_suffix("\r\n\r\n")
+        .ok_or(ParseError::BadRequest("missing CRLF CRLF terminator"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    if request_line.chars().any(|c| c.is_control()) {
+        return Err(ParseError::BadRequest("control bytes in request line"));
+    }
+
+    let mut parts = request_line.split(' ');
+    let (Some(method_token), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::BadRequest(
+            "request line is not `METHOD target HTTP/1.x`",
+        ));
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Unsupported("unknown HTTP version"));
+    }
+    let method = Method::parse(method_token).ok_or(ParseError::Unsupported("unknown method"))?;
+    let (path, query) = parse_target(target)?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::HeadTooLarge);
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(ParseError::Unsupported("obsolete header folding"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::BadRequest("header without a colon"))?;
+        if name.is_empty() || name.chars().any(|c| c.is_control() || c.is_whitespace()) {
+            return Err(ParseError::BadRequest("invalid header name"));
+        }
+        let value = value.trim();
+        if value.chars().any(|c| c.is_control()) {
+            return Err(ParseError::BadRequest("control bytes in header value"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
+    }
+    Ok(Head {
+        method,
+        path,
+        query,
+        headers,
+    })
+}
+
+/// Splits a request target into decoded path and query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseError> {
+    if !target.starts_with('/') {
+        return Err(ParseError::BadRequest("target must be absolute path"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    if path.split('/').any(|seg| seg == "..") {
+        return Err(ParseError::BadRequest("dot-dot path segment"));
+    }
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Decodes `%XX` escapes and `+`-for-space; rejects malformed escapes and
+/// non-UTF-8 results.
+fn percent_decode(raw: &str) -> Result<String, ParseError> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or(ParseError::BadRequest("truncated percent escape"))?;
+                let hex = str::from_utf8(hex)
+                    .ok()
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or(ParseError::BadRequest("malformed percent escape"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| ParseError::BadRequest("target is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(raw: &str) -> Result<Head, ParseError> {
+        parse_head(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_full_request_head() {
+        let h = head(
+            "POST /v1/jobs?wait_ms=250&x=a%20b HTTP/1.1\r\n\
+             Host: localhost\r\n\
+             Authorization: Bearer sekrit\r\n\
+             Content-Length: 12\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(h.method, Method::Post);
+        assert_eq!(h.path, "/v1/jobs");
+        assert_eq!(h.query_param("wait_ms"), Some("250"));
+        assert_eq!(h.query_param("x"), Some("a b"));
+        assert_eq!(h.header("authorization"), Some("Bearer sekrit"));
+        assert_eq!(h.content_length().unwrap(), 12);
+        assert!(!h.wants_close());
+    }
+
+    #[test]
+    fn rejects_malformed_heads_with_typed_errors() {
+        assert!(matches!(head("\r\n\r\n"), Err(ParseError::BadRequest(_))));
+        assert!(matches!(
+            head("BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(ParseError::Unsupported(_))
+        ));
+        assert!(matches!(
+            head("GET /x HTTP/3.0\r\n\r\n"),
+            Err(ParseError::Unsupported(_))
+        ));
+        assert!(matches!(
+            head("GET relative HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            head("GET /../etc/passwd HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            head("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            head("GET /%zz HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_head(b"GET /\xff HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn enforces_head_and_body_limits() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(head(&raw), Err(ParseError::HeadTooLarge)));
+
+        let huge = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert_eq!(find_head_end(&huge), Err(ParseError::HeadTooLarge));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), Ok(None));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\ntail"), Ok(Some(18)));
+
+        let h = head(&format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        ))
+        .unwrap();
+        assert!(matches!(
+            h.content_length(),
+            Err(ParseError::BodyTooLarge(_))
+        ));
+        let h = head("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n").unwrap();
+        assert!(matches!(
+            h.content_length(),
+            Err(ParseError::Unsupported(_))
+        ));
+        let h = head("POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n").unwrap();
+        assert!(matches!(h.content_length(), Err(ParseError::BadRequest(_))));
+    }
+
+    #[test]
+    fn parse_errors_map_to_distinct_statuses() {
+        assert_eq!(ParseError::BadRequest("x").http_status(), 400);
+        assert_eq!(ParseError::HeadTooLarge.http_status(), 431);
+        assert_eq!(ParseError::BodyTooLarge(9).http_status(), 413);
+        assert_eq!(ParseError::Unsupported("x").http_status(), 501);
+        assert!(!ParseError::BodyTooLarge(9).message().is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! The service graph registry: named graphs plus path-loaded graphs with
+//! stat-based staleness.
+//!
+//! Loading a graph costs a full file read plus an `O(|V| + |E|)` content
+//! hash (the hash keys the result cache, so it cannot be skipped on a cold
+//! load). The registry makes repeat submits cheap *and* correct:
+//!
+//! * a path entry is cached together with the file's `(mtime, len)` stat at
+//!   load time — a repeat submit of the same path stats the file (one
+//!   syscall) and reuses the resident graph and fingerprint only while both
+//!   match, so an edited file is reloaded and re-hashed instead of serving
+//!   a stale answer (the previous per-path cache never re-checked the
+//!   file);
+//! * a named entry (`PUT /v1/graphs/{name}`) pins the graph as loaded —
+//!   names are explicit registrations, refreshed by re-`PUT`ting.
+//!
+//! Path entries are LRU-bounded like every other long-lived structure in
+//! the service; in-flight jobs keep their own `Arc`, so eviction never
+//! invalidates a running job.
+
+use qcm::prelude::{ApiError, ErrorCode, GraphInfo};
+use qcm_graph::{io, Graph};
+use qcm_sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::time::SystemTime;
+
+/// How many distinct path-loaded graphs stay resident at once.
+const PATH_CACHE_CAP: usize = 64;
+
+/// A resident graph plus its service-cache fingerprint.
+#[derive(Clone, Debug)]
+pub struct LoadedGraph {
+    /// The graph, shared with any in-flight jobs.
+    pub graph: Arc<Graph>,
+    /// [`Graph::content_hash`], computed once at load.
+    pub fingerprint: u64,
+}
+
+struct PathEntry {
+    loaded: LoadedGraph,
+    mtime: Option<SystemTime>,
+    len: u64,
+    last_used: u64,
+}
+
+/// The registry. Interior mutability is the caller's concern (the API layer
+/// wraps it in one `qcm_sync::Mutex`).
+#[derive(Default)]
+pub struct GraphRegistry {
+    by_path: HashMap<String, PathEntry>,
+    named: BTreeMap<String, LoadedGraph>,
+    tick: u64,
+    loads: u64,
+}
+
+impl GraphRegistry {
+    /// Resolves a graph reference: a registered name first, else a
+    /// server-local file path.
+    pub fn resolve(&mut self, graph_ref: &str) -> Result<LoadedGraph, ApiError> {
+        if let Some(entry) = self.named.get(graph_ref) {
+            return Ok(entry.clone());
+        }
+        self.load_path(graph_ref)
+    }
+
+    /// Registers `name` as the graph at `path` (loaded through the same
+    /// stat-aware path cache) and returns its description.
+    pub fn register(&mut self, name: &str, path: &str) -> Result<GraphInfo, ApiError> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c))
+        {
+            return Err(ApiError::bad_request(format!(
+                "invalid graph name {name:?} (allowed: ASCII alphanumerics, `-`, `_`, `.`)"
+            )));
+        }
+        let loaded = self.load_path(path)?;
+        let info = describe(name, &loaded);
+        self.named.insert(name.to_string(), loaded);
+        Ok(info)
+    }
+
+    /// The registered (named) graphs, in name order.
+    pub fn list(&self) -> Vec<GraphInfo> {
+        self.named
+            .iter()
+            .map(|(name, loaded)| describe(name, loaded))
+            .collect()
+    }
+
+    /// How many actual file loads (read + hash) have happened — the number
+    /// that stays flat across repeat submits of an unchanged path.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    fn load_path(&mut self, path: &str) -> Result<LoadedGraph, ApiError> {
+        self.tick += 1;
+        let tick = self.tick;
+        let meta = std::fs::metadata(path).map_err(|e| {
+            ApiError::new(
+                ErrorCode::UnknownGraph,
+                format!("cannot stat {path:?}: {e}"),
+            )
+        })?;
+        let (mtime, len) = (meta.modified().ok(), meta.len());
+        if let Some(entry) = self.by_path.get_mut(path) {
+            if entry.mtime == mtime && entry.len == len {
+                entry.last_used = tick;
+                return Ok(entry.loaded.clone());
+            }
+            // Stale: the file changed since it was cached. Fall through and
+            // reload (the insert below overwrites this entry).
+        }
+        let graph = Arc::new(io::read_auto_file(path).map_err(|e| {
+            ApiError::new(
+                ErrorCode::UnknownGraph,
+                format!("cannot load graph {path:?}: {e}"),
+            )
+        })?);
+        self.loads += 1;
+        let loaded = LoadedGraph {
+            fingerprint: graph.content_hash(),
+            graph,
+        };
+        if self.by_path.len() >= PATH_CACHE_CAP && !self.by_path.contains_key(path) {
+            if let Some(victim) = self
+                .by_path
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.by_path.remove(&victim);
+            }
+        }
+        self.by_path.insert(
+            path.to_string(),
+            PathEntry {
+                loaded: loaded.clone(),
+                mtime,
+                len,
+                last_used: tick,
+            },
+        );
+        Ok(loaded)
+    }
+}
+
+fn describe(name: &str, loaded: &LoadedGraph) -> GraphInfo {
+    GraphInfo {
+        name: name.to_string(),
+        num_vertices: loaded.graph.num_vertices(),
+        num_edges: loaded.graph.num_edges(),
+        fingerprint: loaded.fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qcm_http_reg_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_graph(path: &std::path::Path, seed: u64) {
+        let dataset = qcm_gen::datasets::tiny_test_dataset(seed);
+        io::write_edge_list_file(&dataset.graph, path).unwrap();
+    }
+
+    #[test]
+    fn repeat_resolves_of_an_unchanged_path_skip_the_load_and_hash() {
+        let dir = scratch_dir("hot");
+        let path = dir.join("g.txt");
+        write_graph(&path, 5);
+        let path = path.to_string_lossy().to_string();
+
+        let mut registry = GraphRegistry::default();
+        let first = registry.resolve(&path).unwrap();
+        assert_eq!(registry.loads(), 1);
+        let second = registry.resolve(&path).unwrap();
+        assert_eq!(registry.loads(), 1, "unchanged file must not reload");
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert!(Arc::ptr_eq(&first.graph, &second.graph));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn an_edited_file_is_reloaded_and_rehashed() {
+        let dir = scratch_dir("stale");
+        let path = dir.join("g.txt");
+        write_graph(&path, 5);
+        let path_str = path.to_string_lossy().to_string();
+
+        let mut registry = GraphRegistry::default();
+        let old = registry.resolve(&path_str).unwrap();
+        // A different dataset has a different length and content.
+        write_graph(&path, 77);
+        let new = registry.resolve(&path_str).unwrap();
+        assert_eq!(registry.loads(), 2, "changed file must reload");
+        assert_ne!(old.fingerprint, new.fingerprint);
+        // And the refreshed entry is hot again.
+        registry.resolve(&path_str).unwrap();
+        assert_eq!(registry.loads(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn names_register_list_and_resolve() {
+        let dir = scratch_dir("named");
+        let path = dir.join("g.txt");
+        write_graph(&path, 9);
+        let path = path.to_string_lossy().to_string();
+
+        let mut registry = GraphRegistry::default();
+        let info = registry.register("prod", &path).unwrap();
+        assert_eq!(info.name, "prod");
+        assert!(info.num_vertices > 0);
+        let listed = registry.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0], info);
+        let resolved = registry.resolve("prod").unwrap();
+        assert_eq!(resolved.fingerprint, info.fingerprint);
+        // Invalid names and missing files are typed errors.
+        assert_eq!(
+            registry.register("bad name", &path).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            registry.resolve("/no/such/file").unwrap_err().code,
+            ErrorCode::UnknownGraph
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,145 @@
+//! The versioned REST routing table.
+
+use crate::api::Api;
+use crate::parser::{Head, Method};
+use crate::response::Response;
+use crate::wire;
+use qcm::prelude::{ApiError, ErrorCode};
+use qcm_obs::json::{object, Json};
+use std::time::Duration;
+
+/// Routes one parsed request to its handler; every failure becomes the
+/// standard error response (the connection stays usable).
+pub fn route(api: &Api, head: &Head, body: &[u8]) -> Response {
+    dispatch(api, head, body).unwrap_or_else(|e| Response::error(&e))
+}
+
+fn dispatch(api: &Api, head: &Head, body: &[u8]) -> Result<Response, ApiError> {
+    let segments: Vec<&str> = head.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (head.method, segments.as_slice()) {
+        (Method::Get, ["healthz"]) => Ok(Response::json(
+            200,
+            &object(vec![("status", Json::from("ok"))]),
+        )),
+        (Method::Get, ["metrics"]) => Ok(Response::text(200, api.metrics_prometheus())),
+        (Method::Post, ["v1", "jobs"]) => {
+            let tenant = authenticate(api, head)?;
+            let request = wire::submit_request_from_json(body)?;
+            let response = api.submit(&request, &tenant)?;
+            Ok(Response::json(
+                202,
+                &wire::submit_response_to_json(&response),
+            ))
+        }
+        (Method::Get, ["v1", "jobs", id]) => {
+            authenticate(api, head)?;
+            let id = parse_job_id(id)?;
+            let wait = match head.query_param("wait_ms") {
+                None => Duration::ZERO,
+                Some(raw) => Duration::from_millis(raw.parse::<u64>().map_err(|_| {
+                    ApiError::bad_request(format!("invalid wait_ms value {raw:?}"))
+                })?),
+            };
+            let view = api.job(id, wait)?;
+            Ok(Response::json(200, &wire::job_view_to_json(&view)))
+        }
+        (Method::Delete, ["v1", "jobs", id]) => {
+            authenticate(api, head)?;
+            let view = api.cancel(parse_job_id(id)?)?;
+            Ok(Response::json(200, &wire::job_view_to_json(&view)))
+        }
+        (Method::Get, ["v1", "graphs"]) => {
+            authenticate(api, head)?;
+            let rows: Vec<Json> = api.graphs().iter().map(wire::graph_info_to_json).collect();
+            Ok(Response::json(
+                200,
+                &object(vec![("graphs", Json::Array(rows))]),
+            ))
+        }
+        (Method::Put, ["v1", "graphs", name]) => {
+            authenticate(api, head)?;
+            let path = wire::graph_path_from_json(body)?;
+            let info = api.register_graph(name, &path)?;
+            Ok(Response::json(200, &wire::graph_info_to_json(&info)))
+        }
+        _ => Err(ApiError::new(
+            ErrorCode::NotFound,
+            format!("no route for {} {}", method_name(head.method), head.path),
+        )),
+    }
+}
+
+/// Resolves the request's tenant from `Authorization: Bearer` /
+/// `X-Qcm-Tenant` against the API's auth table.
+fn authenticate(api: &Api, head: &Head) -> Result<String, ApiError> {
+    let bearer = head
+        .header("authorization")
+        .and_then(|v| v.strip_prefix("Bearer "))
+        .map(str::trim);
+    api.auth().tenant(bearer, head.header("x-qcm-tenant"))
+}
+
+fn parse_job_id(raw: &str) -> Result<u64, ApiError> {
+    raw.parse::<u64>()
+        .map_err(|_| ApiError::bad_request(format!("invalid job id {raw:?}")))
+}
+
+fn method_name(method: Method) -> &'static str {
+    match method {
+        Method::Get => "GET",
+        Method::Post => "POST",
+        Method::Put => "PUT",
+        Method::Delete => "DELETE",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::AuthConfig;
+    use crate::parser::parse_head;
+    use qcm_service::ServiceConfig;
+
+    fn head_of(raw: &str) -> Head {
+        parse_head(raw.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn unknown_routes_and_ids_answer_404_with_stable_codes() {
+        let api = Api::start(ServiceConfig::default(), AuthConfig::open());
+        let response = route(&api, &head_of("GET /v2/jobs HTTP/1.1\r\n\r\n"), b"");
+        assert_eq!(response.status, 404);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("\"code\":\"not_found\""), "{body}");
+
+        let response = route(&api, &head_of("GET /v1/jobs/999 HTTP/1.1\r\n\r\n"), b"");
+        assert_eq!(response.status, 404);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("\"code\":\"unknown_job\""), "{body}");
+
+        let response = route(&api, &head_of("GET /v1/jobs/abc HTTP/1.1\r\n\r\n"), b"");
+        assert_eq!(response.status, 400);
+        api.shutdown();
+    }
+
+    #[test]
+    fn healthz_answers_without_auth_but_v1_requires_tokens_when_configured() {
+        let api = Api::start(
+            ServiceConfig::default(),
+            AuthConfig::with_tokens([("sekrit".to_string(), "alpha".to_string())]),
+        );
+        let response = route(&api, &head_of("GET /healthz HTTP/1.1\r\n\r\n"), b"");
+        assert_eq!(response.status, 200);
+
+        let response = route(&api, &head_of("GET /v1/graphs HTTP/1.1\r\n\r\n"), b"");
+        assert_eq!(response.status, 401);
+
+        let response = route(
+            &api,
+            &head_of("GET /v1/graphs HTTP/1.1\r\nAuthorization: Bearer sekrit\r\n\r\n"),
+            b"",
+        );
+        assert_eq!(response.status, 200);
+        api.shutdown();
+    }
+}

@@ -1,0 +1,278 @@
+//! The TCP listener: a thread-per-connection pool over `qcm-sync` with
+//! graceful `CancelToken` shutdown.
+//!
+//! One accept thread feeds a bounded connection queue; a fixed pool of
+//! handler threads pops connections and speaks keep-alive HTTP/1.1 over
+//! them. Bounding both the queue and the pool keeps the front door's memory
+//! and thread count flat under connection floods — overload surfaces as
+//! accept backpressure (and, at the API layer, as 429s), never as unbounded
+//! growth.
+
+use crate::api::Api;
+use crate::parser::{self, ParseError};
+use crate::response::Response;
+use crate::router;
+use qcm::CancelToken;
+use qcm_obs::json::{object, Json};
+use qcm_sync::{thread, Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Listener configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection-handler threads. Long-polls park a handler thread, so
+    /// this bounds concurrent long-polling clients too.
+    pub workers: usize,
+    /// Per-read socket timeout: an idle keep-alive connection is closed
+    /// after this long, so a silent client cannot pin a handler thread.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Accepted connections waiting for a handler thread. Bounded: past `cap`
+/// the accept thread blocks, pushing backpressure into the listen backlog
+/// instead of buffering sockets without limit.
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    space: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
+        }
+    }
+
+    fn push(&self, stream: TcpStream, cancel: &CancelToken) {
+        let mut queue = self.queue.lock();
+        while queue.len() >= self.cap && !cancel.is_cancelled() {
+            let (guard, _timed_out) = self.space.wait_timeout(queue, Duration::from_millis(100));
+            queue = guard;
+        }
+        if cancel.is_cancelled() {
+            return; // drop the socket: the peer sees a clean close
+        }
+        queue.push_back(stream);
+        drop(queue);
+        self.ready.notify_all();
+    }
+
+    fn pop(&self, cancel: &CancelToken) -> Option<TcpStream> {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                drop(queue);
+                self.space.notify_all();
+                return Some(stream);
+            }
+            if cancel.is_cancelled() {
+                return None;
+            }
+            // Timed wait: shutdown may race the notify, and a worker stuck
+            // here forever would hang join().
+            let (guard, _timed_out) = self.ready.wait_timeout(queue, Duration::from_millis(100));
+            queue = guard;
+        }
+    }
+}
+
+/// A running HTTP listener over an [`Api`].
+pub struct Server {
+    api: Arc<Api>,
+    local_addr: String,
+    cancel: CancelToken,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the accept thread plus the handler
+    /// pool.
+    pub fn start(api: Arc<Api>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?.to_string();
+        let cancel = CancelToken::new();
+        let conns = Arc::new(ConnQueue::new(config.workers.max(1) * 4));
+        let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+
+        {
+            let conns = Arc::clone(&conns);
+            let cancel = cancel.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name("qcm-http-accept".to_string())
+                    .spawn(move || accept_loop(listener, &conns, &cancel))
+                    .expect("spawning the accept thread"),
+            );
+        }
+        for i in 0..config.workers.max(1) {
+            let api = Arc::clone(&api);
+            let conns = Arc::clone(&conns);
+            let cancel = cancel.clone();
+            let read_timeout = config.read_timeout;
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("qcm-http-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = conns.pop(&cancel) {
+                            handle_connection(&api, stream, &cancel, read_timeout);
+                        }
+                    })
+                    .expect("spawning a handler thread"),
+            );
+        }
+        Ok(Server {
+            api,
+            local_addr,
+            cancel,
+            threads,
+        })
+    }
+
+    /// The bound address as `host:port` (the OS-assigned port when the
+    /// config asked for port 0).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// The API this server fronts.
+    pub fn api(&self) -> &Arc<Api> {
+        &self.api
+    }
+
+    /// Graceful shutdown: stop accepting, drain handler threads, and (when
+    /// this is the API's last reference) drain the mining service itself.
+    pub fn shutdown(mut self) {
+        self.cancel.cancel();
+        // Unblock the accept() call with one throwaway connection.
+        let _ = TcpStream::connect(&self.local_addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(api) = Arc::into_inner(self.api) {
+            api.shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, conns: &ConnQueue, cancel: &CancelToken) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if cancel.is_cancelled() {
+                    return;
+                }
+                conns.push(stream, cancel);
+            }
+            Err(_) if cancel.is_cancelled() => return,
+            // Transient accept errors (EMFILE, aborted handshake): keep
+            // serving; the kernel backlog holds waiting peers.
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Speaks keep-alive HTTP/1.1 over one connection until close, EOF, idle
+/// timeout, a fatal parse error, or shutdown.
+fn handle_connection(
+    api: &Api,
+    mut stream: TcpStream,
+    cancel: &CancelToken,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if cancel.is_cancelled() {
+            return;
+        }
+        // Read until the head terminator (or a limit/EOF/timeout).
+        let head_end = loop {
+            match parser::find_head_end(&buf) {
+                Ok(Some(end)) => break end,
+                Ok(None) => {
+                    if !read_some(&mut stream, &mut buf) {
+                        return; // EOF/timeout between requests: clean close
+                    }
+                }
+                Err(e) => {
+                    respond_parse_error(&mut stream, &e);
+                    return;
+                }
+            }
+        };
+        let head = match parser::parse_head(&buf[..head_end]) {
+            Ok(head) => head,
+            Err(e) => {
+                // The connection's framing is unknown after a malformed
+                // head — answer and close, leaving the listener sane.
+                respond_parse_error(&mut stream, &e);
+                return;
+            }
+        };
+        let body_len = match head.content_length() {
+            Ok(len) => len,
+            Err(e) => {
+                respond_parse_error(&mut stream, &e);
+                return;
+            }
+        };
+        while buf.len() < head_end + body_len {
+            if !read_some(&mut stream, &mut buf) {
+                return; // truncated body: peer went away
+            }
+        }
+        let body: Vec<u8> = buf[head_end..head_end + body_len].to_vec();
+        buf.drain(..head_end + body_len);
+
+        let response = router::route(api, &head, &body);
+        let keep_alive = !head.wants_close() && !cancel.is_cancelled();
+        if stream.write_all(&response.render(keep_alive)).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Appends one read's worth of bytes; false on EOF, error or timeout.
+fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>) -> bool {
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) | Err(_) => false,
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            true
+        }
+    }
+}
+
+fn respond_parse_error(stream: &mut TcpStream, error: &ParseError) {
+    let body = object(vec![(
+        "error",
+        object(vec![
+            ("code", Json::from("bad_request")),
+            ("message", Json::from(error.message())),
+        ]),
+    )]);
+    let response = Response::json(error.http_status(), &body);
+    let _ = stream.write_all(&response.render(false));
+}

@@ -1,0 +1,216 @@
+//! JSON ↔ DTO conversions for the versioned wire format.
+//!
+//! The DTOs live in `qcm_core::api` (re-exported from the `qcm` prelude) so
+//! every transport shares them; this module pins their JSON field names,
+//! which are part of the versioned API surface.
+
+use qcm::prelude::{ApiError, GraphInfo, JobView, SubmitRequest, SubmitResponse};
+use qcm_obs::json::{object, Json};
+
+/// Decodes a `POST /v1/jobs` body.
+pub fn submit_request_from_json(body: &[u8]) -> Result<SubmitRequest, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    let json = Json::parse(text)
+        .map_err(|e| ApiError::bad_request(format!("request body is not valid JSON: {e}")))?;
+    let graph = json
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("missing required string field \"graph\""))?
+        .to_string();
+    let mut request = SubmitRequest::new(graph, 0.9, 10);
+    if let Some(gamma) = json.get("gamma") {
+        request.gamma = gamma
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request("\"gamma\" must be a number"))?;
+    }
+    if let Some(min_size) = json.get("min_size") {
+        request.min_size = usize_field(min_size, "min_size")?;
+    }
+    if let Some(priority) = json.get("priority") {
+        request.priority = priority
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("\"priority\" must be a string"))?
+            .to_string();
+    }
+    if let Some(deadline) = json.get("deadline_ms") {
+        request.deadline_ms = Some(usize_field(deadline, "deadline_ms")? as u64);
+    }
+    Ok(request)
+}
+
+fn usize_field(value: &Json, name: &str) -> Result<usize, ApiError> {
+    let raw = value
+        .as_f64()
+        .ok_or_else(|| ApiError::bad_request(format!("{name:?} must be a number")))?;
+    if raw < 0.0 || raw.fract() != 0.0 || raw > u32::MAX as f64 {
+        return Err(ApiError::bad_request(format!(
+            "{name:?} must be a non-negative integer"
+        )));
+    }
+    Ok(raw as usize)
+}
+
+/// Renders a `202 Accepted` submit body.
+pub fn submit_response_to_json(response: &SubmitResponse) -> Json {
+    object(vec![
+        ("job", Json::from(response.job)),
+        ("status", Json::from(response.status.as_str())),
+        ("cache_hit", Json::from(response.cache_hit)),
+    ])
+}
+
+/// Renders a `GET /v1/jobs/{id}` body. Optional fields are omitted (not
+/// `null`) while the job is non-terminal.
+pub fn job_view_to_json(view: &JobView) -> Json {
+    let mut fields = vec![
+        ("job", Json::from(view.job)),
+        ("status", Json::from(view.status.as_str())),
+    ];
+    if !view.tenant.is_empty() {
+        fields.push(("tenant", Json::from(view.tenant.as_str())));
+    }
+    if let Some(outcome) = &view.outcome {
+        fields.push(("outcome", Json::from(outcome.as_str())));
+        fields.push(("complete", Json::from(outcome == "complete")));
+    }
+    if let Some(cache_hit) = view.cache_hit {
+        fields.push(("cache_hit", Json::from(cache_hit)));
+    }
+    if let Some(num_maximal) = view.num_maximal {
+        fields.push(("num_maximal", Json::from(num_maximal)));
+    }
+    if let Some(raw_reported) = view.raw_reported {
+        fields.push(("raw_reported", Json::from(raw_reported)));
+    }
+    if let Some(mining_ms) = view.mining_ms {
+        fields.push(("mining_ms", Json::from(mining_ms)));
+    }
+    object(fields)
+}
+
+/// Renders one `GET /v1/graphs` row / `PUT /v1/graphs/{name}` body.
+pub fn graph_info_to_json(info: &GraphInfo) -> Json {
+    object(vec![
+        ("name", Json::from(info.name.as_str())),
+        ("num_vertices", Json::from(info.num_vertices)),
+        ("num_edges", Json::from(info.num_edges)),
+        // Hex string: the fingerprint is an opaque 64-bit id and f64 JSON
+        // numbers cannot carry it losslessly.
+        (
+            "fingerprint",
+            Json::from(format!("{:#018x}", info.fingerprint)),
+        ),
+    ])
+}
+
+/// Decodes a `PUT /v1/graphs/{name}` body: `{"path": "..."}`.
+pub fn graph_path_from_json(body: &[u8]) -> Result<String, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    let json = Json::parse(text)
+        .map_err(|e| ApiError::bad_request(format!("request body is not valid JSON: {e}")))?;
+    Ok(json
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("missing required string field \"path\""))?
+        .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_request_decodes_defaults_and_overrides() {
+        let req = submit_request_from_json(br#"{"graph":"enron"}"#).unwrap();
+        assert_eq!(req.graph, "enron");
+        assert_eq!((req.gamma, req.min_size), (0.9, 10));
+        assert_eq!(req.priority, "normal");
+        let req = submit_request_from_json(
+            br#"{"graph":"g","gamma":0.8,"min_size":6,"priority":"high","deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!((req.gamma, req.min_size), (0.8, 6));
+        assert_eq!(req.priority, "high");
+        assert_eq!(req.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn submit_request_rejects_malformed_bodies() {
+        for body in [
+            &b"not json"[..],
+            br#"{}"#,
+            br#"{"graph":7}"#,
+            br#"{"graph":"g","gamma":"x"}"#,
+            br#"{"graph":"g","min_size":-3}"#,
+            br#"{"graph":"g","min_size":2.5}"#,
+            &[0xff, 0xfe][..],
+        ] {
+            let err = submit_request_from_json(body).unwrap_err();
+            assert_eq!(err.code.as_str(), "bad_request", "{body:?}");
+        }
+    }
+
+    #[test]
+    fn views_render_stable_field_names() {
+        let view = JobView {
+            job: 3,
+            status: "completed".to_string(),
+            tenant: "lab".to_string(),
+            outcome: Some("complete".to_string()),
+            cache_hit: Some(true),
+            num_maximal: Some(2),
+            raw_reported: Some(5),
+            mining_ms: Some(12),
+        };
+        let rendered = job_view_to_json(&view).render();
+        for needle in [
+            "\"job\":3",
+            "\"status\":\"completed\"",
+            "\"tenant\":\"lab\"",
+            "\"outcome\":\"complete\"",
+            "\"complete\":true",
+            "\"cache_hit\":true",
+            "\"num_maximal\":2",
+            "\"raw_reported\":5",
+            "\"mining_ms\":12",
+        ] {
+            assert!(rendered.contains(needle), "{needle} missing in {rendered}");
+        }
+        let queued = JobView {
+            job: 4,
+            status: "queued".to_string(),
+            tenant: String::new(),
+            outcome: None,
+            cache_hit: None,
+            num_maximal: None,
+            raw_reported: None,
+            mining_ms: None,
+        };
+        assert_eq!(
+            job_view_to_json(&queued).render(),
+            "{\"job\":4,\"status\":\"queued\"}"
+        );
+    }
+
+    #[test]
+    fn graph_info_renders_hex_fingerprint() {
+        let info = GraphInfo {
+            name: "g".to_string(),
+            num_vertices: 4,
+            num_edges: 5,
+            fingerprint: 0xabcd,
+        };
+        let rendered = graph_info_to_json(&info).render();
+        assert!(
+            rendered.contains("\"fingerprint\":\"0x000000000000abcd\""),
+            "{rendered}"
+        );
+        assert_eq!(
+            graph_path_from_json(br#"{"path":"/tmp/g.txt"}"#).unwrap(),
+            "/tmp/g.txt"
+        );
+        assert!(graph_path_from_json(b"{}").is_err());
+    }
+}

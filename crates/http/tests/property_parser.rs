@@ -1,0 +1,116 @@
+//! Property tests for the hand-rolled HTTP parser: `parse_head`,
+//! `find_head_end` and `content_length` are total functions — any byte
+//! sequence yields a value or a typed `ParseError`, never a panic. This is
+//! the contract the connection loop relies on to keep one hostile client
+//! from taking a worker thread down.
+
+use proptest::prelude::*;
+use qcm_http::parser::{find_head_end, parse_head, Method, ParseError, MAX_HEAD_BYTES};
+
+/// Picks one of a fixed set of options (the vendored proptest has no
+/// `prop_oneof`, so an index strategy stands in).
+fn pick(options: &'static [&'static str]) -> impl Strategy<Value = &'static str> {
+    (0usize..options.len()).prop_map(move |i| options[i])
+}
+
+/// A string drawn from `charset` with a length in `0..max_len`.
+fn charset_string(charset: &'static [u8], max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..charset.len(), 0..max_len)
+        .prop_map(move |indices| indices.into_iter().map(|i| charset[i] as char).collect())
+}
+
+/// A quasi-HTTP request head: valid enough in shape to reach the deeper
+/// parsing branches (target decoding, header splitting) that pure byte
+/// noise almost never exercises.
+fn arb_quasi_head() -> impl Strategy<Value = Vec<u8>> {
+    const METHODS: &[&str] = &["GET", "POST", "PUT", "DELETE", "BREW", "get", ""];
+    const VERSIONS: &[&str] = &["HTTP/1.1", "HTTP/1.0", "HTTP/2", "HTTP/9.9", "FTP/1.1", ""];
+    // Slashes, percent escapes (well- and mal-formed), query syntax, spaces.
+    const TARGET: &[u8] = b"/ab0%2Fz+?=&._-~ \\";
+    const HEADER: &[u8] = b"abz09:-_ \tA";
+    let target = charset_string(TARGET, 40);
+    let headers = proptest::collection::vec(
+        (charset_string(HEADER, 12), charset_string(HEADER, 16)),
+        0..6,
+    );
+    (pick(METHODS), target, pick(VERSIONS), headers).prop_map(
+        |(method, target, version, headers)| {
+            let mut raw = format!("{method} {target} {version}\r\n");
+            for (name, value) in headers {
+                raw.push_str(&format!("{name}: {value}\r\n"));
+            }
+            raw.push_str("\r\n");
+            raw.into_bytes()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_head_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..2048)
+    ) {
+        // Total function: a Head or a typed error, and errors always map to
+        // a real HTTP status with a non-empty message.
+        if let Err(e) = parse_head(&bytes) {
+            prop_assert!([400, 413, 431, 501].contains(&e.http_status()));
+            prop_assert!(!e.message().is_empty());
+        }
+    }
+
+    #[test]
+    fn find_head_end_never_panics_and_is_consistent(
+        bytes in proptest::collection::vec(0u8..=255, 0..4096)
+    ) {
+        match find_head_end(&bytes) {
+            Ok(Some(end)) => {
+                prop_assert!(end >= 4 && end <= bytes.len());
+                prop_assert_eq!(&bytes[end - 4..end], b"\r\n\r\n");
+                // The head it delimits parses or fails, but never panics.
+                let _ = parse_head(&bytes[..end]);
+            }
+            Ok(None) => prop_assert!(bytes.len() < MAX_HEAD_BYTES),
+            Err(e) => prop_assert_eq!(e, ParseError::HeadTooLarge),
+        }
+    }
+
+    #[test]
+    fn quasi_http_heads_parse_or_fail_with_typed_errors(
+        bytes in arb_quasi_head()
+    ) {
+        match parse_head(&bytes) {
+            Ok(head) => {
+                // A successful parse made real commitments: a routed method,
+                // an absolute path, and a total content_length.
+                prop_assert!(matches!(
+                    head.method,
+                    Method::Get | Method::Post | Method::Put | Method::Delete
+                ));
+                prop_assert!(head.path.starts_with('/'));
+                let _ = head.content_length();
+            }
+            Err(e) => prop_assert!(!e.message().is_empty()),
+        }
+    }
+
+    #[test]
+    fn valid_heads_always_parse(
+        (path, wait, value) in (
+            charset_string(b"abcdefghijklmnopqrstuvwxyz0123456789_-", 12),
+            0u64..100_000,
+            charset_string(b"abcdefghijklmnopqrstuvwxyz 0123456789/=+", 20),
+        )
+    ) {
+        let raw = format!(
+            "GET /v1/j{path}?wait_ms={wait} HTTP/1.1\r\nx-tag: {value}\r\n\r\n"
+        );
+        let head = parse_head(raw.as_bytes()).unwrap();
+        prop_assert_eq!(head.method, Method::Get);
+        prop_assert_eq!(head.path, format!("/v1/j{path}"));
+        let wait_text = wait.to_string();
+        prop_assert_eq!(head.query_param("wait_ms"), Some(wait_text.as_str()));
+        prop_assert_eq!(head.header("x-tag"), Some(value.trim()));
+    }
+}

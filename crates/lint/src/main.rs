@@ -2,7 +2,7 @@
 //!
 //! A deliberately hand-rolled, line-based source scanner (no `syn`, no
 //! proc-macro machinery — the build environment vendors no parser), so
-//! every rule is conservative and textual. Four rules:
+//! every rule is conservative and textual. Six rules:
 //!
 //! 1. **sync-facade** — no direct `std::sync::` / `std::thread::` /
 //!    `parking_lot::` references outside `crates/sync` and `vendor/`.
@@ -22,6 +22,10 @@
 //!    `crates/obs` (which owns the trace epoch), `crates/bench` and
 //!    `crates/cli`; library code imports `qcm_obs::clock` so spans and
 //!    measurements share one clock.
+//! 6. **net-boundary** — no `std::net::` outside `crates/http` (the one
+//!    front door) and `crates/bench` (the load generator that drives
+//!    it). Mining, service and CLI layers stay socket-free, so the
+//!    entire wire surface is reviewable in one crate.
 //!
 //! Violations are matched against a shrink-only allowlist
 //! (`crates/lint/allowlist.txt`). Unknown violations fail; stale
@@ -55,6 +59,10 @@ const PRINT_OK_PREFIXES: &[&str] = &["crates/cli", "crates/bench"];
 /// Crates allowed to name `std::time::Instant` directly: the clock facade
 /// itself (`qcm_obs::clock` re-exports it) and the measurement layers.
 const INSTANT_OK_PREFIXES: &[&str] = &["crates/obs", "crates/bench", "crates/cli"];
+
+/// Crates allowed to open sockets: the HTTP front door and the load
+/// generator that drives it over the wire.
+const NET_OK_PREFIXES: &[&str] = &["crates/http", "crates/bench"];
 
 /// Basenames of the mining hot-path modules (rule 3).
 const HOT_PATH_FILES: &[&str] = &[
@@ -421,6 +429,20 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
                 message: "direct `std::time::Instant`; import from \
                           `qcm_obs::clock` so traces and timings share one \
                           epoch"
+                    .to_string(),
+            });
+        }
+
+        // Rule 6: net boundary — the wire surface lives in one crate.
+        if !NET_OK_PREFIXES.iter().any(|p| rel.starts_with(p)) && code.contains("std::net::") {
+            out.push(Violation {
+                rule: "net-boundary",
+                path: rel.to_string(),
+                line: idx + 1,
+                content: code.trim().to_string(),
+                message: "direct `std::net::` outside crates/http and \
+                          crates/bench; expose the behaviour through \
+                          `qcm_http::Api` instead of opening a socket here"
                     .to_string(),
             });
         }

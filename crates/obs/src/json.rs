@@ -1,10 +1,12 @@
-//! Minimal JSON support for the machine-readable benchmark pipeline.
+//! Minimal JSON support for the workspace's machine-readable surfaces.
 //!
 //! The workspace vendors offline stand-ins instead of crates.io dependencies,
-//! so there is no serde; `BENCH_*.json` and `bench/baseline.json` use this
-//! hand-rolled value type instead. It covers exactly the JSON the pipeline
-//! emits (objects, arrays, strings, finite numbers, booleans, null) — enough
-//! for the CI regression gate to parse any file the suite writes.
+//! so there is no serde; the benchmark pipeline (`BENCH_*.json`,
+//! `bench/baseline.json`) and the `qcm-http` wire format use this hand-rolled
+//! value type instead. It covers exactly the JSON those surfaces emit and
+//! accept (objects, arrays, strings, finite numbers, booleans, null) — enough
+//! for the CI regression gate to parse any file the suite writes, and for the
+//! HTTP listener to parse any request body a client sends.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -24,11 +24,13 @@
 
 pub mod chrome;
 pub mod clock;
+pub mod json;
 pub mod prometheus;
 pub mod registry;
 pub mod span;
 pub mod summary;
 
+pub use json::Json;
 pub use registry::{Counter, Gauge, Histogram, MetricKind, Registry};
 pub use span::{
     finish_recording, recording_enabled, set_lane, span, span_with, start_recording, SpanEvent,

@@ -145,6 +145,9 @@ pub mod prelude {
     };
     pub use crate::{Fault, FaultEvent, IndexSpec, PreparedGraph, SimConfig, TransportKind};
     pub use crate::{SpanKind, Trace, TraceConfig};
+    pub use qcm_core::api::{
+        ApiError, ErrorCode, GraphInfo, JobView, SubmitRequest, SubmitResponse, ERROR_CODE_TABLE,
+    };
     pub use qcm_core::{
         quick_mine, Gamma, MiningOutput, MiningParams, MiningStats, PruneConfig, QuasiCliqueSet,
         QueryKey, SerialMiner,

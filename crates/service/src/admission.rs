@@ -4,8 +4,9 @@
 //! unboundedly — an unbounded queue converts overload into unbounded memory
 //! growth and unbounded latency for everyone. Admission is checked
 //! synchronously at submit and rejects with the typed
-//! [`ServiceError::Overloaded`], so callers learn *immediately* that they
-//! should back off.
+//! [`ServiceError::Overloaded`] / [`ServiceError::QuotaExceeded`], so
+//! callers learn *immediately* that they should back off — the HTTP surface
+//! turns both into `429` + `Retry-After`.
 
 use crate::error::ServiceError;
 
@@ -45,18 +46,15 @@ impl AdmissionControl {
     ) -> Result<(), ServiceError> {
         if queued >= self.max_queued {
             return Err(ServiceError::Overloaded {
-                reason: format!(
-                    "queue is full ({queued} jobs queued, limit {})",
-                    self.max_queued
-                ),
+                queued,
+                limit: self.max_queued,
             });
         }
         if tenant_unfinished >= self.per_tenant_quota {
-            return Err(ServiceError::Overloaded {
-                reason: format!(
-                    "tenant {tenant:?} has {tenant_unfinished} unfinished jobs (quota {})",
-                    self.per_tenant_quota
-                ),
+            return Err(ServiceError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                unfinished: tenant_unfinished,
+                quota: self.per_tenant_quota,
             });
         }
         Ok(())
@@ -84,19 +82,24 @@ mod tests {
     #[test]
     fn rejects_when_queue_is_full() {
         let err = control().admit(2, "a", 0).unwrap_err();
-        let ServiceError::Overloaded { reason } = err else {
+        let ServiceError::Overloaded { queued, limit } = err else {
             panic!("expected Overloaded");
         };
-        assert!(reason.contains("queue is full"), "{reason}");
+        assert_eq!((queued, limit), (2, 2));
     }
 
     #[test]
     fn rejects_tenant_over_quota_without_blocking_others() {
         let err = control().admit(1, "greedy", 3).unwrap_err();
-        let ServiceError::Overloaded { reason } = err else {
-            panic!("expected Overloaded");
+        let ServiceError::QuotaExceeded {
+            tenant,
+            unfinished,
+            quota,
+        } = err
+        else {
+            panic!("expected QuotaExceeded");
         };
-        assert!(reason.contains("greedy"), "{reason}");
+        assert_eq!((tenant.as_str(), unfinished, quota), ("greedy", 3, 3));
         // Another tenant under quota is still admitted.
         assert!(control().admit(1, "modest", 0).is_ok());
     }

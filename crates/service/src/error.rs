@@ -1,22 +1,43 @@
-//! The typed service error.
+//! The typed service error and its stable wire taxonomy.
 
 use crate::job::JobId;
+use qcm::prelude::{ApiError, ErrorCode};
 use qcm::QcmError;
 use std::fmt;
 
 /// Errors of the mining job service.
 ///
 /// Load shedding is a first-class outcome, not a string: an
-/// [`ServiceError::Overloaded`] rejection is returned *synchronously* at
-/// submit time (fail fast), so callers can back off or shed to another
-/// replica instead of queueing unboundedly.
+/// [`ServiceError::Overloaded`] or [`ServiceError::QuotaExceeded`] rejection
+/// is returned *synchronously* at submit time (fail fast), so callers can
+/// back off or shed to another replica instead of queueing unboundedly.
+///
+/// Every variant maps to a stable machine-readable [`ErrorCode`] via
+/// [`ServiceError::code`]; the HTTP listener and the CLI both derive their
+/// status / exit codes from that one table, so the wire taxonomy cannot
+/// drift between transports. The enum is `#[non_exhaustive]` — new failure
+/// modes may appear in later releases, and clients must match with a
+/// wildcard arm.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum ServiceError {
-    /// Admission control rejected the job: the queue is full or the tenant
-    /// exceeded its quota. Retry later or on another instance.
+    /// Admission control rejected the job: the global queue is full. Retry
+    /// later or on another instance.
     Overloaded {
-        /// Human-readable description of the exceeded limit.
-        reason: String,
+        /// Jobs waiting in the queue at rejection time.
+        queued: usize,
+        /// The configured [`crate::AdmissionControl::max_queued`] limit.
+        limit: usize,
+    },
+    /// Admission control rejected the job: this tenant is over its
+    /// unfinished-job quota. Other tenants are unaffected.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: String,
+        /// The tenant's unfinished (queued + running) jobs at rejection time.
+        unfinished: usize,
+        /// The configured [`crate::AdmissionControl::per_tenant_quota`].
+        quota: usize,
     },
     /// The job's mining configuration failed validation (the underlying
     /// `Session` builder error).
@@ -38,10 +59,39 @@ pub enum ServiceError {
     ShuttingDown,
 }
 
+impl ServiceError {
+    /// The stable machine-readable code of this error — the single source
+    /// of its wire string, HTTP status, and CLI exit code.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServiceError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServiceError::QuotaExceeded { .. } => ErrorCode::QuotaExceeded,
+            ServiceError::InvalidJob(_) => ErrorCode::BadRequest,
+            ServiceError::UnknownJob(_) => ErrorCode::UnknownJob,
+            ServiceError::Cancelled(_) => ErrorCode::JobCancelled,
+            ServiceError::JobFailed { .. } => ErrorCode::JobFailed,
+            ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
+        }
+    }
+}
+
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
+            ServiceError::Overloaded { queued, limit } => {
+                write!(
+                    f,
+                    "overloaded: queue is full ({queued} jobs queued, limit {limit})"
+                )
+            }
+            ServiceError::QuotaExceeded {
+                tenant,
+                unfinished,
+                quota,
+            } => write!(
+                f,
+                "tenant {tenant:?} has {unfinished} unfinished jobs (quota {quota})"
+            ),
             ServiceError::InvalidJob(e) => write!(f, "invalid job: {e}"),
             ServiceError::UnknownJob(id) => write!(f, "unknown job {id}"),
             ServiceError::Cancelled(id) => {
@@ -70,6 +120,12 @@ impl From<QcmError> for ServiceError {
     }
 }
 
+impl From<ServiceError> for ApiError {
+    fn from(e: ServiceError) -> Self {
+        ApiError::new(e.code(), e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,9 +134,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = ServiceError::Overloaded {
-            reason: "queue full".into(),
+            queued: 4,
+            limit: 4,
         };
-        assert!(e.to_string().contains("queue full"));
+        assert!(e.to_string().contains("queue is full"));
         assert!(ServiceError::UnknownJob(JobId::from_raw(7))
             .to_string()
             .contains('7'));
@@ -94,6 +151,65 @@ mod tests {
         }
         .to_string()
         .contains("boom"));
+        assert!(ServiceError::QuotaExceeded {
+            tenant: "greedy".into(),
+            unfinished: 3,
+            quota: 3
+        }
+        .to_string()
+        .contains("greedy"));
+    }
+
+    #[test]
+    fn every_variant_has_a_stable_code() {
+        assert_eq!(
+            ServiceError::Overloaded {
+                queued: 1,
+                limit: 1
+            }
+            .code(),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(
+            ServiceError::QuotaExceeded {
+                tenant: "t".into(),
+                unfinished: 1,
+                quota: 1
+            }
+            .code(),
+            ErrorCode::QuotaExceeded
+        );
+        assert_eq!(
+            ServiceError::InvalidJob(QcmError::InvalidConfig("x".into())).code(),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            ServiceError::UnknownJob(JobId::from_raw(1)).code(),
+            ErrorCode::UnknownJob
+        );
+        assert_eq!(
+            ServiceError::Cancelled(JobId::from_raw(1)).code(),
+            ErrorCode::JobCancelled
+        );
+        assert_eq!(
+            ServiceError::JobFailed {
+                job: JobId::from_raw(1),
+                message: String::new()
+            }
+            .code(),
+            ErrorCode::JobFailed
+        );
+        assert_eq!(ServiceError::ShuttingDown.code(), ErrorCode::ShuttingDown);
+        // Both shed codes answer 429 on the HTTP surface.
+        assert_eq!(ErrorCode::Overloaded.http_status(), 429);
+        assert_eq!(ErrorCode::QuotaExceeded.http_status(), 429);
+    }
+
+    #[test]
+    fn converts_into_the_wire_api_error() {
+        let api: ApiError = ServiceError::ShuttingDown.into();
+        assert_eq!(api.code, ErrorCode::ShuttingDown);
+        assert!(api.message.contains("shut"));
     }
 
     #[test]

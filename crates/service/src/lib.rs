@@ -6,8 +6,9 @@
 //! door into an embeddable, thread-based job service:
 //!
 //! * [`MiningService`] — the service itself: `submit → JobId`, `status`,
-//!   `cancel`, blocking `fetch` / non-blocking `try_fetch`, and streaming
-//!   delivery through the standard `qcm::ResultSink`.
+//!   `cancel`, deadline-bounded `poll_fetch` / non-blocking `try_fetch`
+//!   (the unbounded blocking `fetch` is deprecated), and streaming delivery
+//!   through the standard `qcm::ResultSink`.
 //! * [`JobQueue`] — priority bands with per-tenant round-robin, so one
 //!   flooding tenant delays only its own jobs.
 //! * A [`WorkerPool`][MiningService::start]: OS threads that execute each
@@ -34,6 +35,7 @@
 //! ```
 //! use qcm_service::{JobRequest, MiningService, ServiceConfig};
 //! use qcm_sync::Arc;
+//! use std::time::Duration;
 //!
 //! let dataset = qcm::gen::datasets::tiny_test_dataset(7);
 //! let graph = Arc::new(dataset.graph.clone());
@@ -41,16 +43,17 @@
 //! let service = MiningService::start(ServiceConfig::default());
 //! let gamma = dataset.spec.gamma;
 //! let min_size = dataset.spec.min_size;
+//! let wait = Duration::from_secs(60);
 //!
-//! // Cold query: mined by the worker pool.
+//! // Cold query: mined by the worker pool, awaited via long-poll.
 //! let job = service.submit(JobRequest::new(graph.clone(), gamma, min_size))?;
-//! let cold = service.fetch(job)?;
+//! let cold = service.poll_fetch(job, wait)?.expect("tiny graph mines fast");
 //! assert!(!cold.cache_hit);
 //! assert!(cold.is_complete());
 //!
 //! // Identical query again: served from the result cache.
 //! let job = service.submit(JobRequest::new(graph, gamma, min_size))?;
-//! let hot = service.fetch(job)?;
+//! let hot = service.poll_fetch(job, wait)?.expect("cache hits are instant");
 //! assert!(hot.cache_hit);
 //! assert_eq!(hot.maximal(), cold.maximal());
 //! assert_eq!(service.metrics().cache_hits, 1);
@@ -65,7 +68,7 @@
 //!   when a worker picks it up; a deadline hit completes the job with a
 //!   partial result labelled `RunOutcome::DeadlineExceeded` — not an error.
 //! * **Cancellation is two different things.** Cancelling a *queued* job
-//!   removes it before it ever starts (no result; `fetch` returns
+//!   removes it before it ever starts (no result; `poll_fetch` returns
 //!   [`ServiceError::Cancelled`]). Cancelling a *running* job fires its
 //!   `CancelToken`; the miner unwinds cooperatively and the job ends
 //!   `Cancelled` *with* the partial result found so far.

@@ -452,7 +452,13 @@ impl MiningService {
         }
     }
 
-    /// Blocks until the job reaches a terminal state and returns its result.
+    /// Blocks *indefinitely* until the job reaches a terminal state and
+    /// returns its result.
+    ///
+    /// Deprecated: an unbounded wait pins the calling thread for as long as
+    /// the job takes, which a network front end cannot afford (a long-poll
+    /// handler must return to its connection pool). Use
+    /// [`MiningService::poll_fetch`] with an explicit deadline instead.
     ///
     /// # Errors
     /// [`ServiceError::UnknownJob`] for an id this service never issued,
@@ -460,6 +466,11 @@ impl MiningService {
     /// (it has no result), [`ServiceError::JobFailed`] when the run failed in
     /// the engine. A job cancelled *mid-run* or stopped by its deadline
     /// returns `Ok` with a partial result — inspect [`JobResult::outcome`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "unbounded blocking pins the caller; use poll_fetch(job, wait) with an explicit \
+                deadline"
+    )]
     pub fn fetch(&self, job: JobId) -> Result<JobResult, ServiceError> {
         let mut state = self.shared.lock();
         loop {
@@ -472,8 +483,43 @@ impl MiningService {
         }
     }
 
-    /// Non-blocking [`MiningService::fetch`]: `Ok(None)` while the job is
-    /// still queued or running.
+    /// Waits up to `wait` for the job to reach a terminal state.
+    ///
+    /// Returns `Ok(Some(result))` once terminal, `Ok(None)` when the
+    /// deadline expires first (the job keeps running — poll again). This is
+    /// the long-poll primitive of the HTTP surface: `GET
+    /// /v1/jobs/{id}?wait_ms=` parks here instead of pinning a worker on the
+    /// deprecated blocking [`fetch`](MiningService::fetch). `Duration::ZERO`
+    /// is an instantaneous status probe.
+    ///
+    /// # Errors
+    /// Same taxonomy as [`fetch`](MiningService::fetch): `UnknownJob`,
+    /// `Cancelled` (cancelled while queued), `JobFailed`.
+    pub fn poll_fetch(
+        &self,
+        job: JobId,
+        wait: Duration,
+    ) -> Result<Option<JobResult>, ServiceError> {
+        let deadline = Instant::now() + wait;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(result) = Self::terminal_result(&state, job) {
+                return result.map(Some);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            // Re-armed each lap: done_cv is notified for *any* terminal job,
+            // so a wakeup here says nothing about *this* job yet.
+            let (guard, _timed_out) = self.shared.done_cv.wait_timeout(state, deadline - now);
+            state = guard;
+        }
+    }
+
+    /// Non-blocking fetch: `Ok(None)` while the job is still queued or
+    /// running. Equivalent to [`poll_fetch`](MiningService::poll_fetch) with
+    /// a zero wait, without touching the clock.
     pub fn try_fetch(&self, job: JobId) -> Result<Option<JobResult>, ServiceError> {
         let state = self.shared.lock();
         Self::terminal_result(&state, job).transpose()

@@ -10,9 +10,21 @@
 //! cargo run --release -p qcm-service --example job_service
 //! ```
 
-use qcm_service::{JobRequest, MiningService, Priority, ServiceConfig, ServiceError};
+use qcm_service::{
+    JobId, JobRequest, JobResult, MiningService, Priority, ServiceConfig, ServiceError,
+};
 use qcm_sync::Arc;
 use std::time::Duration;
+
+/// Long-polls until the job goes terminal (the deadline-free blocking
+/// `fetch` is deprecated; real clients poll with a bounded wait).
+fn await_job(service: &MiningService, job: JobId) -> Result<JobResult, ServiceError> {
+    loop {
+        if let Some(result) = service.poll_fetch(job, Duration::from_secs(30))? {
+            return Ok(result);
+        }
+    }
+}
 
 fn main() -> Result<(), ServiceError> {
     // Two graphs stand in for two customer datasets.
@@ -47,7 +59,7 @@ fn main() -> Result<(), ServiceError> {
             .collect::<Result<_, _>>()?;
         // The dashboard renders before refreshing again.
         for &job in &refresh {
-            service.fetch(job)?;
+            await_job(&service, job)?;
             jobs.push(("social-app", round, job));
         }
     }
@@ -66,7 +78,7 @@ fn main() -> Result<(), ServiceError> {
     jobs.push(("bio-lab", 3, budgeted));
 
     for (tenant, round, job) in jobs {
-        let result = service.fetch(job)?;
+        let result = await_job(&service, job)?;
         println!(
             "job {job:>2} [{tenant:<10} round {round}] {} — {} maximal sets, mined in {:?}{}",
             if result.cache_hit { "HOT " } else { "cold" },

@@ -6,10 +6,23 @@ use qcm::core::ResultSink;
 use qcm::prelude::{Graph, VertexId};
 use qcm::RunOutcome;
 use qcm_service::{
-    AdmissionControl, JobRequest, JobStatus, MiningService, Priority, ServiceConfig, ServiceError,
+    AdmissionControl, JobId, JobRequest, JobResult, JobStatus, MiningService, Priority,
+    ServiceConfig, ServiceError,
 };
 use qcm_sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Waits for a terminal result through the non-deprecated long-poll API
+/// (every lap also exercises the `Ok(None)`-on-timeout path).
+fn fetch(service: &MiningService, job: JobId) -> Result<JobResult, ServiceError> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(result) = service.poll_fetch(job, Duration::from_millis(200))? {
+            return Ok(result);
+        }
+        assert!(Instant::now() < deadline, "job {job} never went terminal");
+    }
+}
 
 /// A small graph that mines in milliseconds.
 fn easy_graph() -> (Arc<Graph>, f64, usize) {
@@ -43,7 +56,7 @@ fn identical_submits_mine_once_and_hit_the_cache() {
     let first = service
         .submit(JobRequest::new(graph.clone(), gamma, min_size).tenant("alpha"))
         .unwrap();
-    let cold = service.fetch(first).unwrap();
+    let cold = fetch(&service, first).unwrap();
     assert!(!cold.cache_hit);
     assert!(cold.is_complete());
     assert!(!cold.maximal().is_empty(), "planted graph has results");
@@ -52,7 +65,7 @@ fn identical_submits_mine_once_and_hit_the_cache() {
         .submit(JobRequest::new(graph.clone(), gamma, min_size).tenant("beta"))
         .unwrap();
     assert_ne!(first, second, "every submit gets a fresh job id");
-    let hot = service.fetch(second).unwrap();
+    let hot = fetch(&service, second).unwrap();
     assert!(hot.cache_hit, "identical query must be served from cache");
     assert_eq!(hot.maximal(), cold.maximal());
     assert_eq!(hot.answer.mining_time, cold.answer.mining_time);
@@ -68,7 +81,7 @@ fn identical_submits_mine_once_and_hit_the_cache() {
     let third = service
         .submit(JobRequest::new(graph, gamma, min_size + 1))
         .unwrap();
-    let other = service.fetch(third).unwrap();
+    let other = fetch(&service, third).unwrap();
     assert!(!other.cache_hit);
     assert_eq!(service.metrics().jobs_mined, 2);
 
@@ -82,7 +95,7 @@ fn deadline_hit_completes_with_partial_result_not_error() {
     let job = service
         .submit(JobRequest::new(graph, gamma, min_size).deadline(Duration::from_millis(50)))
         .unwrap();
-    let result = service.fetch(job).expect("a deadline hit is not an error");
+    let result = fetch(&service, job).expect("a deadline hit is not an error");
     assert_eq!(result.outcome(), RunOutcome::DeadlineExceeded);
     assert!(!result.is_complete());
     assert_eq!(service.status(job).unwrap(), JobStatus::Completed);
@@ -142,7 +155,7 @@ fn per_tenant_quota_rejects_only_the_greedy_tenant() {
     let err = service
         .submit(JobRequest::new(graph.clone(), gamma, min_size).tenant("greedy"))
         .unwrap_err();
-    assert!(matches!(err, ServiceError::Overloaded { .. }));
+    assert!(matches!(err, ServiceError::QuotaExceeded { .. }));
     // Another tenant is unaffected.
     service
         .submit(JobRequest::new(graph, gamma, min_size).tenant("modest"))
@@ -168,14 +181,14 @@ fn cancelling_a_queued_job_prevents_it_from_ever_running() {
     assert_eq!(service.cancel(doomed).unwrap(), JobStatus::Cancelled);
 
     service.resume();
-    let result = service.fetch(survivor).unwrap();
+    let result = fetch(&service, survivor).unwrap();
     assert!(result.is_complete());
     // The cancelled job never ran: exactly one mining run happened, and
     // fetching the cancelled job reports it produced nothing.
     assert_eq!(service.metrics().jobs_mined, 1);
     assert_eq!(service.status(doomed).unwrap(), JobStatus::Cancelled);
     assert!(matches!(
-        service.fetch(doomed),
+        fetch(&service,doomed),
         Err(ServiceError::Cancelled(id)) if id == doomed
     ));
     // Cancelling again is a terminal no-op.
@@ -199,7 +212,7 @@ fn cancelling_a_running_job_stops_it_via_its_cancel_token() {
     assert_eq!(service.cancel(job).unwrap(), JobStatus::Running);
     // The run over this graph cannot finish on its own in test time, so a
     // returned fetch proves the CancelToken stopped it cooperatively.
-    let result = service.fetch(job).unwrap();
+    let result = fetch(&service, job).unwrap();
     assert_eq!(result.outcome(), RunOutcome::Cancelled);
     assert!(!result.is_complete());
     assert_eq!(service.status(job).unwrap(), JobStatus::Cancelled);
@@ -232,7 +245,7 @@ fn streaming_sinks_fire_for_mined_jobs_and_cache_hits() {
     let job = service
         .submit(JobRequest::new(graph.clone(), gamma, min_size).stream(Box::new(cold_sink.clone())))
         .unwrap();
-    let cold = service.fetch(job).unwrap();
+    let cold = fetch(&service, job).unwrap();
     assert_eq!(cold_sink.maximal.lock().len(), cold.maximal().len());
     assert_eq!(*cold_sink.candidates.lock(), cold.answer.raw_reported);
 
@@ -246,7 +259,7 @@ fn streaming_sinks_fire_for_mined_jobs_and_cache_hits() {
         cold.maximal().len(),
         "hit delivery happens before fetch"
     );
-    let hot = service.fetch(job).unwrap();
+    let hot = fetch(&service, job).unwrap();
     assert!(hot.cache_hit);
     service.shutdown();
 }
@@ -267,7 +280,7 @@ fn cache_hits_are_served_even_when_admission_would_reject() {
     let warm = service
         .submit(JobRequest::new(graph.clone(), gamma, min_size))
         .unwrap();
-    service.fetch(warm).unwrap();
+    fetch(&service, warm).unwrap();
     // Fill the queue with cold jobs while dispatch is paused.
     service.pause();
     for bump in 1..=2 {
@@ -283,7 +296,7 @@ fn cache_hits_are_served_even_when_admission_would_reject() {
     let hot = service
         .submit(JobRequest::new(graph, gamma, min_size))
         .unwrap();
-    assert!(service.fetch(hot).unwrap().cache_hit);
+    assert!(fetch(&service, hot).unwrap().cache_hit);
     service.resume();
     service.shutdown();
 }
@@ -305,7 +318,7 @@ fn panicking_sink_fails_the_job_but_not_the_service() {
     let doomed = service
         .submit(JobRequest::new(graph.clone(), gamma, min_size).stream(Box::new(PanickingSink)))
         .unwrap();
-    let err = service.fetch(doomed).unwrap_err();
+    let err = fetch(&service, doomed).unwrap_err();
     assert!(
         matches!(&err, ServiceError::JobFailed { message, .. } if message.contains("sink exploded")),
         "expected JobFailed, got {err:?}"
@@ -316,7 +329,7 @@ fn panicking_sink_fails_the_job_but_not_the_service() {
     let next = service
         .submit(JobRequest::new(graph, gamma, min_size))
         .unwrap();
-    assert!(service.fetch(next).unwrap().is_complete());
+    assert!(fetch(&service, next).unwrap().is_complete());
     assert_eq!(service.metrics().in_flight, 0);
     service.shutdown();
 }
@@ -334,7 +347,7 @@ fn terminal_jobs_are_evicted_beyond_the_retention_bound() {
         let job = service
             .submit(JobRequest::new(graph.clone(), gamma, min_size + bump))
             .unwrap();
-        service.fetch(job).unwrap();
+        fetch(&service, job).unwrap();
         jobs.push(job);
     }
     // Only the two most recent terminal jobs are retained; the oldest has
@@ -350,7 +363,7 @@ fn terminal_jobs_are_evicted_beyond_the_retention_bound() {
     let repeat = service
         .submit(JobRequest::new(graph, gamma, min_size))
         .unwrap();
-    assert!(service.fetch(repeat).unwrap().cache_hit);
+    assert!(fetch(&service, repeat).unwrap().cache_hit);
     service.shutdown();
 }
 
@@ -379,7 +392,7 @@ fn max_in_flight_one_with_many_workers_drains_and_shuts_down() {
         .collect();
     service.resume();
     for job in jobs {
-        let result = service.fetch(job).unwrap();
+        let result = fetch(&service, job).unwrap();
         assert!(result.is_complete());
     }
     let metrics = service.metrics();
@@ -403,7 +416,7 @@ fn invalid_jobs_and_unknown_ids_return_typed_errors() {
         Err(ServiceError::UnknownJob(_))
     ));
     assert!(matches!(
-        service.fetch(ghost),
+        fetch(&service, ghost),
         Err(ServiceError::UnknownJob(_))
     ));
     assert!(matches!(
@@ -439,7 +452,7 @@ fn mixed_tenant_workload_respects_priorities_and_reports_latency() {
         );
     }
     for &job in &jobs {
-        let result = service.fetch(job).unwrap();
+        let result = fetch(&service, job).unwrap();
         assert!(result.is_complete());
     }
     // A repeat of the (now completed) first query is served hot.
@@ -450,7 +463,7 @@ fn mixed_tenant_workload_respects_priorities_and_reports_latency() {
                 .priority(Priority::High),
         )
         .unwrap();
-    assert!(service.fetch(repeat).unwrap().cache_hit);
+    assert!(fetch(&service, repeat).unwrap().cache_hit);
     let metrics = service.metrics();
     assert_eq!(metrics.queue_depth, 0);
     assert_eq!(metrics.in_flight, 0);
