@@ -45,6 +45,9 @@ SERVE:
                           picks a free port, printed at startup)
     --token <t>=<tenant>  HTTP bearer-token auth (comma-separate for more);
                           without it the service is open access
+    --graph-root <dir>    confine graph paths in requests to this directory
+                          (HTTP mode defaults to the working directory;
+                          without --listen the default is unconfined)
     --workers <n>         worker threads (default 2)
     --max-queued <n>      admission: max queued jobs (default 64)
     --max-in-flight <n>   admission: max concurrently mined jobs (default: unbounded)

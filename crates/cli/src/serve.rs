@@ -52,6 +52,7 @@ const SERVE_FLAGS: FlagSpec = FlagSpec {
         "format",
         "listen",
         "token",
+        "graph-root",
     ],
     switches: &[],
 };
@@ -128,6 +129,21 @@ pub fn serve(args: &[String]) -> Result<(), QcmError> {
         Some(raw) => AuthConfig::with_tokens(parse_tokens(raw)?),
     };
     let api = Api::over(MiningService::start(config), auth);
+    // Network callers must not be able to make the server read arbitrary
+    // local files: HTTP mode always confines graph paths to a root —
+    // `--graph-root` or, by default, the serve process's working directory.
+    // The local stdin line protocol stays unconfined unless the flag is
+    // given (its caller already has the filesystem).
+    let api = match flags.values.get("graph-root") {
+        Some(dir) => api.with_graph_root(dir.clone()),
+        None if flags.values.contains_key("listen") => {
+            let cwd = std::env::current_dir().map_err(|e| {
+                QcmError::InvalidConfig(format!("cannot resolve --graph-root: {e}"))
+            })?;
+            api.with_graph_root(cwd)
+        }
+        None => api,
+    };
 
     if let Some(addr) = flags.values.get("listen") {
         return serve_http(api, addr, workers);
@@ -308,7 +324,7 @@ fn parse_job_id(args: &[String], verb: &str) -> Result<u64, ApiError> {
 
 fn status(api: &Api, args: &[String], format: Format) -> Result<String, ApiError> {
     let job = parse_job_id(args, "status")?;
-    let view = api.job(job, Duration::ZERO)?;
+    let view = api.job(job, Duration::ZERO, "default")?;
     Ok(match format {
         Format::Text => format!("job {} {}", view.job, view.status),
         Format::Json => format!(
@@ -320,7 +336,7 @@ fn status(api: &Api, args: &[String], format: Format) -> Result<String, ApiError
 
 fn cancel(api: &Api, args: &[String], format: Format) -> Result<String, ApiError> {
     let job = parse_job_id(args, "cancel")?;
-    let view = api.cancel(job)?;
+    let view = api.cancel(job, "default")?;
     Ok(match format {
         Format::Text => format!("job {} {}", view.job, view.status),
         Format::Json => format!(
@@ -352,7 +368,7 @@ fn fetch(api: &Api, args: &[String], format: Format) -> Result<String, ApiError>
 /// on the deadline-bounded API.
 fn wait_terminal(api: &Api, job: u64) -> Result<JobView, ApiError> {
     loop {
-        let view = api.job(job, MAX_WAIT)?;
+        let view = api.job(job, MAX_WAIT, "default")?;
         if view.outcome.is_some() {
             return Ok(view);
         }

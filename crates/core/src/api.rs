@@ -27,6 +27,14 @@ pub enum ErrorCode {
     /// The request itself is malformed: unparseable body, unknown field
     /// value, invalid mining parameters.
     BadRequest,
+    /// The request head (request line + headers) exceeds the transport's
+    /// size limits.
+    HeadTooLarge,
+    /// The declared request body exceeds the transport's size limit.
+    BodyTooLarge,
+    /// Recognisable protocol the transport deliberately does not speak
+    /// (unknown method, `Transfer-Encoding`, unknown HTTP version).
+    Unsupported,
     /// Missing or unknown tenant auth token.
     Unauthorized,
     /// No such route/resource on the HTTP surface, or an unknown verb on
@@ -64,6 +72,9 @@ pub enum ErrorCode {
 /// error bodies — so the taxonomy cannot drift between transports.
 pub const ERROR_CODE_TABLE: &[(ErrorCode, &str, u16, u8)] = &[
     (ErrorCode::BadRequest, "bad_request", 400, 2),
+    (ErrorCode::HeadTooLarge, "head_too_large", 431, 2),
+    (ErrorCode::BodyTooLarge, "body_too_large", 413, 2),
+    (ErrorCode::Unsupported, "unsupported", 501, 2),
     (ErrorCode::Unauthorized, "unauthorized", 401, 2),
     (ErrorCode::NotFound, "not_found", 404, 1),
     (ErrorCode::UnknownJob, "unknown_job", 404, 1),

@@ -97,6 +97,16 @@ impl Api {
         }
     }
 
+    /// Confines path-based graph loading (`POST /v1/jobs {"graph": path}`,
+    /// `PUT /v1/graphs {"path": path}`) to `root`: requests naming a path
+    /// outside it answer `unknown_graph` without touching the filesystem.
+    /// Network front doors should always set this — without it any caller
+    /// can make the server stat/read arbitrary server-local files.
+    pub fn with_graph_root(self, root: impl Into<std::path::PathBuf>) -> Api {
+        self.graphs.lock().set_root(root.into());
+        self
+    }
+
     /// The auth table (transports resolve the tenant before dispatching).
     pub fn auth(&self) -> &AuthConfig {
         &self.auth
@@ -152,9 +162,13 @@ impl Api {
 
     /// `GET /v1/jobs/{id}?wait_ms=` / line-protocol `status` + `fetch`:
     /// waits up to `wait` (clamped to [`MAX_WAIT`]) for a terminal state,
-    /// then describes the job as it stands.
-    pub fn job(&self, id: u64, wait: Duration) -> Result<JobView, ApiError> {
+    /// then describes the job as it stands. `tenant` is the authenticated
+    /// caller: with tokens configured, another tenant's job answers
+    /// `unknown_job` (ids are sequential, so resource access must be
+    /// tenant-scoped, not just admission).
+    pub fn job(&self, id: u64, wait: Duration, tenant: &str) -> Result<JobView, ApiError> {
         let job = JobId::from_raw(id);
+        self.authorize_job(job, tenant)?;
         match self.service.poll_fetch(job, wait.min(MAX_WAIT)) {
             Ok(Some(result)) => Ok(self.view(job, result)),
             // Deadline expired with the job still queued/running — that is a
@@ -189,9 +203,11 @@ impl Api {
     }
 
     /// `DELETE /v1/jobs/{id}` / line-protocol `cancel`: requests
-    /// cancellation and reports the job's state at that instant.
-    pub fn cancel(&self, id: u64) -> Result<JobView, ApiError> {
+    /// cancellation and reports the job's state at that instant. Scoped to
+    /// the authenticated `tenant` exactly like [`Api::job`].
+    pub fn cancel(&self, id: u64, tenant: &str) -> Result<JobView, ApiError> {
         let job = JobId::from_raw(id);
+        self.authorize_job(job, tenant)?;
         let status = self.service.cancel(job).map_err(ApiError::from)?;
         Ok(JobView {
             job: id,
@@ -203,6 +219,22 @@ impl Api {
             raw_reported: None,
             mining_ms: None,
         })
+    }
+
+    /// Enforces job ownership when tokens are configured. In open mode any
+    /// caller may name any tenant anyway, so the check would be theatre —
+    /// current (local/dev) behaviour is kept. A mismatch answers the same
+    /// `unknown_job` as a never-issued id, so the response does not reveal
+    /// whether the id exists.
+    fn authorize_job(&self, job: JobId, tenant: &str) -> Result<(), ApiError> {
+        if !self.auth.requires_token() {
+            return Ok(());
+        }
+        let owner = self.service.tenant_of(job).map_err(ApiError::from)?;
+        if owner != tenant {
+            return Err(ServiceError::UnknownJob(job).into());
+        }
+        Ok(())
     }
 
     /// `GET /v1/graphs`: the registered (named) graphs.
@@ -290,7 +322,7 @@ mod tests {
             let api = Api::start(ServiceConfig::default(), AuthConfig::open());
             let cold = api.submit(&submit_request(path), "alpha").unwrap();
             assert!(!cold.cache_hit);
-            let view = api.job(cold.job, Duration::from_secs(60)).unwrap();
+            let view = api.job(cold.job, Duration::from_secs(60), "alpha").unwrap();
             assert_eq!(view.status, "completed");
             assert_eq!(view.outcome.as_deref(), Some("complete"));
             assert_eq!(view.tenant, "alpha");
@@ -319,14 +351,14 @@ mod tests {
                 AuthConfig::open(),
             );
             let submitted = api.submit(&submit_request(path), "t").unwrap();
-            let view = api.job(submitted.job, Duration::ZERO).unwrap();
+            let view = api.job(submitted.job, Duration::ZERO, "t").unwrap();
             assert_eq!(view.status, "queued");
             assert_eq!(view.outcome, None);
-            let err = api.job(999, Duration::ZERO).unwrap_err();
+            let err = api.job(999, Duration::ZERO, "t").unwrap_err();
             assert_eq!(err.code, ErrorCode::UnknownJob);
-            let cancelled = api.cancel(submitted.job).unwrap();
+            let cancelled = api.cancel(submitted.job, "t").unwrap();
             assert_eq!(cancelled.status, "cancelled");
-            let view = api.job(submitted.job, Duration::ZERO).unwrap();
+            let view = api.job(submitted.job, Duration::ZERO, "t").unwrap();
             assert_eq!(view.status, "cancelled");
             api.shutdown();
         });
@@ -352,11 +384,44 @@ mod tests {
     }
 
     #[test]
+    fn job_reads_and_cancels_are_tenant_scoped_under_token_auth() {
+        with_graph_file("owner", |path| {
+            let api = Api::start(
+                ServiceConfig {
+                    start_paused: true,
+                    cache_capacity: 0,
+                    ..ServiceConfig::default()
+                },
+                AuthConfig::with_tokens([
+                    ("tok-a".to_string(), "alpha".to_string()),
+                    ("tok-b".to_string(), "beta".to_string()),
+                ]),
+            );
+            let submitted = api.submit(&submit_request(path), "alpha").unwrap();
+
+            // Another authenticated tenant sees (and can cancel) nothing —
+            // and the error is indistinguishable from a never-issued id.
+            let err = api.job(submitted.job, Duration::ZERO, "beta").unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnknownJob);
+            assert_eq!(err.message, format!("unknown job {}", submitted.job));
+            let err = api.cancel(submitted.job, "beta").unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnknownJob);
+
+            // The owner still has full access.
+            let view = api.job(submitted.job, Duration::ZERO, "alpha").unwrap();
+            assert_eq!(view.status, "queued");
+            let cancelled = api.cancel(submitted.job, "alpha").unwrap();
+            assert_eq!(cancelled.status, "cancelled");
+            api.shutdown();
+        });
+    }
+
+    #[test]
     fn metrics_exposition_is_wellformed() {
         with_graph_file("prom", |path| {
             let api = Api::start(ServiceConfig::default(), AuthConfig::open());
             api.submit(&submit_request(path), "t").unwrap();
-            api.job(1, Duration::from_secs(60)).unwrap();
+            api.job(1, Duration::from_secs(60), "t").unwrap();
             let text = api.metrics_prometheus();
             qcm_obs::prometheus::check_text(&text).expect("exposition must be well-formed");
             assert!(text.contains("qcm_service_jobs_mined_total"));

@@ -11,6 +11,7 @@
 //! buffers an unbounded request head or body converts one hostile client
 //! into whole-service memory pressure.
 
+use qcm::prelude::ErrorCode;
 use std::str;
 
 /// Upper bound on the request line + headers block, in bytes.
@@ -121,14 +122,21 @@ pub enum ParseError {
 }
 
 impl ParseError {
+    /// The stable taxonomy code this failure maps to — the same
+    /// `ERROR_CODE_TABLE` row that supplies the HTTP status, so the wire
+    /// `code` can never contradict the status line.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            ParseError::BadRequest(_) => ErrorCode::BadRequest,
+            ParseError::HeadTooLarge => ErrorCode::HeadTooLarge,
+            ParseError::BodyTooLarge(_) => ErrorCode::BodyTooLarge,
+            ParseError::Unsupported(_) => ErrorCode::Unsupported,
+        }
+    }
+
     /// The HTTP status this failure answers with.
     pub fn http_status(&self) -> u16 {
-        match self {
-            ParseError::BadRequest(_) => 400,
-            ParseError::HeadTooLarge => 431,
-            ParseError::BodyTooLarge(_) => 413,
-            ParseError::Unsupported(_) => 501,
-        }
+        self.error_code().http_status()
     }
 
     /// Human-readable message for the error body.
@@ -257,6 +265,11 @@ fn percent_decode(raw: &str) -> Result<String, ParseError> {
                 let hex = bytes
                     .get(i + 1..i + 3)
                     .ok_or(ParseError::BadRequest("truncated percent escape"))?;
+                // RFC 3986 escapes are exactly two hex digits; from_str_radix
+                // alone would also accept a sign ("%+5" → 0x5).
+                if !hex.iter().all(u8::is_ascii_hexdigit) {
+                    return Err(ParseError::BadRequest("malformed percent escape"));
+                }
                 let hex = str::from_utf8(hex)
                     .ok()
                     .and_then(|h| u8::from_str_radix(h, 16).ok())
@@ -330,6 +343,11 @@ mod tests {
             head("GET /%zz HTTP/1.1\r\n\r\n"),
             Err(ParseError::BadRequest(_))
         ));
+        // Signed "hex" is not an RFC 3986 escape even though from_str_radix
+        // would parse it.
+        for raw in ["GET /%+5 HTTP/1.1\r\n\r\n", "GET /%-5 HTTP/1.1\r\n\r\n"] {
+            assert!(matches!(head(raw), Err(ParseError::BadRequest(_))), "{raw}");
+        }
         assert!(matches!(
             parse_head(b"GET /\xff HTTP/1.1\r\n\r\n"),
             Err(ParseError::BadRequest(_))
@@ -375,5 +393,27 @@ mod tests {
         assert_eq!(ParseError::BodyTooLarge(9).http_status(), 413);
         assert_eq!(ParseError::Unsupported("x").http_status(), 501);
         assert!(!ParseError::BodyTooLarge(9).message().is_empty());
+        // The wire code comes from the same taxonomy row as the status, so
+        // a 413/431/501 can never carry a "bad_request" body.
+        for e in [
+            ParseError::BadRequest("x"),
+            ParseError::HeadTooLarge,
+            ParseError::BodyTooLarge(9),
+            ParseError::Unsupported("x"),
+        ] {
+            assert_eq!(e.error_code().http_status(), e.http_status());
+        }
+        assert_eq!(
+            ParseError::HeadTooLarge.error_code().as_str(),
+            "head_too_large"
+        );
+        assert_eq!(
+            ParseError::BodyTooLarge(9).error_code().as_str(),
+            "body_too_large"
+        );
+        assert_eq!(
+            ParseError::Unsupported("x").error_code().as_str(),
+            "unsupported"
+        );
     }
 }

@@ -22,6 +22,7 @@ use qcm::prelude::{ApiError, ErrorCode, GraphInfo};
 use qcm_graph::{io, Graph};
 use qcm_sync::Arc;
 use std::collections::{BTreeMap, HashMap};
+use std::path::{Component, Path, PathBuf};
 use std::time::SystemTime;
 
 /// How many distinct path-loaded graphs stay resident at once.
@@ -49,11 +50,22 @@ struct PathEntry {
 pub struct GraphRegistry {
     by_path: HashMap<String, PathEntry>,
     named: BTreeMap<String, LoadedGraph>,
+    /// When set, every path load must resolve inside this directory;
+    /// anything else is rejected before the filesystem is touched. Network
+    /// front doors set this so remote callers cannot stat/read arbitrary
+    /// server-local files (and cannot use the error as a file-existence
+    /// oracle outside the designated graph directory).
+    root: Option<PathBuf>,
     tick: u64,
     loads: u64,
 }
 
 impl GraphRegistry {
+    /// Confines path loading to `root` (canonicalised when possible, so
+    /// prefix checks are not fooled by `.`/symlinked spellings of the root).
+    pub fn set_root(&mut self, root: PathBuf) {
+        self.root = Some(root.canonicalize().unwrap_or(root));
+    }
     /// Resolves a graph reference: a registered name first, else a
     /// server-local file path.
     pub fn resolve(&mut self, graph_ref: &str) -> Result<LoadedGraph, ApiError> {
@@ -95,7 +107,38 @@ impl GraphRegistry {
         self.loads
     }
 
-    fn load_path(&mut self, path: &str) -> Result<LoadedGraph, ApiError> {
+    /// Resolves a raw request path against the configured root: relative
+    /// paths are joined under it, absolute paths must already be inside it,
+    /// and `..` segments are rejected outright. Purely lexical — nothing is
+    /// touched on disk for a rejected path.
+    fn confine(&self, raw: &str) -> Result<PathBuf, ApiError> {
+        let path = Path::new(raw);
+        let Some(root) = &self.root else {
+            return Ok(path.to_path_buf());
+        };
+        let outside = || {
+            ApiError::new(
+                ErrorCode::UnknownGraph,
+                format!("graph path {raw:?} is outside the configured graph root"),
+            )
+        };
+        if path.components().any(|c| matches!(c, Component::ParentDir)) {
+            return Err(outside());
+        }
+        let resolved = if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            root.join(path)
+        };
+        if !resolved.starts_with(root) {
+            return Err(outside());
+        }
+        Ok(resolved)
+    }
+
+    fn load_path(&mut self, raw: &str) -> Result<LoadedGraph, ApiError> {
+        let path = self.confine(raw)?;
+        let path = &path.to_string_lossy().into_owned();
         self.tick += 1;
         let tick = self.tick;
         let meta = std::fs::metadata(path).map_err(|e| {
@@ -206,6 +249,53 @@ mod tests {
         registry.resolve(&path_str).unwrap();
         assert_eq!(registry.loads(), 2);
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn a_configured_root_confines_path_loading() {
+        let dir = scratch_dir("root");
+        let path = dir.join("g.txt");
+        write_graph(&path, 5);
+        // A decoy outside the root that genuinely exists.
+        let outside_dir = scratch_dir("root_outside");
+        let outside = outside_dir.join("g.txt");
+        write_graph(&outside, 5);
+
+        let mut registry = GraphRegistry::default();
+        registry.set_root(dir.clone());
+
+        // Relative paths resolve under the root; absolute paths inside the
+        // root also work.
+        assert!(registry.resolve("g.txt").is_ok());
+        let absolute = dir.canonicalize().unwrap().join("g.txt");
+        assert!(registry.resolve(&absolute.to_string_lossy()).is_ok());
+
+        // Anything outside — absolute, `..`-escaping, or an existing file —
+        // is a typed error, with no hint whether the target exists.
+        for escape in [
+            outside.to_string_lossy().to_string(),
+            "../g.txt".to_string(),
+            format!("{}/../root_outside_x/g.txt", dir.to_string_lossy()),
+            "/etc/hostname".to_string(),
+        ] {
+            let err = registry.resolve(&escape).unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnknownGraph, "{escape}");
+            assert!(
+                err.message.contains("outside the configured graph root"),
+                "{}",
+                err.message
+            );
+        }
+        // Registration goes through the same confinement.
+        assert_eq!(
+            registry
+                .register("evil", &outside.to_string_lossy())
+                .unwrap_err()
+                .code,
+            ErrorCode::UnknownGraph
+        );
+        std::fs::remove_dir_all(dir).ok();
+        std::fs::remove_dir_all(outside_dir).ok();
     }
 
     #[test]

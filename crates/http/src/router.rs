@@ -32,7 +32,7 @@ fn dispatch(api: &Api, head: &Head, body: &[u8]) -> Result<Response, ApiError> {
             ))
         }
         (Method::Get, ["v1", "jobs", id]) => {
-            authenticate(api, head)?;
+            let tenant = authenticate(api, head)?;
             let id = parse_job_id(id)?;
             let wait = match head.query_param("wait_ms") {
                 None => Duration::ZERO,
@@ -40,12 +40,12 @@ fn dispatch(api: &Api, head: &Head, body: &[u8]) -> Result<Response, ApiError> {
                     ApiError::bad_request(format!("invalid wait_ms value {raw:?}"))
                 })?),
             };
-            let view = api.job(id, wait)?;
+            let view = api.job(id, wait, &tenant)?;
             Ok(Response::json(200, &wire::job_view_to_json(&view)))
         }
         (Method::Delete, ["v1", "jobs", id]) => {
-            authenticate(api, head)?;
-            let view = api.cancel(parse_job_id(id)?)?;
+            let tenant = authenticate(api, head)?;
+            let view = api.cancel(parse_job_id(id)?, &tenant)?;
             Ok(Response::json(200, &wire::job_view_to_json(&view)))
         }
         (Method::Get, ["v1", "graphs"]) => {

@@ -13,6 +13,7 @@ use crate::parser::{self, ParseError};
 use crate::response::Response;
 use crate::router;
 use qcm::CancelToken;
+use qcm_obs::clock::Instant;
 use qcm_obs::json::{object, Json};
 use qcm_sync::{thread, Arc, Condvar, Mutex};
 use std::collections::VecDeque;
@@ -31,6 +32,12 @@ pub struct ServerConfig {
     /// Per-read socket timeout: an idle keep-alive connection is closed
     /// after this long, so a silent client cannot pin a handler thread.
     pub read_timeout: Duration,
+    /// Absolute per-request deadline: head + body must arrive within this
+    /// long of the request's first byte. `read_timeout` alone re-arms on
+    /// every successful read, so a client trickling one byte at a time
+    /// could pin a handler thread forever (slowloris); this bound cannot
+    /// be reset by sending more bytes.
+    pub request_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +46,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 8,
             read_timeout: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -129,12 +137,13 @@ impl Server {
             let conns = Arc::clone(&conns);
             let cancel = cancel.clone();
             let read_timeout = config.read_timeout;
+            let request_timeout = config.request_timeout;
             threads.push(
                 thread::Builder::new()
                     .name(format!("qcm-http-worker-{i}"))
                     .spawn(move || {
                         while let Some(stream) = conns.pop(&cancel) {
-                            handle_connection(&api, stream, &cancel, read_timeout);
+                            handle_connection(&api, stream, &cancel, read_timeout, request_timeout);
                         }
                     })
                     .expect("spawning a handler thread"),
@@ -192,12 +201,14 @@ fn accept_loop(listener: TcpListener, conns: &ConnQueue, cancel: &CancelToken) {
 }
 
 /// Speaks keep-alive HTTP/1.1 over one connection until close, EOF, idle
-/// timeout, a fatal parse error, or shutdown.
+/// timeout, an exceeded per-request deadline, a fatal parse error, or
+/// shutdown.
 fn handle_connection(
     api: &Api,
     mut stream: TcpStream,
     cancel: &CancelToken,
     read_timeout: Duration,
+    request_timeout: Duration,
 ) {
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
@@ -206,13 +217,24 @@ fn handle_connection(
         if cancel.is_cancelled() {
             return;
         }
+        // The absolute deadline for the request now being read. It starts
+        // at the request's first byte (pipelined leftovers count) and is
+        // never re-armed by further reads — the anti-slowloris bound.
+        let mut deadline: Option<Instant> =
+            (!buf.is_empty()).then(|| Instant::now() + request_timeout);
         // Read until the head terminator (or a limit/EOF/timeout).
         let head_end = loop {
             match parser::find_head_end(&buf) {
                 Ok(Some(end)) => break end,
                 Ok(None) => {
-                    if !read_some(&mut stream, &mut buf) {
-                        return; // EOF/timeout between requests: clean close
+                    if !read_some(
+                        &mut stream,
+                        &mut buf,
+                        read_timeout,
+                        request_timeout,
+                        &mut deadline,
+                    ) {
+                        return; // EOF/timeout/deadline: close
                     }
                 }
                 Err(e) => {
@@ -238,8 +260,14 @@ fn handle_connection(
             }
         };
         while buf.len() < head_end + body_len {
-            if !read_some(&mut stream, &mut buf) {
-                return; // truncated body: peer went away
+            if !read_some(
+                &mut stream,
+                &mut buf,
+                read_timeout,
+                request_timeout,
+                &mut deadline,
+            ) {
+                return; // truncated body / deadline exceeded: close
             }
         }
         let body: Vec<u8> = buf[head_end..head_end + body_len].to_vec();
@@ -253,26 +281,50 @@ fn handle_connection(
     }
 }
 
-/// Appends one read's worth of bytes; false on EOF, error or timeout.
-fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>) -> bool {
+/// Appends one read's worth of bytes; false on EOF, error, idle timeout or
+/// an exceeded request deadline. The socket timeout is capped to whatever
+/// remains of `deadline`, so a trickling client cannot extend its request
+/// past the absolute bound; the deadline is armed by the first byte read.
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    read_timeout: Duration,
+    request_timeout: Duration,
+    deadline: &mut Option<Instant>,
+) -> bool {
+    let timeout = match deadline {
+        None => read_timeout,
+        Some(deadline) => {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false; // request deadline already exceeded
+            };
+            // set_read_timeout(ZERO) is an error; round up to 1ms.
+            read_timeout.min(remaining).max(Duration::from_millis(1))
+        }
+    };
+    let _ = stream.set_read_timeout(Some(timeout));
     let mut chunk = [0u8; 4096];
     match stream.read(&mut chunk) {
         Ok(0) | Err(_) => false,
         Ok(n) => {
             buf.extend_from_slice(&chunk[..n]);
+            if deadline.is_none() {
+                *deadline = Some(Instant::now() + request_timeout);
+            }
             true
         }
     }
 }
 
 fn respond_parse_error(stream: &mut TcpStream, error: &ParseError) {
+    let code = error.error_code();
     let body = object(vec![(
         "error",
         object(vec![
-            ("code", Json::from("bad_request")),
+            ("code", Json::from(code.as_str())),
             ("message", Json::from(error.message())),
         ]),
     )]);
-    let response = Response::json(error.http_status(), &body);
+    let response = Response::json(code.http_status(), &body);
     let _ = stream.write_all(&response.render(false));
 }

@@ -264,6 +264,147 @@ fn keep_alive_serves_multiple_requests_per_connection() {
 }
 
 #[test]
+fn job_reads_and_cancels_are_scoped_to_the_authenticated_tenant() {
+    with_graph_file("scoped", |path| {
+        // Paused service so the job stays alive; ids are sequential, so
+        // without ownership checks tenant beta could simply enumerate them.
+        let server = start_server(
+            ServiceConfig {
+                start_paused: true,
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+            AuthConfig::with_tokens([
+                ("tok-a".to_string(), "alpha".to_string()),
+                ("tok-b".to_string(), "beta".to_string()),
+            ]),
+        );
+        let addr = server.local_addr().to_string();
+        let body = format!("{{\"graph\":\"{path}\",\"gamma\":0.8,\"min_size\":6}}");
+
+        let (status, _, submitted) = request(
+            &addr,
+            "POST",
+            "/v1/jobs",
+            &[("Authorization", "Bearer tok-a")],
+            &body,
+        );
+        assert_eq!(status, 202, "{submitted}");
+        assert!(submitted.contains("\"job\":1"), "{submitted}");
+
+        // Another authenticated tenant gets the same answer as for a job
+        // that never existed — read and cancel both.
+        let beta = [("Authorization", "Bearer tok-b")];
+        let (status, _, stolen) = request(&addr, "GET", "/v1/jobs/1", &beta, "");
+        assert_eq!(status, 404, "{stolen}");
+        assert!(stolen.contains("\"code\":\"unknown_job\""), "{stolen}");
+        let (status, _, cancelled) = request(&addr, "DELETE", "/v1/jobs/1", &beta, "");
+        assert_eq!(status, 404, "{cancelled}");
+        assert!(
+            cancelled.contains("\"code\":\"unknown_job\""),
+            "{cancelled}"
+        );
+
+        // The owner still reads and cancels it.
+        let alpha = [("Authorization", "Bearer tok-a")];
+        let (status, _, view) = request(&addr, "GET", "/v1/jobs/1", &alpha, "");
+        assert_eq!(status, 200, "{view}");
+        assert!(view.contains("\"status\":\"queued\""), "{view}");
+        let (status, _, gone) = request(&addr, "DELETE", "/v1/jobs/1", &alpha, "");
+        assert_eq!(status, 200, "{gone}");
+        assert!(gone.contains("\"status\":\"cancelled\""), "{gone}");
+        server.shutdown();
+    });
+}
+
+#[test]
+fn graph_paths_are_confined_to_the_configured_root() {
+    with_graph_file("rooted", |path| {
+        let root = std::path::Path::new(path).parent().unwrap().to_path_buf();
+        let api = Api::start(ServiceConfig::default(), AuthConfig::open()).with_graph_root(root);
+        let server = Server::start(Arc::new(api), ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+
+        // A relative path resolves under the root.
+        let (status, _, ok) = request(
+            &addr,
+            "POST",
+            "/v1/jobs",
+            &[],
+            "{\"graph\":\"graph.txt\",\"gamma\":0.8,\"min_size\":6}",
+        );
+        assert_eq!(status, 202, "{ok}");
+
+        // Escapes — absolute paths outside the root, `..` traversal, and
+        // registration — are typed errors with no filesystem probe.
+        for body in [
+            "{\"graph\":\"/etc/hostname\"}".to_string(),
+            "{\"graph\":\"../../../etc/hostname\"}".to_string(),
+        ] {
+            let (status, _, denied) = request(&addr, "POST", "/v1/jobs", &[], &body);
+            assert_eq!(status, 404, "{denied}");
+            assert!(denied.contains("\"code\":\"unknown_graph\""), "{denied}");
+            assert!(
+                denied.contains("outside the configured graph root"),
+                "{denied}"
+            );
+        }
+        let (status, _, denied) = request(
+            &addr,
+            "PUT",
+            "/v1/graphs/evil",
+            &[],
+            "{\"path\":\"/etc/hostname\"}",
+        );
+        assert_eq!(status, 404, "{denied}");
+        server.shutdown();
+    });
+}
+
+#[test]
+fn a_trickling_client_is_cut_off_by_the_request_deadline() {
+    // Tight absolute deadline, long per-read timeout: only the deadline can
+    // explain the cutoff. Before the fix, each byte re-armed the 5s read
+    // timeout and one client could pin a handler thread indefinitely.
+    let server = Server::start(
+        Arc::new(Api::start(ServiceConfig::default(), AuthConfig::open())),
+        ServerConfig {
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_millis(400),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Never-completing head, trickled with gaps well under read_timeout.
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    for _ in 0..6 {
+        qcm_sync::thread::sleep(Duration::from_millis(150));
+        if stream.write_all(b"X-Pad: y\r\n").is_err() {
+            break; // server already hung up on us — that is the point
+        }
+    }
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    assert!(
+        response.is_empty(),
+        "deadline close must not fabricate a response: {:?}",
+        String::from_utf8_lossy(&response)
+    );
+
+    // The handler thread is free again: normal requests still answer.
+    let (status, _, health) = request(&addr, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200, "{health}");
+    server.shutdown();
+}
+
+#[test]
 fn concurrent_tenants_are_isolated_by_quota() {
     with_graph_file("tenants", |path| {
         // Paused service, per-tenant quota of 1: tenant alpha exhausts its

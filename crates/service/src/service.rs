@@ -407,6 +407,18 @@ impl MiningService {
             .ok_or(ServiceError::UnknownJob(job))
     }
 
+    /// The tenant a job is accounted against. Front ends use this to scope
+    /// job reads/cancels to the authenticated tenant — job ids are
+    /// sequential, so without the check any caller could enumerate them.
+    pub fn tenant_of(&self, job: JobId) -> Result<String, ServiceError> {
+        let state = self.shared.lock();
+        state
+            .jobs
+            .get(&job)
+            .map(|e| e.tenant.clone())
+            .ok_or(ServiceError::UnknownJob(job))
+    }
+
     /// Cancels a job and returns its status after the call.
     ///
     /// A queued job is removed before it ever starts (terminal immediately,
